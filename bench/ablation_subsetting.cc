@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Benchmark subsetting study: the application the paper's related
+ * work ([11]-[14]) builds on benchmark characterization. Compares
+ * three selectors — greedy profile matching (this paper's LM-profile
+ * machinery), k-medoids on the Table III distances, and the PCA +
+ * clustering baseline of [12]/[13] — at several subset sizes, scored
+ * by how closely the weighted subset reproduces the full suite's
+ * behaviour profile and mean CPI.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/subset.hh"
+#include "util/rng.hh"
+#include "util/string_utils.hh"
+#include "util/text_table.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteData &data = bench::collectedSuite("cpu2006");
+    const SuiteModel &model = bench::suiteModel("cpu2006");
+    const ProfileTable table(data, model.tree);
+
+    bench::banner("Ablation G: SPEC CPU2006 subsetting — profile "
+                  "distance to the full suite (percent) and mean-CPI "
+                  "error, by selector and subset size");
+
+    TextTable results({"k", "selector", "distance", "CPI error",
+                       "selected"});
+    for (std::size_t k : {2, 4, 6, 8, 12}) {
+        struct Entry
+        {
+            const char *name;
+            SubsetResult result;
+        };
+        Rng rng(0x5e1);
+        Entry entries[] = {
+            {"greedy profile", selectGreedyProfile(table, data, k)},
+            {"k-medoids", selectByMedoids(table, data, k)},
+            {"PCA + k-means",
+             selectByPcaClustering(table, data, k, rng)},
+        };
+        for (const Entry &entry : entries) {
+            std::string names;
+            for (std::size_t i = 0;
+                 i < std::min<std::size_t>(4, entry.result.selected
+                                                  .size());
+                 ++i) {
+                if (i)
+                    names += ", ";
+                names += entry.result.selected[i];
+            }
+            if (entry.result.selected.size() > 4)
+                names += ", ...";
+            results.addRow({std::to_string(k), entry.name,
+                            formatDouble(
+                                entry.result.profileDistance, 1),
+                            formatDouble(entry.result.cpiError, 3),
+                            names});
+        }
+        results.addRule();
+    }
+    std::printf("%s", results.render().c_str());
+    std::printf("\nreference: a random single benchmark sits %.1f%% "
+                "from the suite profile on average (Table III Suite "
+                "row)\n",
+                [&] {
+                    double total = 0.0;
+                    for (const auto &row : table.rows())
+                        total += ProfileTable::distance(
+                            row, table.suiteRow());
+                    return total /
+                        static_cast<double>(table.rows().size());
+                }());
+    return 0;
+}

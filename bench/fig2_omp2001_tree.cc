@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 2: the SPEC OMP2001 model tree (Section V), printed with the
+ * same structure as Figure 1.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "stats/metrics.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteModel &model = bench::suiteModel("omp2001");
+
+    bench::banner("Figure 2: SPEC OMP2001 model tree (M5', trained "
+                  "on a random 10% of samples)");
+    std::printf("training samples: %zu   leaves (linear models): %zu"
+                "   suite mean CPI: %.3f\n\n",
+                model.train.numRows(), model.tree.numLeaves(),
+                model.meanCpi);
+    std::printf("%s", model.tree.describe().c_str());
+
+    std::printf("\nsplit variables in the tree:");
+    for (std::size_t attr : model.tree.splitAttributes())
+        std::printf(" %s", model.tree.schema()[attr].c_str());
+    std::printf("\n");
+
+    const auto metrics = computeAccuracy(
+        model.tree.predictAll(model.test), model.test.column("CPI"));
+    std::printf("\nfit on the held-out 10%% test set: C = %.4f, "
+                "MAE = %.4f CPI\n",
+                metrics.correlation, metrics.meanAbsoluteError);
+
+    std::printf("\nGraphviz rendering (pipe into `dot -Tpng`):\n%s",
+                model.tree.toDot().c_str());
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "data/csv.hh"
+#include "workload/suites.hh"
+
+namespace wct
+{
+namespace bench
+{
+
+namespace
+{
+
+/**
+ * Collection runs are cached as one CSV per benchmark under
+ * $WCT_BENCH_CACHE (default .wct_cache), keyed by the collection
+ * parameters, so the ten table/figure binaries share one simulation
+ * pass. Delete the directory to force re-simulation.
+ */
+std::filesystem::path
+cacheDir(const std::string &suite_name, const CollectionConfig &config)
+{
+    const char *base = std::getenv("WCT_BENCH_CACHE");
+    std::ostringstream key;
+    key << suite_name << "-i" << config.intervalInstructions << "-b"
+        << config.baseIntervals << "-w" << config.warmupInstructions
+        << "-m" << (config.multiplexed ? 1 : 0) << "-s" << std::hex
+        << config.seed;
+    return std::filesystem::path(base ? base : ".wct_cache") /
+        key.str();
+}
+
+bool
+loadCached(const std::filesystem::path &dir, const SuiteProfile &suite,
+           SuiteData &out)
+{
+    if (!std::filesystem::is_directory(dir))
+        return false;
+    out.suiteName = suite.name;
+    out.benchmarks.clear();
+    for (const BenchmarkProfile &bench : suite.benchmarks) {
+        const auto file = dir / (bench.name + ".csv");
+        if (!std::filesystem::is_regular_file(file))
+            return false;
+        BenchmarkData data;
+        data.name = bench.name;
+        data.instructionWeight = bench.instructionWeight;
+        data.samples = readCsvFile(file.string());
+        if (data.samples.columnNames() != metricColumnNames())
+            return false; // stale format
+        out.benchmarks.push_back(std::move(data));
+    }
+    return true;
+}
+
+void
+storeCache(const std::filesystem::path &dir, const SuiteData &data)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr, "[harness] cannot create cache %s: %s\n",
+                     dir.string().c_str(), ec.message().c_str());
+        return;
+    }
+    for (const BenchmarkData &bench : data.benchmarks)
+        writeCsvFile(bench.samples,
+                     (dir / (bench.name + ".csv")).string());
+}
+
+} // namespace
+
+CollectionConfig
+standardCollection()
+{
+    CollectionConfig config;
+    config.intervalInstructions = 8192;
+    config.baseIntervals = 700;
+    config.warmupInstructions = 1'500'000;
+    config.multiplexed = true;
+    config.seed = 0x5eed;
+    return config;
+}
+
+SuiteModelConfig
+standardModelConfig()
+{
+    SuiteModelConfig config;
+    config.trainFraction = 0.10;
+    config.tree.minLeafInstances = 25;
+    config.tree.minLeafFraction = 0.025;
+    config.tree.sdThresholdFraction = 0.05;
+    config.seed = 0xcafe;
+    return config;
+}
+
+const SuiteData &
+collectedSuite(const std::string &name)
+{
+    static std::map<std::string, SuiteData> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        const SuiteProfile &suite = suiteByName(name);
+        const CollectionConfig config = standardCollection();
+        const auto dir = cacheDir(name, config);
+
+        SuiteData data;
+        if (loadCached(dir, suite, data)) {
+            std::fprintf(stderr, "[harness] %s: %zu samples from "
+                                 "cache %s\n",
+                         name.c_str(), data.totalSamples(),
+                         dir.string().c_str());
+        } else {
+            std::fprintf(stderr, "[harness] collecting %s ...\n",
+                         name.c_str());
+            data = collectSuite(suite, config);
+            storeCache(dir, data);
+            std::fprintf(stderr, "[harness] %s: %zu samples "
+                                 "(cached to %s)\n",
+                         name.c_str(), data.totalSamples(),
+                         dir.string().c_str());
+        }
+        it = cache.emplace(name, std::move(data)).first;
+    }
+    return it->second;
+}
+
+const SuiteModel &
+suiteModel(const std::string &name)
+{
+    static std::map<std::string, SuiteModel> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, buildSuiteModel(collectedSuite(name),
+                                                standardModelConfig()))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n============================="
+                "=================================\n\n",
+                title.c_str());
+}
+
+} // namespace bench
+} // namespace wct

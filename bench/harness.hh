@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared configuration for the experiment-reproduction binaries: one
+ * place defines the collection scale and tree hyper-parameters so
+ * every table/figure is regenerated from the same data protocol.
+ */
+
+#ifndef WCT_BENCH_HARNESS_HH
+#define WCT_BENCH_HARNESS_HH
+
+#include <string>
+
+#include "core/collect.hh"
+#include "core/suite_model.hh"
+
+namespace wct
+{
+namespace bench
+{
+
+/**
+ * Standard collection protocol. The paper samples 2 M-instruction
+ * intervals over full reference runs; here the interval is scaled to
+ * 8192 instructions and the per-suite sample counts to O(10^4) so a
+ * full reproduction finishes in seconds (densities are normalised
+ * per instruction, so models are scale-insensitive; see DESIGN.md).
+ */
+CollectionConfig standardCollection();
+
+/** Standard suite-model protocol (train on a random 10%). */
+SuiteModelConfig standardModelConfig();
+
+/** Collect a built-in suite ("cpu2006" or "omp2001") once. */
+const SuiteData &collectedSuite(const std::string &name);
+
+/** Suite model built from collectedSuite with the standard config. */
+const SuiteModel &suiteModel(const std::string &name);
+
+/** Print a section header for bench output. */
+void banner(const std::string &title);
+
+} // namespace bench
+} // namespace wct
+
+#endif // WCT_BENCH_HARNESS_HH

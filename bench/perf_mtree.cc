@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the modeling stack: tree
+ * training across sample counts, prediction/classification
+ * throughput, OLS fitting, and the hypothesis tests.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.hh"
+#include "mtree/baselines.hh"
+#include "mtree/model_tree.hh"
+#include "stats/tests.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace wct;
+
+/** Synthetic piecewise dataset shaped like PMU samples (20 cols). */
+Dataset
+syntheticSamples(std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::string> names = {"CPI"};
+    for (int i = 1; i < 20; ++i)
+        names.push_back("m" + std::to_string(i));
+    Dataset d(names);
+    Rng rng(seed);
+    std::vector<double> row(20);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (int c = 1; c < 20; ++c)
+            row[c] = rng.uniform(0.0, 0.1);
+        const double base = row[1] > 0.05 ? 1.2 : 0.4;
+        row[0] = base + 8.0 * row[2] + 120.0 * row[3] +
+            rng.normal(0.0, 0.05);
+        d.addRow(row);
+    }
+    return d;
+}
+
+void
+BM_ModelTreeTrain(benchmark::State &state)
+{
+    const Dataset data =
+        syntheticSamples(static_cast<std::size_t>(state.range(0)), 1);
+    ModelTreeConfig config;
+    config.minLeafFraction = 0.02;
+    for (auto _ : state) {
+        ModelTree tree = ModelTree::train(data, "CPI", config);
+        benchmark::DoNotOptimize(tree.numLeaves());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ModelTreeTrain)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void
+BM_ModelTreePredict(benchmark::State &state)
+{
+    const Dataset data = syntheticSamples(8000, 2);
+    ModelTreeConfig config;
+    config.minLeafFraction = 0.02;
+    const ModelTree tree = ModelTree::train(data, "CPI", config);
+    std::size_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.predict(data.row(r)));
+        r = (r + 1) % data.numRows();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelTreePredict);
+
+void
+BM_ModelTreeClassify(benchmark::State &state)
+{
+    const Dataset data = syntheticSamples(8000, 3);
+    ModelTreeConfig config;
+    config.minLeafFraction = 0.02;
+    const ModelTree tree = ModelTree::train(data, "CPI", config);
+    std::size_t r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.classify(data.row(r)));
+        r = (r + 1) % data.numRows();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelTreeClassify);
+
+void
+BM_GlobalOlsTrain(benchmark::State &state)
+{
+    const Dataset data =
+        syntheticSamples(static_cast<std::size_t>(state.range(0)), 4);
+    for (auto _ : state) {
+        auto model = GlobalLinearRegression::train(data, "CPI");
+        benchmark::DoNotOptimize(model.model().intercept);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GlobalOlsTrain)->Arg(4000)->Arg(16000);
+
+void
+BM_PooledTTest(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < state.range(0); ++i) {
+        xs.push_back(rng.normal(1.0, 0.5));
+        ys.push_back(rng.normal(1.1, 0.5));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pooledTTest(xs, ys).pValue);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PooledTTest)->Arg(10000)->Arg(100000);
+
+void
+BM_MannWhitney(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < state.range(0); ++i) {
+        xs.push_back(rng.normal(1.0, 0.5));
+        ys.push_back(rng.normal(1.1, 0.5));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mannWhitneyUTest(xs, ys).pValue);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MannWhitney)->Arg(10000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

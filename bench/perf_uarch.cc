@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate:
+ * whole-core instruction throughput on representative workloads, and
+ * the individual structural models (cache, TLB, predictor, store
+ * buffer, PMU interval collection).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pmu/collector.hh"
+#include "uarch/core.hh"
+#include "workload/source.hh"
+#include "workload/suites.hh"
+
+namespace
+{
+
+using namespace wct;
+
+void
+BM_CoreRunBenchmark(benchmark::State &state,
+                    const std::string &suite_name,
+                    const std::string &bench_name)
+{
+    const auto &profile =
+        suiteByName(suite_name).benchmark(bench_name);
+    CoreModel core{CoreConfig{}};
+    WorkloadSource source(profile, 42);
+    core.run(source, 100000); // warm
+    for (auto _ : state)
+        core.run(source, 10000);
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+
+void
+BM_CoreHmmer(benchmark::State &state)
+{
+    BM_CoreRunBenchmark(state, "cpu2006", "456.hmmer");
+}
+BENCHMARK(BM_CoreHmmer);
+
+void
+BM_CoreMcf(benchmark::State &state)
+{
+    BM_CoreRunBenchmark(state, "cpu2006", "429.mcf");
+}
+BENCHMARK(BM_CoreMcf);
+
+void
+BM_CoreFma3d(benchmark::State &state)
+{
+    BM_CoreRunBenchmark(state, "omp2001", "328.fma3d_m");
+}
+BENCHMARK(BM_CoreFma3d);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheModel cache(CacheConfig{32 * 1024, 64, 8});
+    Rng rng(1);
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.uniformInt(1 << 20));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i]));
+        i = (i + 1) % addrs.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    TlbModel tlb(TlbConfig{});
+    Rng rng(2);
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.uniformInt(1ull << 30));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.access(addrs[i]).miss);
+        i = (i + 1) % addrs.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bp(BranchPredictorConfig{});
+    Rng rng(3);
+    std::uint64_t pc = 0x400;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(pc, rng.bernoulli(0.7)));
+        pc = 0x400 + (pc + 4) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const auto &profile =
+        suiteByName("cpu2006").benchmark("464.h264ref");
+    WorkloadSource source(profile, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(source.next().addr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_IntervalCollection(benchmark::State &state)
+{
+    const auto &profile =
+        suiteByName("cpu2006").benchmark("401.bzip2");
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.intervalInstructions = 4096;
+    IntervalCollector collector(core, config);
+    WorkloadSource source(profile, 9);
+    core.run(source, 100000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            collector.collectInterval(source).front());
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_IntervalCollection);
+
+} // namespace
+
+BENCHMARK_MAIN();

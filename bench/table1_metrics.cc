@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table I: the CPU performance metrics used in the study — every PMU
+ * event, its short modeling name, counter assignment, and meaning.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "pmu/events.hh"
+#include "util/text_table.hh"
+
+int
+main()
+{
+    using namespace wct;
+    bench::banner("Table I: CPU performance metrics used in this "
+                  "study");
+
+    TextTable table({"Metric", "PMU event", "Counter", "Description"});
+    for (const EventInfo &info : eventTable()) {
+        table.addRow({info.shortName, info.pmuName,
+                      info.dedicated ? "dedicated" : "multiplexed",
+                      info.description});
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nModeling columns (per-instruction densities): ");
+    const auto names = metricColumnNames();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::printf("%s%s", i ? ", " : "", names[i].c_str());
+    std::printf("\nCPI is the predicted target; the %zu remaining "
+                "events are the predictors.\n",
+                names.size() - 1);
+    return 0;
+}

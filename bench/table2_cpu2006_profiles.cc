@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table II: sample distribution across the SPEC CPU2006 tree's linear
+ * models, per benchmark, with the instruction-weighted Suite row and
+ * the equal-weight Average row. Dominant contributions (>= 20%) are
+ * starred, standing in for the paper's bold.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "core/profile_table.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteData &data = bench::collectedSuite("cpu2006");
+    const SuiteModel &model = bench::suiteModel("cpu2006");
+    const ProfileTable table(data, model.tree);
+
+    bench::banner("Table II: SPEC CPU2006 sample distribution across "
+                  "linear models by benchmark (percent)");
+    std::printf("%s", table.render().c_str());
+
+    // The observations Section IV-B highlights.
+    bench::banner("Observations (Section IV-B analogues)");
+    std::size_t dominant_lm1 = 0;
+    std::size_t over90_lm1 = 0;
+    // Identify the largest suite leaf (the LM1 analogue).
+    const auto &suite_row = table.suiteRow().percent;
+    const std::size_t lm1 = static_cast<std::size_t>(
+        std::max_element(suite_row.begin(), suite_row.end()) -
+        suite_row.begin());
+    for (const auto &row : table.rows()) {
+        dominant_lm1 += row.percent[lm1] > 50.0;
+        over90_lm1 += row.percent[lm1] > 90.0;
+    }
+    std::printf("largest suite leaf: LM%zu holding %.1f%% of all "
+                "samples (avg CPI %.2f across the suite)\n",
+                lm1 + 1, suite_row[lm1], table.suiteRow().meanCpi);
+    std::printf("benchmarks with > 50%% of samples in LM%zu: %zu; "
+                "with > 90%%: %zu\n",
+                lm1 + 1, dominant_lm1, over90_lm1);
+
+    // Benchmarks the paper singles out for concentrated profiles.
+    for (const char *name :
+         {"482.sphinx3", "471.omnetpp", "470.lbm", "436.cactusADM",
+          "429.mcf"}) {
+        const auto &row = table.row(name);
+        const std::size_t peak = static_cast<std::size_t>(
+            std::max_element(row.percent.begin(), row.percent.end()) -
+            row.percent.begin());
+        std::printf("%-15s peak leaf LM%-3zu with %5.1f%%  "
+                    "(mean CPI %.2f)\n",
+                    name, peak + 1, row.percent[peak], row.meanCpi);
+    }
+    return 0;
+}

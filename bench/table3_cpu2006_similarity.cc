@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table III: pairwise profile differences (L1 distance, Equation 4)
+ * between a subset of SPEC CPU2006 benchmarks, plus each benchmark's
+ * distance to the suite profile, and the similar/dissimilar pairs the
+ * paper highlights.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/similarity.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteData &data = bench::collectedSuite("cpu2006");
+    const SuiteModel &model = bench::suiteModel("cpu2006");
+    const ProfileTable table(data, model.tree);
+
+    // The subset Table III prints (paper's selection).
+    const std::vector<std::string> subset = {
+        "429.mcf",      "435.gromacs", "436.cactusADM",
+        "444.namd",     "447.dealII",  "454.calculix",
+        "456.hmmer",    "459.GemsFDTD", "464.h264ref",
+        "470.lbm",      "473.astar",
+    };
+    const SimilarityMatrix sim(table, subset);
+
+    bench::banner("Table III: pairwise L1 profile distances between "
+                  "SPEC CPU2006 benchmarks (percent; 0 = identical)");
+    std::printf("%s", sim.render().c_str());
+
+    bench::banner("Highlighted pairs (Section IV-B analogues)");
+    auto d = [&](const char *a, const char *b) {
+        return ProfileTable::distance(table.row(a), table.row(b));
+    };
+    // The paper's similar pairs (all members of the LM1 cluster).
+    std::printf("similar pairs (paper: 1.6%% - 8.1%%):\n");
+    std::printf("  456.hmmer    vs 444.namd      : %5.1f%%\n",
+                d("456.hmmer", "444.namd"));
+    std::printf("  435.gromacs  vs 444.namd      : %5.1f%%\n",
+                d("435.gromacs", "444.namd"));
+    std::printf("  435.gromacs  vs 456.hmmer     : %5.1f%%\n",
+                d("435.gromacs", "456.hmmer"));
+    std::printf("  454.calculix vs 447.dealII    : %5.1f%%\n",
+                d("454.calculix", "447.dealII"));
+    std::printf("dissimilar pairs (paper: 93.6%% - 97.7%%):\n");
+    std::printf("  429.mcf      vs 444.namd      : %5.1f%%\n",
+                d("429.mcf", "444.namd"));
+    std::printf("  429.mcf      vs 459.GemsFDTD  : %5.1f%%\n",
+                d("429.mcf", "459.GemsFDTD"));
+    std::printf("  444.namd     vs 459.GemsFDTD  : %5.1f%%\n",
+                d("444.namd", "459.GemsFDTD"));
+
+    const auto most_similar = sim.mostSimilarPair();
+    const auto most_dissimilar = sim.mostDissimilarPair();
+    std::printf("\nmost similar in subset:    %s vs %s (%.1f%%)\n",
+                sim.names()[most_similar.first].c_str(),
+                sim.names()[most_similar.second].c_str(),
+                sim.at(most_similar.first, most_similar.second));
+    std::printf("most dissimilar in subset: %s vs %s (%.1f%%)\n",
+                sim.names()[most_dissimilar.first].c_str(),
+                sim.names()[most_dissimilar.second].c_str(),
+                sim.at(most_dissimilar.first, most_dissimilar.second));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table IV: sample distribution across the SPEC OMP2001 tree's linear
+ * models by benchmark (Section V-B), with the per-benchmark
+ * observations the paper walks through.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/profile_table.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteData &data = bench::collectedSuite("omp2001");
+    const SuiteModel &model = bench::suiteModel("omp2001");
+    const ProfileTable table(data, model.tree);
+
+    bench::banner("Table IV: SPEC OMP2001 sample distribution across "
+                  "linear models by benchmark (percent)");
+    std::printf("%s", table.render().c_str());
+
+    bench::banner("Observations (Section V-B/V-C analogues)");
+    // Concentration of each benchmark's samples (paper: fma3d_m and
+    // galgel_m nearly single-leaf; art_m in the low-CPI leaves).
+    for (const auto &row : table.rows()) {
+        const std::size_t peak = static_cast<std::size_t>(
+            std::max_element(row.percent.begin(), row.percent.end()) -
+            row.percent.begin());
+        std::printf("%-15s peak LM%-3zu %5.1f%%   mean CPI %.2f\n",
+                    row.name.c_str(), peak + 1, row.percent[peak],
+                    row.meanCpi);
+    }
+
+    // Do the overlap-dominated benchmarks share their peak leaves?
+    const auto &fma = table.row("328.fma3d_m").percent;
+    const auto &galgel = table.row("318.galgel_m").percent;
+    double shared = 0.0;
+    for (std::size_t i = 0; i < fma.size(); ++i)
+        shared += std::min(fma[i], galgel[i]);
+    std::printf("\nprofile overlap of 328.fma3d_m and 318.galgel_m "
+                "(the two store+overlap extremes): %.1f%%\n",
+                shared);
+    std::printf("L1 distance fma3d_m vs galgel_m: %.1f%%   "
+                "fma3d_m vs 330.art_m: %.1f%%\n",
+                ProfileTable::distance(table.row("328.fma3d_m"),
+                                       table.row("318.galgel_m")),
+                ProfileTable::distance(table.row("328.fma3d_m"),
+                                       table.row("330.art_m")));
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Section VI-B: prediction-accuracy assessment of transferability —
+ * correlation coefficient C and MAE of each suite model on its own
+ * test set and on the other suite, against the acceptance thresholds
+ * C > 0.85 and MAE < 0.15.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "core/transferability.hh"
+#include "util/text_table.hh"
+#include "util/string_utils.hh"
+
+int
+main()
+{
+    using namespace wct;
+    const SuiteModel &cpu = bench::suiteModel("cpu2006");
+    const SuiteModel &omp = bench::suiteModel("omp2001");
+
+    bench::banner("Section VI-B: prediction accuracy metrics for "
+                  "transferability (thresholds: C > 0.85, "
+                  "MAE < 0.15)");
+
+    struct Case
+    {
+        const char *title;
+        const SuiteModel *model;
+        const Dataset *target;
+        const char *paper;
+    };
+    const Case cases[] = {
+        {"CPU2006 -> CPU2006 test", &cpu, &cpu.test,
+         "C=0.9214 MAE=0.0988 (transferable)"},
+        {"CPU2006 -> OMP2001", &cpu, &omp.test,
+         "C=0.4337 MAE=0.3721 (not transferable)"},
+        {"OMP2001 -> OMP2001 test", &omp, &omp.test,
+         "transferable (paper reports symmetric finding)"},
+        {"OMP2001 -> CPU2006", &omp, &cpu.test,
+         "not transferable (paper reports symmetric finding)"},
+    };
+
+    TextTable table({"Direction", "C", "MAE", "RMSE", "RAE", "Verdict",
+                     "Paper"});
+    TransferabilityConfig config;
+    config.bootstrapReplicates = 500; // 95% CIs on C and MAE
+    for (const Case &c : cases) {
+        const auto report = assessTransferability(
+            c.model->tree, c.model->train, *c.target, config);
+        table.addRow({
+            c.title,
+            formatDouble(report.accuracy.correlation, 4) + " [" +
+                formatDouble(report.correlationCi.lower, 3) + "," +
+                formatDouble(report.correlationCi.upper, 3) + "]",
+            formatDouble(report.accuracy.meanAbsoluteError, 4) +
+                " [" + formatDouble(report.maeCi.lower, 3) + "," +
+                formatDouble(report.maeCi.upper, 3) + "]",
+            formatDouble(report.accuracy.rootMeanSquaredError, 4),
+            formatDouble(report.accuracy.relativeAbsoluteError, 3),
+            std::string(report.transferableByAccuracy()
+                            ? "transferable"
+                            : "NOT transferable") +
+                (report.accuracyVerdictUnstable() ? " (unstable)"
+                                                  : ""),
+            c.paper,
+        });
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,431 @@
+#include "cli/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <ostream>
+
+#include "core/collect.hh"
+#include "core/phase_report.hh"
+#include "core/profile_table.hh"
+#include "core/similarity.hh"
+#include "core/subset.hh"
+#include "core/transferability.hh"
+#include "data/csv.hh"
+#include "mtree/serialize.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+#include "workload/suites.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+/** Parsed --flag value pairs plus positional arguments. */
+struct Options
+{
+    std::map<std::string, std::string> values;
+    std::vector<std::string> positional;
+
+    bool has(const std::string &key) const
+    {
+        return values.count(key) != 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getUint(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        char *end = nullptr;
+        const auto parsed =
+            std::strtoull(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0')
+            wct_fatal("--", key, " expects an integer, got '",
+                      it->second, "'");
+        return parsed;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        char *end = nullptr;
+        const double parsed = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0')
+            wct_fatal("--", key, " expects a number, got '",
+                      it->second, "'");
+        return parsed;
+    }
+};
+
+/** Flags that take no value. */
+const std::vector<std::string> kBooleanFlags = {
+    "exact", "dot", "no-smooth", "no-prune", "constant-leaves",
+    "similarity",
+};
+
+Options
+parseOptions(const std::vector<std::string> &args, std::size_t begin)
+{
+    Options options;
+    for (std::size_t i = begin; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!startsWith(arg, "--")) {
+            options.positional.push_back(arg);
+            continue;
+        }
+        const std::string key = arg.substr(2);
+        if (std::find(kBooleanFlags.begin(), kBooleanFlags.end(),
+                      key) != kBooleanFlags.end()) {
+            options.values[key] = "1";
+            continue;
+        }
+        if (i + 1 >= args.size())
+            wct_fatal("--", key, " needs a value");
+        options.values[key] = args[++i];
+    }
+    return options;
+}
+
+std::string
+require(const Options &options, const std::string &key)
+{
+    if (!options.has(key))
+        wct_fatal("missing required --", key);
+    return options.get(key);
+}
+
+/**
+ * Load a "suite directory" (one CSV per benchmark, as written by
+ * `wct collect`) into SuiteData. Weights are taken proportional to
+ * each file's sample count.
+ */
+SuiteData
+loadSuiteDirectory(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(path))
+        wct_fatal("'", path, "' is not a directory");
+
+    SuiteData data;
+    data.suiteName = fs::path(path).filename().string();
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(path))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".csv")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    if (files.empty())
+        wct_fatal("no .csv files under '", path, "'");
+
+    for (const fs::path &file : files) {
+        BenchmarkData bench;
+        bench.name = file.stem().string();
+        bench.samples = readCsvFile(file.string());
+        bench.instructionWeight =
+            static_cast<double>(bench.samples.numRows());
+        data.benchmarks.push_back(std::move(bench));
+    }
+    return data;
+}
+
+/** Load modeling data: a CSV file or a suite directory (pooled). */
+Dataset
+loadModelingData(const std::string &path)
+{
+    if (std::filesystem::is_directory(path))
+        return loadSuiteDirectory(path).pooled();
+    return readCsvFile(path);
+}
+
+CollectionConfig
+collectionFromOptions(const Options &options)
+{
+    CollectionConfig config;
+    config.intervalInstructions =
+        options.getUint("interval-length", 8192);
+    config.baseIntervals = options.getUint("intervals", 400);
+    config.warmupInstructions = options.getUint("warmup", 1'500'000);
+    config.multiplexed = !options.has("exact");
+    config.seed = options.getUint("seed", 0x5eed);
+    return config;
+}
+
+int
+cmdSuites(std::ostream &out)
+{
+    for (const char *name : {"cpu2006", "omp2001"}) {
+        const SuiteProfile &suite = suiteByName(name);
+        out << name << "  (" << suite.name << ", "
+            << suite.benchmarks.size() << " benchmarks)\n";
+        for (const auto &bench : suite.benchmarks) {
+            out << "  " << bench.name << "  [" << bench.language
+                << ", weight " << formatDouble(
+                       bench.instructionWeight, 2)
+                << "]\n";
+        }
+    }
+    return 0;
+}
+
+int
+cmdCollect(const Options &options, std::ostream &err)
+{
+    const SuiteProfile &suite = suiteByName(require(options, "suite"));
+    const std::string out_dir = require(options, "out");
+    const CollectionConfig config = collectionFromOptions(options);
+
+    std::filesystem::create_directories(out_dir);
+    const std::string only = options.get("benchmark");
+    std::size_t salt = 0;
+    for (const auto &bench : suite.benchmarks) {
+        const std::size_t this_salt = salt++;
+        if (!only.empty() && bench.name != only)
+            continue;
+        err << "collecting " << bench.name << " ...\n";
+        const BenchmarkData data =
+            collectBenchmark(bench, config, this_salt);
+        writeCsvFile(data.samples,
+                     (std::filesystem::path(out_dir) /
+                      (bench.name + ".csv"))
+                         .string());
+    }
+    return 0;
+}
+
+int
+cmdTrain(const Options &options, std::ostream &out)
+{
+    const Dataset data = loadModelingData(require(options, "data"));
+    const std::string target = options.get("target", "CPI");
+
+    ModelTreeConfig config;
+    config.minLeafInstances = options.getUint("min-leaf", 25);
+    config.minLeafFraction =
+        options.getDouble("min-leaf-frac", 0.025);
+    config.smooth = !options.has("no-smooth");
+    config.prune = !options.has("no-prune");
+    config.constantLeaves = options.has("constant-leaves");
+
+    const ModelTree tree = ModelTree::train(data, target, config);
+    writeModelTreeFile(tree, require(options, "out"));
+    out << "trained on " << data.numRows() << " samples: "
+        << tree.numLeaves() << " leaves, saved to "
+        << options.get("out") << "\n";
+    return 0;
+}
+
+int
+cmdShow(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    out << (options.has("dot") ? tree.toDot() : tree.describe());
+    return 0;
+}
+
+int
+cmdPredict(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    const Dataset data = loadModelingData(require(options, "data"));
+    const auto predictions = tree.predictAll(data);
+    const auto classes = tree.classifyAll(data);
+
+    if (options.has("out")) {
+        // Write the input columns plus prediction and leaf columns.
+        std::vector<std::string> names = data.columnNames();
+        names.push_back("Predicted" + tree.targetName());
+        names.push_back("LeafModel");
+        Dataset augmented(names);
+        std::vector<double> row;
+        for (std::size_t r = 0; r < data.numRows(); ++r) {
+            const auto src = data.row(r);
+            row.assign(src.begin(), src.end());
+            row.push_back(predictions[r]);
+            row.push_back(static_cast<double>(classes[r] + 1));
+            augmented.addRow(row);
+        }
+        writeCsvFile(augmented, options.get("out"));
+        out << "wrote " << augmented.numRows() << " rows to "
+            << options.get("out") << "\n";
+    } else {
+        for (std::size_t r = 0; r < predictions.size(); ++r)
+            out << predictions[r] << " LM" << classes[r] + 1 << "\n";
+    }
+    return 0;
+}
+
+int
+cmdTransfer(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    const Dataset train = loadModelingData(require(options, "train"));
+    const Dataset target =
+        loadModelingData(require(options, "target"));
+
+    TransferabilityConfig config;
+    config.alpha = options.getDouble("alpha", 0.05);
+    config.minCorrelation = options.getDouble("min-c", 0.85);
+    config.maxMae = options.getDouble("max-mae", 0.15);
+    config.bootstrapReplicates = options.getUint("bootstrap", 0);
+
+    auto report = assessTransferability(tree, train, target, config);
+    report.modelName = options.get("model");
+    report.targetName = options.get("target");
+    out << report.render();
+    return 0;
+}
+
+int
+cmdProfile(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    const SuiteData data =
+        loadSuiteDirectory(require(options, "data"));
+    const ProfileTable table(data, tree);
+    out << table.render();
+    if (options.has("similarity")) {
+        const SimilarityMatrix sim(table);
+        out << "\n" << sim.render();
+    }
+    return 0;
+}
+
+int
+cmdPhases(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    const std::string path = require(options, "data");
+
+    if (std::filesystem::is_directory(path)) {
+        const SuiteData data = loadSuiteDirectory(path);
+        for (const BenchmarkData &bench : data.benchmarks) {
+            const PhaseReport report(tree, bench.samples);
+            out << bench.name << "\n" << report.render() << "\n";
+        }
+    } else {
+        const Dataset samples = readCsvFile(path);
+        const PhaseReport report(tree, samples);
+        out << report.render();
+    }
+    return 0;
+}
+
+int
+cmdSubset(const Options &options, std::ostream &out)
+{
+    const ModelTree tree =
+        readModelTreeFile(require(options, "model"));
+    const SuiteData data =
+        loadSuiteDirectory(require(options, "data"));
+    const ProfileTable table(data, tree);
+    const auto k = static_cast<std::size_t>(
+        options.getUint("k", 4));
+    const std::string method = options.get("method", "greedy");
+
+    SubsetResult result;
+    if (method == "greedy") {
+        result = selectGreedyProfile(table, data, k);
+    } else if (method == "medoids") {
+        result = selectByMedoids(table, data, k);
+    } else if (method == "pca") {
+        Rng rng(options.getUint("seed", 0x5e1));
+        result = selectByPcaClustering(table, data, k, rng);
+    } else {
+        wct_fatal("unknown --method '", method,
+                  "' (greedy|medoids|pca)");
+    }
+
+    out << "selected (" << method << ", k=" << k << "):\n";
+    for (const auto &name : result.selected)
+        out << "  " << name << "\n";
+    out << "profile distance to suite: "
+        << formatDouble(result.profileDistance, 1)
+        << "%\nmean-CPI error: "
+        << formatDouble(result.cpiError, 3) << "\n";
+    return 0;
+}
+
+void
+printUsage(std::ostream &err)
+{
+    err << "usage: wct <command> [options]\n"
+        << "commands:\n"
+        << "  suites\n"
+        << "  collect  --suite S --out DIR [--benchmark B]"
+           " [--intervals N]\n"
+        << "           [--interval-length L] [--warmup W] [--exact]"
+           " [--seed S]\n"
+        << "  train    --data CSV|DIR --out MODEL [--target CPI]\n"
+        << "           [--min-leaf N] [--min-leaf-frac F]"
+           " [--no-smooth]\n"
+        << "           [--no-prune] [--constant-leaves]\n"
+        << "  show     --model MODEL [--dot]\n"
+        << "  predict  --model MODEL --data CSV|DIR [--out CSV]\n"
+        << "  transfer --model MODEL --train CSV|DIR --target "
+           "CSV|DIR\n"
+        << "           [--alpha A] [--min-c C] [--max-mae M]"
+           " [--bootstrap N]\n"
+        << "  profile  --model MODEL --data DIR [--similarity]\n"
+        << "  subset   --model MODEL --data DIR [--k K]"
+           " [--method greedy|medoids|pca]\n"
+        << "  phases   --model MODEL --data CSV|DIR\n";
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+        printUsage(err);
+        return args.empty() ? 2 : 0;
+    }
+    const std::string &command = args[0];
+    const Options options = parseOptions(args, 1);
+
+    if (command == "suites")
+        return cmdSuites(out);
+    if (command == "collect")
+        return cmdCollect(options, err);
+    if (command == "train")
+        return cmdTrain(options, out);
+    if (command == "show")
+        return cmdShow(options, out);
+    if (command == "predict")
+        return cmdPredict(options, out);
+    if (command == "transfer")
+        return cmdTransfer(options, out);
+    if (command == "profile")
+        return cmdProfile(options, out);
+    if (command == "subset")
+        return cmdSubset(options, out);
+    if (command == "phases")
+        return cmdPhases(options, out);
+
+    err << "unknown command '" << command << "'\n";
+    printUsage(err);
+    return 2;
+}
+
+} // namespace wct

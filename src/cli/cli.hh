@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The `wct` command line tool: collect PMU samples from the built-in
+ * suites, train/save/apply model trees, and run characterization and
+ * transferability analyses on CSV data — the workflow of the paper
+ * without writing any C++.
+ *
+ * Commands (see `wct help`):
+ *   suites                         list built-in suites/benchmarks
+ *   collect  --suite S --out DIR   simulate and write per-benchmark CSVs
+ *   train    --data P --out M      train an M5' tree, save it
+ *   show     --model M [--dot]     print a saved tree
+ *   predict  --model M --data CSV  append a prediction column
+ *   transfer --model M --train CSV --target CSV
+ *                                  Section VI assessment
+ *   profile  --model M --data DIR  Table II-style distribution table
+ *   subset   --model M --data DIR --k K [--method ...]
+ *                                  representative subset selection
+ */
+
+#ifndef WCT_CLI_CLI_HH
+#define WCT_CLI_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wct
+{
+
+/**
+ * Run the CLI with pre-split arguments (excluding argv[0]).
+ *
+ * @return Process exit code (0 on success, 2 on usage errors).
+ *         File-level problems use the library's fatal path.
+ */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+} // namespace wct
+
+#endif // WCT_CLI_CLI_HH

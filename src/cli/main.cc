@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Entry point of the `wct` command line tool.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return wct::runCli(args, std::cout, std::cerr);
+}

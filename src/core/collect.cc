@@ -1,0 +1,84 @@
+#include "core/collect.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workload/source.hh"
+
+namespace wct
+{
+
+Dataset
+SuiteData::pooled() const
+{
+    Dataset all(metricColumnNames());
+    for (const BenchmarkData &bench : benchmarks)
+        all.append(bench.samples);
+    return all;
+}
+
+const BenchmarkData &
+SuiteData::benchmark(const std::string &name) const
+{
+    for (const BenchmarkData &bench : benchmarks)
+        if (bench.name == name)
+            return bench;
+    wct_fatal("no collected data for benchmark '", name, "'");
+}
+
+std::size_t
+SuiteData::totalSamples() const
+{
+    std::size_t total = 0;
+    for (const BenchmarkData &bench : benchmarks)
+        total += bench.samples.numRows();
+    return total;
+}
+
+BenchmarkData
+collectBenchmark(const BenchmarkProfile &bench,
+                 const CollectionConfig &config,
+                 std::uint64_t stream_salt)
+{
+    BenchmarkData out;
+    out.name = bench.name;
+    out.instructionWeight = bench.instructionWeight;
+
+    CoreModel core(config.machine);
+    CollectorConfig pmu_config;
+    pmu_config.intervalInstructions = config.intervalInstructions;
+    pmu_config.multiplexed = config.multiplexed;
+    IntervalCollector collector(core, pmu_config);
+
+    // Deterministic per-benchmark stream seed.
+    const std::uint64_t stream_seed =
+        Rng(config.seed).fork(stream_salt)();
+    WorkloadSource source(bench, stream_seed);
+
+    // Warm caches, TLBs, and the predictor before sampling, as
+    // hardware collection effectively does (the first intervals of a
+    // long run are a vanishing fraction of the total).
+    core.run(source, config.warmupInstructions);
+
+    const auto intervals = static_cast<std::size_t>(std::llround(
+        static_cast<double>(config.baseIntervals) *
+        bench.instructionWeight));
+    out.samples = collector.collect(source, std::max<std::size_t>(
+        intervals, 1));
+    return out;
+}
+
+SuiteData
+collectSuite(const SuiteProfile &suite, const CollectionConfig &config)
+{
+    SuiteData out;
+    out.suiteName = suite.name;
+    out.benchmarks.reserve(suite.benchmarks.size());
+    for (std::size_t i = 0; i < suite.benchmarks.size(); ++i)
+        out.benchmarks.push_back(
+            collectBenchmark(suite.benchmarks[i], config, i));
+    return out;
+}
+
+} // namespace wct

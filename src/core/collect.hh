@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Suite-level sample collection: run every benchmark of a suite
+ * through the simulated machine and PMU, producing the per-interval
+ * metric datasets everything downstream consumes.
+ */
+
+#ifndef WCT_CORE_COLLECT_HH
+#define WCT_CORE_COLLECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "pmu/collector.hh"
+#include "uarch/core.hh"
+#include "workload/profile.hh"
+
+namespace wct
+{
+
+/** Knobs for one suite collection run. */
+struct CollectionConfig
+{
+    /** Instructions per sample interval (Section III's 2 M, scaled). */
+    std::uint64_t intervalInstructions = 4096;
+
+    /**
+     * Base number of intervals; each benchmark contributes
+     * round(base * instructionWeight) samples, reproducing the
+     * paper's sampling proportional to dynamic instruction count.
+     */
+    std::size_t baseIntervals = 400;
+
+    /** Instructions executed before sampling starts (cache warmup). */
+    std::uint64_t warmupInstructions = 1'500'000;
+
+    /** Round-robin counter multiplexing (Section III) or exact. */
+    bool multiplexed = true;
+
+    /** Machine configuration. */
+    CoreConfig machine{};
+
+    /** Root seed; benchmark streams fork deterministically from it. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** Collected samples of one benchmark. */
+struct BenchmarkData
+{
+    std::string name;
+    double instructionWeight = 1.0;
+    Dataset samples;
+};
+
+/** Collected samples of a whole suite. */
+struct SuiteData
+{
+    std::string suiteName;
+    std::vector<BenchmarkData> benchmarks;
+
+    /** All samples of all benchmarks concatenated. */
+    Dataset pooled() const;
+
+    /** Samples of one benchmark; fatal when absent. */
+    const BenchmarkData &benchmark(const std::string &name) const;
+
+    /** Total sample count. */
+    std::size_t totalSamples() const;
+};
+
+/**
+ * Collect a suite: per benchmark, a fresh machine is warmed up and
+ * then sampled for round(base * weight) intervals.
+ */
+SuiteData collectSuite(const SuiteProfile &suite,
+                       const CollectionConfig &config);
+
+/** Collect a single benchmark with the same protocol. */
+BenchmarkData collectBenchmark(const BenchmarkProfile &bench,
+                               const CollectionConfig &config,
+                               std::uint64_t stream_salt = 0);
+
+} // namespace wct
+
+#endif // WCT_CORE_COLLECT_HH

@@ -1,0 +1,134 @@
+#include "core/phase_report.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct
+{
+
+PhaseReport::PhaseReport(const ModelTree &tree, const Dataset &samples)
+    : numLeaves_(tree.numLeaves()),
+      sequence_(tree.classifyAll(samples))
+{
+    wct_assert(!sequence_.empty(),
+               "phase report over an empty sample set");
+
+    // Maximal runs.
+    PhaseRun current{sequence_[0], 0, 1};
+    for (std::size_t i = 1; i < sequence_.size(); ++i) {
+        if (sequence_[i] == current.leaf) {
+            ++current.length;
+            continue;
+        }
+        runs_.push_back(current);
+        current = PhaseRun{sequence_[i], i, 1};
+    }
+    runs_.push_back(current);
+
+    // Visited leaves, ascending.
+    visited_ = sequence_;
+    std::sort(visited_.begin(), visited_.end());
+    visited_.erase(std::unique(visited_.begin(), visited_.end()),
+                   visited_.end());
+
+    // Transition counts between consecutive runs.
+    std::vector<std::size_t> index(numLeaves_, 0);
+    for (std::size_t i = 0; i < visited_.size(); ++i)
+        index[visited_[i]] = i;
+    transitions_.assign(visited_.size(),
+                        std::vector<double>(visited_.size(), 0.0));
+    for (std::size_t r = 1; r < runs_.size(); ++r)
+        transitions_[index[runs_[r - 1].leaf]]
+                    [index[runs_[r].leaf]] += 1.0;
+    for (auto &row : transitions_) {
+        double total = 0.0;
+        for (double v : row)
+            total += v;
+        if (total > 0.0)
+            for (double &v : row)
+                v /= total;
+    }
+}
+
+double
+PhaseReport::meanRunLength() const
+{
+    return static_cast<double>(sequence_.size()) /
+        static_cast<double>(runs_.size());
+}
+
+std::size_t
+PhaseReport::distinctLeaves() const
+{
+    return visited_.size();
+}
+
+double
+PhaseReport::leafEntropy() const
+{
+    std::vector<double> counts(numLeaves_, 0.0);
+    for (std::size_t leaf : sequence_)
+        counts[leaf] += 1.0;
+    const double n = static_cast<double>(sequence_.size());
+    double entropy = 0.0;
+    for (double c : counts) {
+        if (c > 0.0) {
+            const double p = c / n;
+            entropy -= p * std::log2(p);
+        }
+    }
+    return entropy;
+}
+
+std::string
+PhaseReport::render(std::size_t strip_width) const
+{
+    wct_assert(strip_width >= 8, "strip too narrow");
+    std::string out;
+    out += "intervals: " + std::to_string(sequence_.size()) +
+        "  runs: " + std::to_string(runs_.size()) +
+        "  mean run: " + formatDouble(meanRunLength(), 1) +
+        "  distinct leaves: " + std::to_string(distinctLeaves()) +
+        "  entropy: " + formatDouble(leafEntropy(), 2) + " bits\n";
+
+    // Timeline strip: one character per bucket of intervals, showing
+    // the majority leaf as a letter (A = LM1).
+    const std::size_t buckets =
+        std::min(strip_width, sequence_.size());
+    out += "timeline: ";
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t begin = b * sequence_.size() / buckets;
+        const std::size_t end =
+            (b + 1) * sequence_.size() / buckets;
+        std::vector<std::size_t> counts(numLeaves_, 0);
+        for (std::size_t i = begin; i < end; ++i)
+            ++counts[sequence_[i]];
+        const std::size_t majority = static_cast<std::size_t>(
+            std::max_element(counts.begin(), counts.end()) -
+            counts.begin());
+        out += majority < 26
+            ? static_cast<char>('A' + majority)
+            : static_cast<char>('a' + (majority - 26) % 26);
+    }
+    out += "\n";
+
+    // Dominant runs.
+    std::vector<PhaseRun> top = runs_;
+    std::sort(top.begin(), top.end(),
+              [](const PhaseRun &a, const PhaseRun &b) {
+                  return a.length > b.length;
+              });
+    const std::size_t show = std::min<std::size_t>(3, top.size());
+    for (std::size_t i = 0; i < show; ++i) {
+        out += "  longest run " + std::to_string(i + 1) + ": LM" +
+            std::to_string(top[i].leaf + 1) + " x " +
+            std::to_string(top[i].length) + " intervals from " +
+            std::to_string(top[i].start) + "\n";
+    }
+    return out;
+}
+
+} // namespace wct

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Temporal phase analysis of a workload through a suite model's
+ * behaviour classes.
+ *
+ * The paper's introduction motivates model trees with the observation
+ * that "distinct workloads or dissimilar parts of the same workload
+ * can be affected very differently by any one performance factor".
+ * Classifying a benchmark's intervals *in execution order* exposes
+ * exactly that: phase runs (stretches of consecutive intervals in the
+ * same leaf), transitions between behaviour classes, and how
+ * phase-heterogeneous a workload is.
+ */
+
+#ifndef WCT_CORE_PHASE_REPORT_HH
+#define WCT_CORE_PHASE_REPORT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "mtree/model_tree.hh"
+
+namespace wct
+{
+
+/** A maximal stretch of consecutive intervals in one leaf. */
+struct PhaseRun
+{
+    std::size_t leaf = 0;   ///< 0-based leaf index
+    std::size_t start = 0;  ///< first interval index
+    std::size_t length = 0; ///< intervals in the run
+};
+
+/** Temporal phase structure of one benchmark under one tree. */
+class PhaseReport
+{
+  public:
+    /**
+     * Classify samples (rows must be in execution order, as produced
+     * by the interval collector) and derive the phase structure.
+     */
+    PhaseReport(const ModelTree &tree, const Dataset &samples);
+
+    /** Leaf index per interval, in execution order. */
+    const std::vector<std::size_t> &sequence() const
+    {
+        return sequence_;
+    }
+
+    /** Maximal same-leaf runs. */
+    const std::vector<PhaseRun> &runs() const { return runs_; }
+
+    /** Number of leaf changes between adjacent intervals. */
+    std::size_t numTransitions() const
+    {
+        return runs_.empty() ? 0 : runs_.size() - 1;
+    }
+
+    /** Mean run length in intervals. */
+    double meanRunLength() const;
+
+    /** Number of distinct leaves visited. */
+    std::size_t distinctLeaves() const;
+
+    /**
+     * Shannon entropy (bits) of the leaf distribution; 0 for a
+     * single-phase workload, log2(k) for uniform use of k leaves.
+     */
+    double leafEntropy() const;
+
+    /**
+     * Row-stochastic transition matrix between *distinct* visited
+     * leaves: element [i][j] is P(next visited leaf j | leaf i),
+     * indexed by position in visitedLeaves().
+     */
+    const std::vector<std::vector<double>> &transitionMatrix() const
+    {
+        return transitions_;
+    }
+
+    /** Leaves visited, ascending, indexing transitionMatrix(). */
+    const std::vector<std::size_t> &visitedLeaves() const
+    {
+        return visited_;
+    }
+
+    /** Compact text rendering with a phase timeline strip. */
+    std::string render(std::size_t strip_width = 64) const;
+
+  private:
+    std::size_t numLeaves_ = 0;
+    std::vector<std::size_t> sequence_;
+    std::vector<PhaseRun> runs_;
+    std::vector<std::size_t> visited_;
+    std::vector<std::vector<double>> transitions_;
+};
+
+} // namespace wct
+
+#endif // WCT_CORE_PHASE_REPORT_HH

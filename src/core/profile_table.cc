@@ -1,0 +1,111 @@
+#include "core/profile_table.hh"
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+#include "util/text_table.hh"
+
+namespace wct
+{
+
+BenchmarkProfileRow
+ProfileTable::classifyInto(const std::string &name,
+                           const Dataset &samples,
+                           const ModelTree &tree)
+{
+    BenchmarkProfileRow row;
+    row.name = name;
+    row.percent.assign(tree.numLeaves(), 0.0);
+    if (samples.numRows() == 0)
+        return row;
+
+    for (std::size_t leaf : tree.classifyAll(samples))
+        row.percent[leaf] += 1.0;
+    for (double &p : row.percent)
+        p *= 100.0 / static_cast<double>(samples.numRows());
+    const auto cpi = samples.column(tree.targetName());
+    row.meanCpi = mean(cpi);
+    return row;
+}
+
+ProfileTable::ProfileTable(const SuiteData &data, const ModelTree &tree)
+    : numModels_(tree.numLeaves())
+{
+    rows_.reserve(data.benchmarks.size());
+    for (const BenchmarkData &bench : data.benchmarks)
+        rows_.push_back(
+            classifyInto(bench.name, bench.samples, tree));
+
+    suite_ = classifyInto("Suite", data.pooled(), tree);
+
+    average_.name = "Average";
+    average_.percent.assign(numModels_, 0.0);
+    double cpi_sum = 0.0;
+    for (const BenchmarkProfileRow &row : rows_) {
+        for (std::size_t i = 0; i < numModels_; ++i)
+            average_.percent[i] += row.percent[i];
+        cpi_sum += row.meanCpi;
+    }
+    if (!rows_.empty()) {
+        for (double &p : average_.percent)
+            p /= static_cast<double>(rows_.size());
+        average_.meanCpi = cpi_sum / static_cast<double>(rows_.size());
+    }
+}
+
+const BenchmarkProfileRow &
+ProfileTable::row(const std::string &name) const
+{
+    for (const BenchmarkProfileRow &row : rows_)
+        if (row.name == name)
+            return row;
+    wct_fatal("profile table has no row '", name, "'");
+}
+
+double
+ProfileTable::distance(const BenchmarkProfileRow &a,
+                       const BenchmarkProfileRow &b)
+{
+    wct_assert(a.percent.size() == b.percent.size(),
+               "profile arity mismatch: ", a.percent.size(), " vs ",
+               b.percent.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.percent.size(); ++i)
+        total += std::fabs(a.percent[i] - b.percent[i]);
+    return 0.5 * total;
+}
+
+std::string
+ProfileTable::render(double bold_threshold) const
+{
+    std::vector<std::string> headers = {"Benchmark"};
+    for (std::size_t i = 1; i <= numModels_; ++i)
+        headers.push_back("LM" + std::to_string(i));
+    headers.push_back("CPI");
+
+    TextTable table(std::move(headers));
+    auto add = [&](const BenchmarkProfileRow &row) {
+        std::vector<std::string> cells = {row.name};
+        for (double p : row.percent) {
+            std::string cell = formatDouble(p, 1);
+            // The paper bolds contributions above 20%; plain text
+            // marks them with an asterisk.
+            if (p >= bold_threshold)
+                cell += "*";
+            cells.push_back(std::move(cell));
+        }
+        cells.push_back(formatDouble(row.meanCpi, 2));
+        table.addRow(std::move(cells));
+    };
+
+    for (const BenchmarkProfileRow &row : rows_)
+        add(row);
+    table.addRule();
+    add(suite_);
+    add(average_);
+    return table.render();
+}
+
+} // namespace wct

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-benchmark linear-model distribution profiles (Tables II and IV
+ * of the paper): classify every sample of every benchmark into the
+ * suite tree's leaves and tabulate the percentage per leaf.
+ */
+
+#ifndef WCT_CORE_PROFILE_TABLE_HH
+#define WCT_CORE_PROFILE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/collect.hh"
+#include "mtree/model_tree.hh"
+
+namespace wct
+{
+
+/** One benchmark's distribution over the leaf models, in percent. */
+struct BenchmarkProfileRow
+{
+    std::string name;
+    std::vector<double> percent; ///< one entry per leaf, sums to 100
+    double meanCpi = 0.0;
+};
+
+/** The full distribution table of a suite against a tree model. */
+class ProfileTable
+{
+  public:
+    /**
+     * Classify each benchmark's samples with the tree. The "Suite"
+     * row pools every sample (each benchmark's sample count is
+     * already proportional to its instruction weight, matching the
+     * paper's weighting); the "Average" row averages the benchmark
+     * rows with equal weight.
+     */
+    ProfileTable(const SuiteData &data, const ModelTree &tree);
+
+    /** Number of leaf models (columns). */
+    std::size_t numModels() const { return numModels_; }
+
+    /** Per-benchmark rows, in suite order. */
+    const std::vector<BenchmarkProfileRow> &rows() const
+    {
+        return rows_;
+    }
+
+    /** The pooled suite distribution (percent per leaf). */
+    const BenchmarkProfileRow &suiteRow() const { return suite_; }
+
+    /** The equal-weight average distribution. */
+    const BenchmarkProfileRow &averageRow() const { return average_; }
+
+    /** Distribution of one benchmark; fatal when absent. */
+    const BenchmarkProfileRow &row(const std::string &name) const;
+
+    /**
+     * L1 (Manhattan) profile distance between two rows in percent:
+     * D = 0.5 * sum_i |s_i,a - s_i,b|  (Equation 4).
+     */
+    static double distance(const BenchmarkProfileRow &a,
+                           const BenchmarkProfileRow &b);
+
+    /** Render in the paper's Table II layout. */
+    std::string render(double bold_threshold = 20.0) const;
+
+  private:
+    static BenchmarkProfileRow classifyInto(
+        const std::string &name, const Dataset &samples,
+        const ModelTree &tree);
+
+    std::size_t numModels_ = 0;
+    std::vector<BenchmarkProfileRow> rows_;
+    BenchmarkProfileRow suite_;
+    BenchmarkProfileRow average_;
+};
+
+} // namespace wct
+
+#endif // WCT_CORE_PROFILE_TABLE_HH

@@ -1,0 +1,165 @@
+#include "core/subset.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/cluster.hh"
+#include "stats/descriptive.hh"
+#include "stats/pca.hh"
+#include "util/logging.hh"
+
+namespace wct
+{
+
+BenchmarkProfileRow
+combineProfiles(const ProfileTable &table, const SuiteData &data,
+                const std::vector<std::string> &names)
+{
+    wct_assert(!names.empty(), "combining an empty subset");
+    BenchmarkProfileRow combined;
+    combined.name = "subset";
+    combined.percent.assign(table.numModels(), 0.0);
+
+    double total_weight = 0.0;
+    for (const std::string &name : names) {
+        const BenchmarkProfileRow &row = table.row(name);
+        const double weight =
+            data.benchmark(name).instructionWeight;
+        for (std::size_t i = 0; i < combined.percent.size(); ++i)
+            combined.percent[i] += weight * row.percent[i];
+        combined.meanCpi += weight * row.meanCpi;
+        total_weight += weight;
+    }
+    for (double &p : combined.percent)
+        p /= total_weight;
+    combined.meanCpi /= total_weight;
+    return combined;
+}
+
+SubsetResult
+evaluateSubset(const ProfileTable &table, const SuiteData &data,
+               std::vector<std::string> names)
+{
+    SubsetResult result;
+    const BenchmarkProfileRow combined =
+        combineProfiles(table, data, names);
+    result.profileDistance =
+        ProfileTable::distance(combined, table.suiteRow());
+    result.cpiError =
+        std::fabs(combined.meanCpi - table.suiteRow().meanCpi);
+    result.selected = std::move(names);
+    return result;
+}
+
+SubsetResult
+selectGreedyProfile(const ProfileTable &table, const SuiteData &data,
+                    std::size_t k)
+{
+    wct_assert(k >= 1 && k <= table.rows().size(),
+               "subset size ", k, " out of range");
+    std::vector<std::string> selected;
+    std::vector<std::string> remaining;
+    for (const auto &row : table.rows())
+        remaining.push_back(row.name);
+
+    while (selected.size() < k) {
+        double best_distance =
+            std::numeric_limits<double>::infinity();
+        std::size_t best = remaining.size();
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            auto trial = selected;
+            trial.push_back(remaining[i]);
+            const double d =
+                evaluateSubset(table, data, std::move(trial))
+                    .profileDistance;
+            if (d < best_distance) {
+                best_distance = d;
+                best = i;
+            }
+        }
+        selected.push_back(remaining[best]);
+        remaining.erase(remaining.begin() +
+                        static_cast<std::ptrdiff_t>(best));
+    }
+    return evaluateSubset(table, data, std::move(selected));
+}
+
+SubsetResult
+selectByMedoids(const ProfileTable &table, const SuiteData &data,
+                std::size_t k)
+{
+    const auto &rows = table.rows();
+    const std::size_t n = rows.size();
+    wct_assert(k >= 1 && k <= n, "subset size ", k, " out of range");
+
+    std::vector<double> distances(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d =
+                ProfileTable::distance(rows[i], rows[j]);
+            distances[i * n + j] = d;
+            distances[j * n + i] = d;
+        }
+
+    const KMedoidsResult medoids = kMedoids(distances, n, k);
+    std::vector<std::string> names;
+    names.reserve(k);
+    for (std::size_t m : medoids.medoids)
+        names.push_back(rows[m].name);
+    return evaluateSubset(table, data, std::move(names));
+}
+
+SubsetResult
+selectByPcaClustering(const ProfileTable &table, const SuiteData &data,
+                      std::size_t k, Rng &rng)
+{
+    const std::size_t n = data.benchmarks.size();
+    wct_assert(k >= 1 && k <= n, "subset size ", k, " out of range");
+
+    // Per-benchmark mean metric vectors (CPI excluded: subsetting by
+    // behaviour signature, not by the outcome).
+    const auto names = metricColumnNames();
+    Dataset features(names);
+    std::vector<double> row(names.size());
+    for (const BenchmarkData &bench : data.benchmarks) {
+        for (std::size_t c = 0; c < names.size(); ++c)
+            row[c] = bench.samples.summarize(c).mean;
+        features.addRow(row);
+    }
+
+    const PcaResult pca = computePca(features, {"CPI"});
+    const std::size_t pcs = std::max<std::size_t>(
+        2, pca.componentsForVariance(0.90));
+    const Dataset scores = features.numRows() > 0
+        ? pca.transform(features, std::min(pcs, pca.dimension()))
+        : Dataset();
+
+    std::vector<std::vector<double>> points;
+    points.reserve(n);
+    for (std::size_t r = 0; r < scores.numRows(); ++r) {
+        const auto score_row = scores.row(r);
+        points.emplace_back(score_row.begin(), score_row.end());
+    }
+
+    const KMeansResult clusters = kMeans(points, k, rng);
+    std::vector<std::string> selected;
+    selected.reserve(k);
+    for (std::size_t exemplar : clusters.exemplars)
+        selected.push_back(data.benchmarks[exemplar].name);
+    // k-means can (rarely) pick the same exemplar for two near-empty
+    // clusters; dedupe and backfill greedily.
+    std::sort(selected.begin(), selected.end());
+    selected.erase(std::unique(selected.begin(), selected.end()),
+                   selected.end());
+    for (const BenchmarkData &bench : data.benchmarks) {
+        if (selected.size() >= k)
+            break;
+        if (std::find(selected.begin(), selected.end(), bench.name) ==
+            selected.end())
+            selected.push_back(bench.name);
+    }
+    return evaluateSubset(table, data, std::move(selected));
+}
+
+} // namespace wct

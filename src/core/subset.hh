@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Benchmark suite subsetting — the application the paper's related
+ * work ([11]-[14]) identifies as the main use of benchmark
+ * characterization: choose k of the n benchmarks such that the subset
+ * behaves like the whole suite (to cut simulation cost).
+ *
+ * Three selectors are provided:
+ *  - greedy profile matching: repeatedly add the benchmark that
+ *    brings the weighted subset LM-profile closest to the suite
+ *    profile (uses this paper's Table II machinery);
+ *  - k-medoids over the Table III pairwise profile distances;
+ *  - PCA + k-means over per-benchmark mean event vectors (the
+ *    methodology of [12], [13]), as a baseline.
+ */
+
+#ifndef WCT_CORE_SUBSET_HH
+#define WCT_CORE_SUBSET_HH
+
+#include <string>
+#include <vector>
+
+#include "core/profile_table.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+
+/** A selected subset and its quality measures. */
+struct SubsetResult
+{
+    /** Names of the selected benchmarks. */
+    std::vector<std::string> selected;
+
+    /**
+     * L1 distance (percent) between the weight-combined profile of
+     * the subset and the full suite profile; 0 = perfect stand-in.
+     */
+    double profileDistance = 0.0;
+
+    /** |weighted mean CPI of subset - suite mean CPI|. */
+    double cpiError = 0.0;
+};
+
+/**
+ * Profile of a weighted combination of benchmarks, in percent (the
+ * natural extension of Table II's "Suite" row to a subset).
+ */
+BenchmarkProfileRow combineProfiles(
+    const ProfileTable &table, const SuiteData &data,
+    const std::vector<std::string> &names);
+
+/** Evaluate an arbitrary subset against the suite. */
+SubsetResult evaluateSubset(const ProfileTable &table,
+                            const SuiteData &data,
+                            std::vector<std::string> names);
+
+/** Greedy forward selection minimising the subset-suite distance. */
+SubsetResult selectGreedyProfile(const ProfileTable &table,
+                                 const SuiteData &data, std::size_t k);
+
+/** k-medoids on the pairwise profile distance matrix. */
+SubsetResult selectByMedoids(const ProfileTable &table,
+                             const SuiteData &data, std::size_t k);
+
+/**
+ * Baseline: standardised PCA on per-benchmark mean event densities
+ * (components covering >= 90% variance), k-means in PC space, and one
+ * exemplar per cluster ([12], [13]).
+ */
+SubsetResult selectByPcaClustering(const ProfileTable &table,
+                                   const SuiteData &data,
+                                   std::size_t k, Rng &rng);
+
+} // namespace wct
+
+#endif // WCT_CORE_SUBSET_HH

@@ -1,0 +1,38 @@
+#include "core/suite_model.hh"
+
+#include "data/split.hh"
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+
+SuiteModel
+buildSuiteModel(const SuiteData &data, const SuiteModelConfig &config)
+{
+    wct_assert(config.trainFraction > 0.0 &&
+               config.trainFraction <= 0.5,
+               "train fraction must be in (0, 0.5] for disjoint "
+               "train/test, got ", config.trainFraction);
+
+    SuiteModel model;
+    model.suiteName = data.suiteName;
+
+    const Dataset pooled = data.pooled();
+    if (pooled.numRows() == 0)
+        wct_fatal("suite '", data.suiteName, "' has no samples");
+    const auto cpi = pooled.column(config.target);
+    model.meanCpi = mean(cpi);
+
+    Rng rng(config.seed);
+    TrainTestSplit split =
+        disjointFractions(pooled, config.trainFraction, rng);
+    model.train = std::move(split.train);
+    model.test = std::move(split.test);
+    model.tree =
+        ModelTree::train(model.train, config.target, config.tree);
+    return model;
+}
+
+} // namespace wct

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A suite performance model: the M5' tree trained on a random
+ * fraction of a suite's pooled samples (Section VI trains on 10%),
+ * together with the independent test fraction used for
+ * transferability assessment.
+ */
+
+#ifndef WCT_CORE_SUITE_MODEL_HH
+#define WCT_CORE_SUITE_MODEL_HH
+
+#include <string>
+
+#include "core/collect.hh"
+#include "mtree/model_tree.hh"
+
+namespace wct
+{
+
+/** Modeling knobs for suite models. */
+struct SuiteModelConfig
+{
+    /** Fraction of pooled samples used for training (paper: 10%). */
+    double trainFraction = 0.10;
+
+    /** Target metric column. */
+    std::string target = "CPI";
+
+    /** Tree hyper-parameters (tuned for tractable tree size). */
+    ModelTreeConfig tree{
+        .minLeafInstances = 8,
+        .minLeafFraction = 0.02,
+        .sdThresholdFraction = 0.05,
+    };
+
+    /** Split seed. */
+    std::uint64_t seed = 0xcafe;
+};
+
+/** A trained suite model with its train/test material. */
+struct SuiteModel
+{
+    std::string suiteName;
+    ModelTree tree;
+
+    /** Training fraction (disjoint from test). */
+    Dataset train;
+
+    /** Independent test fraction of equal size. */
+    Dataset test;
+
+    /** Average CPI over all pooled samples. */
+    double meanCpi = 0.0;
+};
+
+/**
+ * Train a suite model per the Section VI protocol: draw two disjoint
+ * random fractions of the pooled samples, train the tree on the
+ * first, keep the second for testing.
+ */
+SuiteModel buildSuiteModel(const SuiteData &data,
+                           const SuiteModelConfig &config = {});
+
+} // namespace wct
+
+#endif // WCT_CORE_SUITE_MODEL_HH

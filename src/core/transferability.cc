@@ -1,0 +1,141 @@
+#include "core/transferability.hh"
+
+#include "stats/descriptive.hh"
+#include "util/rng.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct
+{
+
+TransferabilityReport
+assessTransferability(const Regressor &model, const Dataset &train,
+                      const Dataset &target,
+                      const TransferabilityConfig &config)
+{
+    model.checkSchema(train);
+    model.checkSchema(target);
+
+    TransferabilityReport report;
+    report.config = config;
+    report.targetName = "target";
+
+    const auto train_cpi = train.column(model.targetName());
+    const auto target_cpi = target.column(model.targetName());
+    const auto predicted = model.predictAll(target);
+
+    report.trainCount = train_cpi.size();
+    report.targetCount = target_cpi.size();
+    report.trainMeanCpi = mean(train_cpi);
+    report.targetMeanCpi = mean(target_cpi);
+    report.predictedMeanCpi = mean(predicted);
+    report.trainSdCpi = sampleStddev(train_cpi);
+    report.targetSdCpi = sampleStddev(target_cpi);
+    report.predictedSdCpi = sampleStddev(predicted);
+
+    // Section VI-A: t-test on the dependent variable across the two
+    // populations, and on predicted-vs-actual over the target.
+    report.cpiTest = pooledTTest(train_cpi, target_cpi);
+    report.predictionTest = pooledTTest(predicted, target_cpi);
+    if (config.nonParametric) {
+        report.mannWhitney = mannWhitneyUTest(train_cpi, target_cpi);
+        report.levene = leveneTest(train_cpi, target_cpi);
+    }
+
+    // Section VI-B: prediction accuracy metrics.
+    report.accuracy = computeAccuracy(predicted, target_cpi);
+
+    if (config.bootstrapReplicates > 0) {
+        Rng rng(config.bootstrapSeed);
+        report.hasBootstrap = true;
+        report.correlationCi = bootstrapPairedCi(
+            predicted, target_cpi,
+            [](std::span<const double> p, std::span<const double> a) {
+                return pearsonCorrelation(p, a);
+            },
+            rng, config.bootstrapReplicates,
+            config.bootstrapConfidence);
+        report.maeCi = bootstrapPairedCi(
+            predicted, target_cpi,
+            [](std::span<const double> p, std::span<const double> a) {
+                return meanAbsoluteError(p, a);
+            },
+            rng, config.bootstrapReplicates,
+            config.bootstrapConfidence);
+    }
+    return report;
+}
+
+bool
+TransferabilityReport::accuracyVerdictUnstable() const
+{
+    if (!hasBootstrap)
+        return false;
+    return correlationCi.contains(config.minCorrelation) ||
+        maeCi.contains(config.maxMae);
+}
+
+std::string
+TransferabilityReport::render() const
+{
+    std::string out;
+    out += "transferability of " + modelName + " -> " + targetName +
+        "\n";
+    out += "  populations: n=" + std::to_string(trainCount) +
+        " (mean CPI " + formatDouble(trainMeanCpi, 4) + ", sd " +
+        formatDouble(trainSdCpi, 4) + ")  m=" +
+        std::to_string(targetCount) + " (mean CPI " +
+        formatDouble(targetMeanCpi, 4) + ", sd " +
+        formatDouble(targetSdCpi, 4) + ")\n";
+    out += "  predicted on target: mean " +
+        formatDouble(predictedMeanCpi, 4) + ", sd " +
+        formatDouble(predictedSdCpi, 4) + "\n";
+    out += "  t-test (train vs target CPI): t = " +
+        formatDouble(cpiTest.statistic, 3) +
+        ", p = " + formatCompact(cpiTest.pValue) +
+        (cpiTest.rejectAt(config.alpha) ? "  [reject H0]"
+                                        : "  [accept H0]") +
+        "\n";
+    out += "  t-test (predicted vs actual): t = " +
+        formatDouble(predictionTest.statistic, 3) +
+        ", p = " + formatCompact(predictionTest.pValue) +
+        (predictionTest.rejectAt(config.alpha) ? "  [reject H0]"
+                                               : "  [accept H0]") +
+        "\n";
+    if (config.nonParametric) {
+        out += "  Mann-Whitney U: p = " +
+            formatCompact(mannWhitney.pValue) +
+            (mannWhitney.rejectAt(config.alpha) ? "  [reject H0]"
+                                                : "  [accept H0]") +
+            "\n";
+        out += "  Levene (variances): p = " +
+            formatCompact(levene.pValue) +
+            (levene.rejectAt(config.alpha) ? "  [reject H0]"
+                                           : "  [accept H0]") +
+            "\n";
+    }
+    out += "  accuracy: C = " + formatDouble(accuracy.correlation, 4) +
+        ", MAE = " + formatDouble(accuracy.meanAbsoluteError, 4) +
+        ", RMSE = " +
+        formatDouble(accuracy.rootMeanSquaredError, 4) + "\n";
+    if (hasBootstrap) {
+        out += "  bootstrap " +
+            formatDouble(100.0 * config.bootstrapConfidence, 0) +
+            "% CIs: C in [" + formatDouble(correlationCi.lower, 4) +
+            ", " + formatDouble(correlationCi.upper, 4) +
+            "], MAE in [" + formatDouble(maeCi.lower, 4) + ", " +
+            formatDouble(maeCi.upper, 4) + "]" +
+            (accuracyVerdictUnstable() ? "  [verdict unstable]"
+                                       : "  [verdict stable]") +
+            "\n";
+    }
+    out += std::string("  verdicts: hypothesis tests -> ") +
+        (transferableByTests() ? "transferable" : "NOT transferable") +
+        "; accuracy metrics -> " +
+        (transferableByAccuracy() ? "transferable"
+                                  : "NOT transferable") +
+        "\n";
+    return out;
+}
+
+} // namespace wct

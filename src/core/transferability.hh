@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Model transferability assessment (Section VI of the paper).
+ *
+ * A model trained on data from workload population P is transferable
+ * to population Q when it can accurately study Q. Two methodologies:
+ *
+ *  1. Two-sample hypothesis tests (Section VI-A): compare the CPI
+ *     distribution of the training data against the target data
+ *     (H0: same population), and the predicted against the actual
+ *     CPI on the target data (H0: same mean).
+ *  2. Prediction-accuracy metrics (Section VI-B): correlation C and
+ *     MAE of the model's predictions on the target data against the
+ *     acceptance thresholds C > 0.85, MAE < 0.15.
+ */
+
+#ifndef WCT_CORE_TRANSFERABILITY_HH
+#define WCT_CORE_TRANSFERABILITY_HH
+
+#include <string>
+
+#include "data/dataset.hh"
+#include "mtree/regressor.hh"
+#include "stats/bootstrap.hh"
+#include "stats/metrics.hh"
+#include "stats/tests.hh"
+
+namespace wct
+{
+
+/** Thresholds for the two assessment methodologies. */
+struct TransferabilityConfig
+{
+    /** Significance level of the hypothesis tests. */
+    double alpha = 0.05;
+
+    /** Minimum acceptable prediction correlation. */
+    double minCorrelation = 0.85;
+
+    /** Maximum acceptable mean absolute error (target units). */
+    double maxMae = 0.15;
+
+    /** Also run the non-parametric tests (Mann-Whitney, Levene). */
+    bool nonParametric = true;
+
+    /**
+     * Bootstrap replicates for confidence intervals on C and MAE
+     * (0 disables). With intervals available, a verdict whose
+     * threshold falls inside the interval is flagged as unstable.
+     */
+    std::size_t bootstrapReplicates = 0;
+
+    /** Two-sided confidence level for the bootstrap intervals. */
+    double bootstrapConfidence = 0.95;
+
+    /** Seed for bootstrap resampling. */
+    std::uint64_t bootstrapSeed = 0xb007;
+};
+
+/** Full outcome of one transferability assessment. */
+struct TransferabilityReport
+{
+    std::string modelName;
+    std::string targetName;
+
+    // ---- Section VI-A: two-sample hypothesis tests. ----
+    /** Training CPI vs target CPI (H0: same population mean). */
+    TestResult cpiTest;
+
+    /** Predicted vs actual CPI on the target (H0: same mean). */
+    TestResult predictionTest;
+
+    /** Mann-Whitney U on training vs target CPI (optional). */
+    TestResult mannWhitney;
+
+    /** Levene variance test on training vs target CPI (optional). */
+    TestResult levene;
+
+    // ---- Section VI-B: prediction accuracy. ----
+    AccuracyMetrics accuracy;
+
+    /** Bootstrap interval for C (when enabled). */
+    ConfidenceInterval correlationCi;
+
+    /** Bootstrap interval for MAE (when enabled). */
+    ConfidenceInterval maeCi;
+
+    /** True when bootstrap intervals were computed. */
+    bool hasBootstrap = false;
+
+    /**
+     * True when the accuracy verdict could flip within the bootstrap
+     * intervals (a threshold lies inside an interval).
+     */
+    bool accuracyVerdictUnstable() const;
+
+    // ---- Descriptive statistics echoed by the paper. ----
+    std::size_t trainCount = 0;
+    std::size_t targetCount = 0;
+    double trainMeanCpi = 0.0;
+    double targetMeanCpi = 0.0;
+    double predictedMeanCpi = 0.0;
+    double trainSdCpi = 0.0;
+    double targetSdCpi = 0.0;
+    double predictedSdCpi = 0.0;
+
+    TransferabilityConfig config;
+
+    /** Verdict of the hypothesis-test methodology. */
+    bool
+    transferableByTests() const
+    {
+        return !cpiTest.rejectAt(config.alpha) &&
+            !predictionTest.rejectAt(config.alpha);
+    }
+
+    /** Verdict of the accuracy-metric methodology. */
+    bool
+    transferableByAccuracy() const
+    {
+        return accuracy.acceptable(config.minCorrelation,
+                                   config.maxMae);
+    }
+
+    /** Human-readable report. */
+    std::string render() const;
+};
+
+/**
+ * Assess whether `model` (trained on `train`) transfers to `target`.
+ * Both datasets must use the model's training schema.
+ */
+TransferabilityReport assessTransferability(
+    const Regressor &model, const Dataset &train, const Dataset &target,
+    const TransferabilityConfig &config = {});
+
+} // namespace wct
+
+#endif // WCT_CORE_TRANSFERABILITY_HH

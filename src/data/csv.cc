@@ -1,0 +1,90 @@
+#include "data/csv.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct
+{
+
+void
+writeCsv(const Dataset &data, std::ostream &out)
+{
+    out << join(data.columnNames(), ",") << "\n";
+    std::ostringstream line;
+    line.precision(12);
+    for (std::size_t r = 0; r < data.numRows(); ++r) {
+        line.str("");
+        auto row = data.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                line << ',';
+            line << row[c];
+        }
+        out << line.str() << "\n";
+    }
+}
+
+void
+writeCsvFile(const Dataset &data, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        wct_fatal("cannot open '", path, "' for writing");
+    writeCsv(data, out);
+    out.flush();
+    if (!out)
+        wct_fatal("write error on '", path, "'");
+}
+
+Dataset
+readCsv(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        wct_fatal("CSV input is empty (missing header)");
+
+    std::vector<std::string> names;
+    for (auto &name : split(line, ','))
+        names.push_back(trim(name));
+    Dataset data(names);
+
+    std::vector<double> row(names.size());
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (trim(line).empty())
+            continue;
+        const auto cells = split(line, ',');
+        if (cells.size() != names.size()) {
+            wct_fatal("CSV line ", line_no, " has ", cells.size(),
+                      " fields, expected ", names.size());
+        }
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string cell = trim(cells[c]);
+            char *end = nullptr;
+            row[c] = std::strtod(cell.c_str(), &end);
+            if (end == cell.c_str() || *end != '\0') {
+                wct_fatal("CSV line ", line_no, " field ", c + 1,
+                          " ('", cell, "') is not a number");
+            }
+        }
+        data.addRow(row);
+    }
+    return data;
+}
+
+Dataset
+readCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        wct_fatal("cannot open '", path, "' for reading");
+    return readCsv(in);
+}
+
+} // namespace wct

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * CSV import/export for Dataset so collected PMU samples can be saved,
+ * inspected, and reloaded without re-running the simulator.
+ */
+
+#ifndef WCT_DATA_CSV_HH
+#define WCT_DATA_CSV_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hh"
+
+namespace wct
+{
+
+/** Write a dataset as CSV with a header line. */
+void writeCsv(const Dataset &data, std::ostream &out);
+
+/** Write a dataset to a file; fatal on I/O failure. */
+void writeCsvFile(const Dataset &data, const std::string &path);
+
+/**
+ * Read a dataset from CSV text. The first line must be a header; all
+ * cells must parse as doubles. Malformed input is a fatal error (user
+ * input, not a library bug).
+ */
+Dataset readCsv(std::istream &in);
+
+/** Read a dataset from a CSV file; fatal on I/O failure. */
+Dataset readCsvFile(const std::string &path);
+
+} // namespace wct
+
+#endif // WCT_DATA_CSV_HH

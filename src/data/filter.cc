@@ -1,0 +1,51 @@
+#include "data/filter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+Dataset
+filterRows(const Dataset &data,
+           const std::function<bool(std::span<const double>)> &keep)
+{
+    std::vector<std::size_t> rows;
+    for (std::size_t r = 0; r < data.numRows(); ++r)
+        if (keep(data.row(r)))
+            rows.push_back(r);
+    return data.selectRows(rows);
+}
+
+Dataset
+removeOutliers(const Dataset &data, const std::string &column,
+               double z_threshold)
+{
+    wct_assert(z_threshold > 0.0, "non-positive z threshold ",
+               z_threshold);
+    const std::size_t col = data.columnIndex(column);
+    const ColumnSummary summary = data.summarize(col);
+    if (summary.stddev == 0.0)
+        return data;
+    const double lo = summary.mean - z_threshold * summary.stddev;
+    const double hi = summary.mean + z_threshold * summary.stddev;
+    return filterRows(data, [col, lo, hi](std::span<const double> row) {
+        return row[col] >= lo && row[col] <= hi;
+    });
+}
+
+Dataset
+clampColumn(const Dataset &data, const std::string &column, double lo,
+            double hi)
+{
+    wct_assert(lo <= hi, "clamp range inverted: [", lo, ", ", hi, "]");
+    Dataset out = data;
+    const std::size_t col = out.columnIndex(column);
+    for (std::size_t r = 0; r < out.numRows(); ++r)
+        out.at(r, col) = std::clamp(out.at(r, col), lo, hi);
+    return out;
+}
+
+} // namespace wct

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Row filtering and outlier removal for datasets.
+ *
+ * Collected PMU samples occasionally contain pathological intervals
+ * (context-switch analogues, first-touch storms); these helpers let
+ * analyses strip them reproducibly before modeling.
+ */
+
+#ifndef WCT_DATA_FILTER_HH
+#define WCT_DATA_FILTER_HH
+
+#include <functional>
+#include <string>
+
+#include "data/dataset.hh"
+
+namespace wct
+{
+
+/** Rows for which the predicate holds, in original order. */
+Dataset filterRows(
+    const Dataset &data,
+    const std::function<bool(std::span<const double>)> &keep);
+
+/**
+ * Remove rows whose value in `column` lies more than `z_threshold`
+ * sample standard deviations from the column mean. A zero-variance
+ * column keeps every row.
+ */
+Dataset removeOutliers(const Dataset &data, const std::string &column,
+                       double z_threshold = 4.0);
+
+/**
+ * Clip a column's values into [lo, hi] (winsorising instead of
+ * dropping, which preserves row alignment with other data).
+ */
+Dataset clampColumn(const Dataset &data, const std::string &column,
+                    double lo, double hi);
+
+} // namespace wct
+
+#endif // WCT_DATA_FILTER_HH

@@ -1,0 +1,53 @@
+#include "mtree/baselines.hh"
+
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+GlobalLinearRegression
+GlobalLinearRegression::train(const Dataset &data,
+                              const std::string &target, bool simplify)
+{
+    if (data.numRows() == 0)
+        wct_fatal("cannot train a regression on an empty dataset");
+
+    GlobalLinearRegression out;
+    out.target_ = target;
+    out.schema_ = data.columnNames();
+    const std::size_t target_col = data.columnIndex(target);
+
+    std::vector<std::size_t> predictors;
+    for (std::size_t c = 0; c < data.numColumns(); ++c)
+        if (c != target_col)
+            predictors.push_back(c);
+
+    GramAccumulator gram(predictors, target_col);
+    std::vector<std::size_t> rows(data.numRows());
+    std::iota(rows.begin(), rows.end(), std::size_t(0));
+    gram.addRows(data, rows);
+
+    if (simplify) {
+        double err = 0.0;
+        out.model_ = gram.fitSimplified(err);
+    } else {
+        std::vector<std::size_t> all(predictors.size());
+        std::iota(all.begin(), all.end(), std::size_t(0));
+        double rss = 0.0;
+        out.model_ = gram.fitSubset(all, rss);
+    }
+    return out;
+}
+
+ModelTree
+trainRegressionTree(const Dataset &data, const std::string &target,
+                    ModelTreeConfig config)
+{
+    config.constantLeaves = true;
+    config.smooth = false;
+    return ModelTree::train(data, target, config);
+}
+
+} // namespace wct

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline regressors the model tree is compared against: a single
+ * global linear regression (what most prior characterization work
+ * used) and a CART-style regression tree with constant leaves.
+ */
+
+#ifndef WCT_MTREE_BASELINES_HH
+#define WCT_MTREE_BASELINES_HH
+
+#include "mtree/linear_model.hh"
+#include "mtree/model_tree.hh"
+#include "mtree/regressor.hh"
+
+namespace wct
+{
+
+/** One global OLS model over all predictors (optionally simplified). */
+class GlobalLinearRegression : public Regressor
+{
+  public:
+    /** Train on a dataset; predictors are all non-target columns. */
+    static GlobalLinearRegression train(const Dataset &data,
+                                        const std::string &target,
+                                        bool simplify = true);
+
+    double
+    predict(std::span<const double> row) const override
+    {
+        return model_.predict(row);
+    }
+
+    const std::string &targetName() const override { return target_; }
+
+    const std::vector<std::string> &schema() const override
+    {
+        return schema_;
+    }
+
+    /** The fitted linear model. */
+    const LinearModel &model() const { return model_; }
+
+  private:
+    LinearModel model_;
+    std::string target_;
+    std::vector<std::string> schema_;
+};
+
+/**
+ * CART-style regression tree: the M5' machinery with constant leaves
+ * and no smoothing, exposing how much of the accuracy comes from the
+ * leaf linear models.
+ */
+ModelTree trainRegressionTree(const Dataset &data,
+                              const std::string &target,
+                              ModelTreeConfig config = {});
+
+} // namespace wct
+
+#endif // WCT_MTREE_BASELINES_HH

@@ -1,0 +1,248 @@
+#include "mtree/linear_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/ols.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct
+{
+
+std::string
+LinearModel::describe(const std::vector<std::string> &column_names,
+                      const std::string &target_name) const
+{
+    std::string out = target_name + " = " + formatCompact(intercept);
+    for (std::size_t i = 0; i < attributes.size(); ++i) {
+        const double c = coefficients[i];
+        out += c < 0.0 ? " - " : " + ";
+        out += formatCompact(std::fabs(c));
+        out += " * ";
+        out += column_names[attributes[i]];
+    }
+    return out;
+}
+
+GramAccumulator::GramAccumulator(std::vector<std::size_t> attributes,
+                                 std::size_t target)
+    : attributes_(std::move(attributes)), target_(target)
+{
+    const std::size_t dim = attributes_.size() + 1;
+    gram_.assign(dim * dim, 0.0);
+    xy_.assign(dim, 0.0);
+}
+
+void
+GramAccumulator::add(std::span<const double> row)
+{
+    const std::size_t dim = attributes_.size() + 1;
+    const double y = row[target_];
+    ++count_;
+    yy_ += y * y;
+
+    // Augmented predictor vector z = [1, x...]; accumulate lower
+    // triangle of z z' and z y.
+    gram_[0] += 1.0;
+    xy_[0] += y;
+    for (std::size_t i = 0; i < attributes_.size(); ++i) {
+        const double xi = row[attributes_[i]];
+        gram_[(i + 1) * dim] += xi;
+        xy_[i + 1] += xi * y;
+        for (std::size_t j = 0; j <= i; ++j)
+            gram_[(i + 1) * dim + (j + 1)] +=
+                xi * row[attributes_[j]];
+    }
+}
+
+void
+GramAccumulator::addRows(const Dataset &data,
+                         std::span<const std::size_t> rows)
+{
+    for (std::size_t r : rows)
+        add(data.row(r));
+}
+
+double
+GramAccumulator::targetMean() const
+{
+    wct_assert(count_ > 0, "empty accumulator");
+    return xy_[0] / static_cast<double>(count_);
+}
+
+double
+GramAccumulator::targetStddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double mean = xy_[0] / n;
+    const double ss = std::max(0.0, yy_ - n * mean * mean);
+    return std::sqrt(ss / (n - 1.0));
+}
+
+LinearModel
+GramAccumulator::fitSubset(std::span<const std::size_t> subset,
+                           double &out_rss) const
+{
+    wct_assert(count_ > 0, "fit on empty accumulator");
+    const std::size_t full_dim = attributes_.size() + 1;
+    const std::size_t dim = subset.size() + 1;
+
+    // Extract the sub-Gram for [intercept, subset...].
+    auto full_index = [&](std::size_t k) {
+        return k == 0 ? std::size_t(0) : subset[k - 1] + 1;
+    };
+    std::vector<double> a(dim * dim);
+    std::vector<double> b(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        b[i] = xy_[full_index(i)];
+        for (std::size_t j = 0; j < dim; ++j) {
+            // The accumulator stores the lower triangle only; read
+            // symmetrically.
+            const std::size_t fi = full_index(i);
+            const std::size_t fj = full_index(j);
+            a[i * dim + j] = fi >= fj
+                ? gram_[fi * full_dim + fj]
+                : gram_[fj * full_dim + fi];
+        }
+    }
+
+    // Ridge scaled to the mean predictor energy, escalated on
+    // factorization failure (collinear or constant columns).
+    double diag_scale = 0.0;
+    for (std::size_t i = 1; i < dim; ++i)
+        diag_scale += a[i * dim + i];
+    diag_scale =
+        dim > 1 ? diag_scale / static_cast<double>(dim - 1) : 1.0;
+    if (diag_scale <= 0.0)
+        diag_scale = 1.0;
+
+    std::vector<double> solution;
+    double lambda = 1e-9;
+    for (int attempt = 0;; ++attempt) {
+        std::vector<double> aa = a;
+        std::vector<double> bb = b;
+        for (std::size_t i = 1; i < dim; ++i)
+            aa[i * dim + i] += lambda * diag_scale;
+        if (choleskySolveInPlace(aa, bb, dim)) {
+            solution = std::move(bb);
+            break;
+        }
+        if (attempt >= 12)
+            wct_fatal("leaf model normal equations unsolvable");
+        lambda *= 10.0;
+    }
+
+    LinearModel model;
+    model.intercept = solution[0];
+    model.attributes.reserve(subset.size());
+    model.coefficients.reserve(subset.size());
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+        model.attributes.push_back(attributes_[subset[k]]);
+        model.coefficients.push_back(solution[k + 1]);
+    }
+
+    // RSS = y'y - 2 b.(X'y) + b.(X'X)b, all available from moments.
+    double bxy = 0.0;
+    double bxxb = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+        bxy += solution[i] * b[i];
+        double row_dot = 0.0;
+        for (std::size_t j = 0; j < dim; ++j)
+            row_dot += a[i * dim + j] * solution[j];
+        bxxb += solution[i] * row_dot;
+    }
+    out_rss = std::max(0.0, yy_ - 2.0 * bxy + bxxb);
+    return model;
+}
+
+double
+GramAccumulator::adjustedError(double rss, std::size_t num_attrs) const
+{
+    const double n = static_cast<double>(count_);
+    const double v = static_cast<double>(num_attrs);
+    const double rmse = std::sqrt(rss / n);
+    if (n <= v + 1.0)
+        return rmse * 10.0; // hopelessly under-determined
+    // Quinlan's compensation factor, penalising parameter count.
+    return rmse * (n + v + 1.0) / (n - v - 1.0);
+}
+
+LinearModel
+GramAccumulator::fitSimplified(double &out_adjusted_error) const
+{
+    std::vector<std::size_t> active(attributes_.size());
+    std::iota(active.begin(), active.end(), std::size_t(0));
+
+    double rss = 0.0;
+    LinearModel best = fitSubset(active, rss);
+    double best_err = adjustedError(rss, active.size());
+
+    // Under-determined nodes first shed attributes unconditionally:
+    // with n close to v + 1 the fit interpolates, its RSS-based error
+    // is meaningless, and the coefficients extrapolate wildly. Keep
+    // at least ~3 observations per fitted parameter.
+    while (active.size() > 1 &&
+           static_cast<double>(count_) <
+               3.0 * (static_cast<double>(active.size()) + 1.0)) {
+        double round_best_err =
+            std::numeric_limits<double>::infinity();
+        std::size_t drop_pos = 0;
+        LinearModel round_model;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            std::vector<std::size_t> candidate = active;
+            candidate.erase(candidate.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+            double cand_rss = 0.0;
+            LinearModel cand = fitSubset(candidate, cand_rss);
+            const double err =
+                adjustedError(cand_rss, candidate.size());
+            if (err < round_best_err) {
+                round_best_err = err;
+                drop_pos = k;
+                round_model = std::move(cand);
+            }
+        }
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(drop_pos));
+        best = std::move(round_model);
+        best_err = round_best_err;
+    }
+
+    // Greedy backward elimination: drop whichever attribute lowers
+    // (or keeps) the compensated error the most, until no drop helps.
+    while (!active.empty()) {
+        double round_best_err = best_err;
+        std::size_t drop_pos = active.size();
+        LinearModel round_model;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            std::vector<std::size_t> candidate = active;
+            candidate.erase(candidate.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+            double cand_rss = 0.0;
+            LinearModel cand = fitSubset(candidate, cand_rss);
+            const double err =
+                adjustedError(cand_rss, candidate.size());
+            if (err <= round_best_err) {
+                round_best_err = err;
+                drop_pos = k;
+                round_model = std::move(cand);
+            }
+        }
+        if (drop_pos == active.size())
+            break; // no drop helps
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(drop_pos));
+        best = std::move(round_model);
+        best_err = round_best_err;
+    }
+
+    out_adjusted_error = best_err;
+    return best;
+}
+
+} // namespace wct

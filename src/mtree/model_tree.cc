@@ -1,0 +1,539 @@
+#include "mtree/model_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct
+{
+
+/**
+ * Training-time helper holding the dataset and hyper-parameters so
+ * the recursive routines do not thread a dozen arguments.
+ */
+class ModelTree::Builder
+{
+  public:
+    Builder(const Dataset &data, std::size_t target,
+            const ModelTreeConfig &config)
+        : data_(data), target_(target), config_(config)
+    {
+        for (std::size_t c = 0; c < data.numColumns(); ++c)
+            if (c != target)
+                predictors_.push_back(c);
+
+        minLeaf_ = std::max<std::size_t>(
+            config.minLeafInstances,
+            static_cast<std::size_t>(config.minLeafFraction *
+                                     static_cast<double>(
+                                         data.numRows())));
+        minLeaf_ = std::max<std::size_t>(minLeaf_, 1);
+    }
+
+    std::unique_ptr<Node>
+    build()
+    {
+        std::vector<std::size_t> rows(data_.numRows());
+        std::iota(rows.begin(), rows.end(), std::size_t(0));
+        globalSd_ = targetSd(rows);
+        auto root = buildNode(rows, 0);
+        fitModels(root.get());
+        if (config_.prune)
+            prune(root.get());
+        if (config_.smooth && !config_.constantLeaves)
+            smooth(root.get(), nullptr);
+        return root;
+    }
+
+    double globalSd() const { return globalSd_; }
+
+  private:
+    /** Mean/sd of the target over a row subset. */
+    double
+    targetSd(std::span<const std::size_t> rows) const
+    {
+        if (rows.size() < 2)
+            return 0.0;
+        double sum = 0.0;
+        for (std::size_t r : rows)
+            sum += data_.at(r, target_);
+        const double mean = sum / static_cast<double>(rows.size());
+        double ss = 0.0;
+        for (std::size_t r : rows) {
+            const double d = data_.at(r, target_) - mean;
+            ss += d * d;
+        }
+        return std::sqrt(ss / static_cast<double>(rows.size() - 1));
+    }
+
+    struct Split
+    {
+        std::size_t attr = 0;
+        double value = 0.0;
+        double sdr = -1.0;
+    };
+
+    /**
+     * Best SDR split for one attribute: sort rows by the attribute,
+     * then scan boundaries between distinct values with prefix sums
+     * of the target.
+     */
+    void
+    bestSplitForAttribute(std::span<const std::size_t> rows,
+                          std::size_t attr, double node_sd,
+                          Split &best) const
+    {
+        const std::size_t n = rows.size();
+        scratch_.clear();
+        scratch_.reserve(n);
+        for (std::size_t r : rows)
+            scratch_.push_back({data_.at(r, attr),
+                                data_.at(r, target_)});
+        std::sort(scratch_.begin(), scratch_.end(),
+                  [](const ValueTarget &a, const ValueTarget &b) {
+                      return a.value < b.value;
+                  });
+        if (scratch_.front().value == scratch_.back().value)
+            return; // constant attribute
+
+        double total = 0.0;
+        double total_sq = 0.0;
+        for (const ValueTarget &vt : scratch_) {
+            total += vt.target;
+            total_sq += vt.target * vt.target;
+        }
+
+        double left_sum = 0.0;
+        double left_sq = 0.0;
+        const double fn = static_cast<double>(n);
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            left_sum += scratch_[i].target;
+            left_sq += scratch_[i].target * scratch_[i].target;
+            if (scratch_[i].value == scratch_[i + 1].value)
+                continue; // not a boundary
+            const std::size_t nl = i + 1;
+            const std::size_t nr = n - nl;
+            if (nl < minLeaf_ || nr < minLeaf_)
+                continue;
+
+            const double fl = static_cast<double>(nl);
+            const double fr = static_cast<double>(nr);
+            const double var_l =
+                std::max(0.0, left_sq / fl -
+                                  (left_sum / fl) * (left_sum / fl));
+            const double right_sum = total - left_sum;
+            const double right_sq = total_sq - left_sq;
+            const double var_r =
+                std::max(0.0,
+                         right_sq / fr -
+                             (right_sum / fr) * (right_sum / fr));
+            const double sdr = node_sd -
+                (fl / fn) * std::sqrt(var_l) -
+                (fr / fn) * std::sqrt(var_r);
+            if (sdr > best.sdr) {
+                best.sdr = sdr;
+                best.attr = attr;
+                best.value = 0.5 * (scratch_[i].value +
+                                    scratch_[i + 1].value);
+            }
+        }
+    }
+
+    std::unique_ptr<Node>
+    buildNode(std::vector<std::size_t> &rows, std::size_t depth)
+    {
+        auto node = std::make_unique<Node>();
+        node->count = rows.size();
+        double sum = 0.0;
+        for (std::size_t r : rows)
+            sum += data_.at(r, target_);
+        node->meanTarget =
+            rows.empty() ? 0.0
+                         : sum / static_cast<double>(rows.size());
+        node->sd = targetSd(rows);
+
+        const bool can_split = rows.size() >= 2 * minLeaf_ &&
+            rows.size() >= 4 && depth < config_.maxDepth &&
+            node->sd >= config_.sdThresholdFraction * globalSd_;
+        Split best;
+        if (can_split) {
+            for (std::size_t attr : predictors_)
+                bestSplitForAttribute(rows, attr, node->sd, best);
+        }
+        if (best.sdr <= 0.0) {
+            node->rows = std::move(rows);
+            return node;
+        }
+
+        node->isLeaf = false;
+        node->splitAttr = best.attr;
+        node->splitValue = best.value;
+
+        std::vector<std::size_t> left_rows;
+        std::vector<std::size_t> right_rows;
+        left_rows.reserve(rows.size());
+        right_rows.reserve(rows.size());
+        for (std::size_t r : rows)
+            (data_.at(r, best.attr) <= best.value ? left_rows
+                                                  : right_rows)
+                .push_back(r);
+        node->rows = std::move(rows);
+        node->left = buildNode(left_rows, depth + 1);
+        node->right = buildNode(right_rows, depth + 1);
+        return node;
+    }
+
+    /** Fit (and simplify) the model at every node, bottom-up. */
+    void
+    fitModels(Node *node)
+    {
+        if (!node->isLeaf) {
+            fitModels(node->left.get());
+            fitModels(node->right.get());
+        }
+        GramAccumulator gram(predictors_, target_);
+        gram.addRows(data_, node->rows);
+        if (config_.constantLeaves) {
+            node->model.intercept = node->meanTarget;
+            const double n = static_cast<double>(node->count);
+            node->adjustedError =
+                node->sd * std::sqrt(std::max(0.0, (n - 1.0) / n));
+            return;
+        }
+        if (config_.simplifyModels) {
+            node->model = gram.fitSimplified(node->adjustedError);
+        } else {
+            std::vector<std::size_t> all(predictors_.size());
+            std::iota(all.begin(), all.end(), std::size_t(0));
+            double rss = 0.0;
+            node->model = gram.fitSubset(all, rss);
+            node->adjustedError =
+                gram.adjustedError(rss, all.size());
+        }
+    }
+
+    /**
+     * Quinlan-style pruning: replace a subtree by its node model when
+     * the model's compensated error is no worse than the subtree's
+     * weighted compensated error.
+     */
+    double
+    prune(Node *node)
+    {
+        if (node->isLeaf)
+            return node->adjustedError;
+        const double err_left = prune(node->left.get());
+        const double err_right = prune(node->right.get());
+        const double nl = static_cast<double>(node->left->count);
+        const double nr = static_cast<double>(node->right->count);
+        const double subtree_err =
+            (nl * err_left + nr * err_right) / (nl + nr);
+        if (node->adjustedError <= subtree_err) {
+            node->isLeaf = true;
+            node->left.reset();
+            node->right.reset();
+            return node->adjustedError;
+        }
+        return subtree_err;
+    }
+
+    /**
+     * Fold WEKA-style smoothing into the models top-down:
+     * smoothed(child) = (n*model(child) + k*smoothed(parent))/(n+k).
+     * Linear blends of linear models stay linear, so the printed leaf
+     * equations are the exact prediction functions.
+     */
+    void
+    smooth(Node *node, const LinearModel *parent)
+    {
+        if (parent != nullptr) {
+            const double n = static_cast<double>(node->count);
+            const double k = config_.smoothingK;
+            const double wn = n / (n + k);
+            const double wk = k / (n + k);
+
+            // Blend into a dense coefficient map over predictors.
+            LinearModel blended;
+            blended.intercept = wn * node->model.intercept +
+                wk * parent->intercept;
+            std::vector<double> dense(data_.numColumns(), 0.0);
+            for (std::size_t i = 0; i < node->model.attributes.size();
+                 ++i) {
+                dense[node->model.attributes[i]] +=
+                    wn * node->model.coefficients[i];
+            }
+            for (std::size_t i = 0; i < parent->attributes.size();
+                 ++i) {
+                dense[parent->attributes[i]] +=
+                    wk * parent->coefficients[i];
+            }
+            for (std::size_t c = 0; c < dense.size(); ++c) {
+                if (dense[c] != 0.0) {
+                    blended.attributes.push_back(c);
+                    blended.coefficients.push_back(dense[c]);
+                }
+            }
+            node->model = std::move(blended);
+        }
+        if (!node->isLeaf) {
+            smooth(node->left.get(), &node->model);
+            smooth(node->right.get(), &node->model);
+        }
+    }
+
+    struct ValueTarget
+    {
+        double value;
+        double target;
+    };
+
+    const Dataset &data_;
+    std::size_t target_;
+    ModelTreeConfig config_;
+    std::vector<std::size_t> predictors_;
+    std::size_t minLeaf_ = 4;
+    double globalSd_ = 0.0;
+    mutable std::vector<ValueTarget> scratch_;
+};
+
+ModelTree
+ModelTree::train(const Dataset &data, const std::string &target,
+                 const ModelTreeConfig &config)
+{
+    if (data.numRows() == 0)
+        wct_fatal("cannot train a model tree on an empty dataset");
+    if (data.numColumns() < 2)
+        wct_fatal("model tree needs at least one predictor column");
+
+    ModelTree tree;
+    tree.target_ = target;
+    tree.targetColumn_ = data.columnIndex(target);
+    tree.schema_ = data.columnNames();
+    tree.config_ = config;
+
+    Builder builder(data, tree.targetColumn_, config);
+    tree.root_ = builder.build();
+    tree.globalSd_ = builder.globalSd();
+    tree.targetMin_ = data.at(0, tree.targetColumn_);
+    tree.targetMax_ = tree.targetMin_;
+    for (std::size_t r = 1; r < data.numRows(); ++r) {
+        const double y = data.at(r, tree.targetColumn_);
+        tree.targetMin_ = std::min(tree.targetMin_, y);
+        tree.targetMax_ = std::max(tree.targetMax_, y);
+    }
+    tree.collectLeaves(tree.root_.get());
+    return tree;
+}
+
+void
+ModelTree::collectLeaves(Node *node)
+{
+    if (node->isLeaf) {
+        node->leafIndex = leafNodes_.size();
+        node->rows.clear();
+        node->rows.shrink_to_fit();
+        leafNodes_.push_back(node);
+        LeafInfo info;
+        info.number = leafNodes_.size();
+        info.count = node->count;
+        info.fraction = root_->count > 0
+            ? static_cast<double>(node->count) /
+                static_cast<double>(root_->count)
+            : 0.0;
+        info.meanTarget = node->meanTarget;
+        info.model = node->model;
+        leaves_.push_back(std::move(info));
+        return;
+    }
+    node->rows.clear();
+    node->rows.shrink_to_fit();
+    collectLeaves(node->left.get());
+    collectLeaves(node->right.get());
+}
+
+const ModelTree::Node *
+ModelTree::descend(std::span<const double> row) const
+{
+    wct_assert(root_ != nullptr, "predict on an untrained tree");
+    wct_assert(row.size() == schema_.size(),
+               "row arity ", row.size(), " != schema ",
+               schema_.size());
+    const Node *node = root_.get();
+    while (!node->isLeaf) {
+        node = row[node->splitAttr] <= node->splitValue
+            ? node->left.get() : node->right.get();
+    }
+    return node;
+}
+
+double
+ModelTree::predict(std::span<const double> row) const
+{
+    const double raw = descend(row)->model.predict(row);
+    if (!config_.clampPredictions)
+        return raw;
+    // One global-sd margin around the observed training range.
+    const double margin = globalSd_;
+    return std::clamp(raw, targetMin_ - margin, targetMax_ + margin);
+}
+
+std::size_t
+ModelTree::classify(std::span<const double> row) const
+{
+    return descend(row)->leafIndex;
+}
+
+std::vector<std::size_t>
+ModelTree::classifyAll(const Dataset &data) const
+{
+    checkSchema(data);
+    std::vector<std::size_t> out;
+    out.reserve(data.numRows());
+    for (std::size_t r = 0; r < data.numRows(); ++r)
+        out.push_back(classify(data.row(r)));
+    return out;
+}
+
+std::vector<SplitCondition>
+ModelTree::leafPath(std::size_t index) const
+{
+    wct_assert(index < leafNodes_.size(), "bad leaf index ", index);
+    std::vector<SplitCondition> path;
+    const Node *target_leaf = leafNodes_[index];
+    const Node *node = root_.get();
+    while (!node->isLeaf) {
+        // Determine which side contains the target leaf by comparing
+        // leaf index ranges: leaves are numbered in-order.
+        const Node *left = node->left.get();
+        // Find the max leaf index in the left subtree.
+        const Node *probe = left;
+        while (!probe->isLeaf)
+            probe = probe->right.get();
+        SplitCondition cond;
+        cond.attribute = node->splitAttr;
+        cond.value = node->splitValue;
+        cond.lessOrEqual = target_leaf->leafIndex <= probe->leafIndex;
+        path.push_back(cond);
+        node = cond.lessOrEqual ? node->left.get() : node->right.get();
+    }
+    wct_assert(node == target_leaf, "leaf path descent mismatch");
+    return path;
+}
+
+std::size_t
+ModelTree::numSplits() const
+{
+    return leafNodes_.empty() ? 0 : leafNodes_.size() - 1;
+}
+
+std::vector<std::size_t>
+ModelTree::splitAttributes() const
+{
+    std::vector<bool> used(schema_.size(), false);
+    std::vector<const Node *> stack = {root_.get()};
+    while (!stack.empty()) {
+        const Node *node = stack.back();
+        stack.pop_back();
+        if (node->isLeaf)
+            continue;
+        used[node->splitAttr] = true;
+        stack.push_back(node->left.get());
+        stack.push_back(node->right.get());
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t c = 0; c < used.size(); ++c)
+        if (used[c])
+            out.push_back(c);
+    return out;
+}
+
+void
+ModelTree::describeNode(const Node *node, int depth,
+                        std::string &out) const
+{
+    const std::string indent(static_cast<std::size_t>(depth) * 4, ' ');
+    if (node->isLeaf) {
+        out += indent + "-> LM" +
+            std::to_string(node->leafIndex + 1) + "  (" +
+            formatDouble(100.0 * static_cast<double>(node->count) /
+                             static_cast<double>(root_->count),
+                         1) +
+            "% of samples, avg " + target_ + " " +
+            formatDouble(node->meanTarget, 2) + ")\n";
+        return;
+    }
+    const std::string &name = schema_[node->splitAttr];
+    out += indent + name + " <= " + formatCompact(node->splitValue) +
+        " :\n";
+    describeNode(node->left.get(), depth + 1, out);
+    out += indent + name + " >  " + formatCompact(node->splitValue) +
+        " :\n";
+    describeNode(node->right.get(), depth + 1, out);
+}
+
+std::string
+ModelTree::describe() const
+{
+    wct_assert(root_ != nullptr, "describe on an untrained tree");
+    std::string out;
+    describeNode(root_.get(), 0, out);
+    out += "\n";
+    for (const LeafInfo &leaf : leaves_) {
+        out += "LM" + std::to_string(leaf.number) + " (" +
+            formatDouble(100.0 * leaf.fraction, 2) + "%, avg " +
+            target_ + " " + formatDouble(leaf.meanTarget, 2) +
+            "):\n    " + leaf.model.describe(schema_, target_) + "\n";
+    }
+    return out;
+}
+
+std::string
+ModelTree::toDot() const
+{
+    wct_assert(root_ != nullptr, "toDot on an untrained tree");
+    std::string out = "digraph mtree {\n  node [fontsize=10];\n";
+    std::size_t next_id = 0;
+    // Iterative DFS with explicit ids.
+    struct Item
+    {
+        const Node *node;
+        std::size_t id;
+    };
+    std::vector<Item> stack = {{root_.get(), next_id++}};
+    while (!stack.empty()) {
+        const Item item = stack.back();
+        stack.pop_back();
+        const Node *node = item.node;
+        const double pct = 100.0 * static_cast<double>(node->count) /
+            static_cast<double>(root_->count);
+        if (node->isLeaf) {
+            out += "  n" + std::to_string(item.id) +
+                " [shape=box,label=\"LM" +
+                std::to_string(node->leafIndex + 1) + "\\n" +
+                formatDouble(pct, 1) + "%  avg " +
+                formatDouble(node->meanTarget, 2) + "\"];\n";
+            continue;
+        }
+        out += "  n" + std::to_string(item.id) +
+            " [shape=oval,label=\"" + schema_[node->splitAttr] +
+            "\\n" + formatDouble(pct, 1) + "%  avg " +
+            formatDouble(node->meanTarget, 2) + "\"];\n";
+        const std::size_t left_id = next_id++;
+        const std::size_t right_id = next_id++;
+        out += "  n" + std::to_string(item.id) + " -> n" +
+            std::to_string(left_id) + " [label=\"<= " +
+            formatCompact(node->splitValue) + "\"];\n";
+        out += "  n" + std::to_string(item.id) + " -> n" +
+            std::to_string(right_id) + " [label=\"> " +
+            formatCompact(node->splitValue) + "\"];\n";
+        stack.push_back({node->left.get(), left_id});
+        stack.push_back({node->right.get(), right_id});
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace wct

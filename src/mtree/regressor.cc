@@ -1,0 +1,27 @@
+#include "mtree/regressor.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+void
+Regressor::checkSchema(const Dataset &data) const
+{
+    if (data.columnNames() != schema())
+        wct_fatal("dataset schema does not match the schema the "
+                  "model was trained on");
+}
+
+std::vector<double>
+Regressor::predictAll(const Dataset &data) const
+{
+    checkSchema(data);
+    std::vector<double> out;
+    out.reserve(data.numRows());
+    for (std::size_t r = 0; r < data.numRows(); ++r)
+        out.push_back(predict(data.row(r)));
+    return out;
+}
+
+} // namespace wct

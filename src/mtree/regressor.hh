@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Common interface for trained regression models.
+ *
+ * All regressors in the toolkit predict a named target column from
+ * the remaining columns of a dataset row, so a trained model can be
+ * applied directly to any dataset with the same schema (the paper's
+ * "apply the CPU2006 model to OMP2001 data" operation).
+ */
+
+#ifndef WCT_MTREE_REGRESSOR_HH
+#define WCT_MTREE_REGRESSOR_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace wct
+{
+
+/** A trained model mapping a full dataset row to a target estimate. */
+class Regressor
+{
+  public:
+    virtual ~Regressor() = default;
+
+    /**
+     * Predict the target for one row laid out in the training
+     * dataset's schema (the target cell itself is ignored).
+     */
+    virtual double predict(std::span<const double> row) const = 0;
+
+    /** Name of the predicted column. */
+    virtual const std::string &targetName() const = 0;
+
+    /** Schema the model was trained on. */
+    virtual const std::vector<std::string> &schema() const = 0;
+
+    /**
+     * Predict every row of a dataset; fatal if the dataset's schema
+     * does not match the training schema.
+     */
+    std::vector<double> predictAll(const Dataset &data) const;
+
+    /** Panic helper shared by implementations. */
+    void checkSchema(const Dataset &data) const;
+};
+
+} // namespace wct
+
+#endif // WCT_MTREE_REGRESSOR_HH

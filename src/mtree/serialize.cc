@@ -1,0 +1,188 @@
+#include "mtree/serialize.hh"
+
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "wct-model-tree v1";
+
+} // namespace
+
+void
+ModelTree::save(std::ostream &out) const
+{
+    wct_assert(root_ != nullptr, "saving an untrained tree");
+    out.precision(17);
+    out << kMagic << "\n";
+    out << "target " << target_ << "\n";
+    out << "schema " << schema_.size();
+    for (const std::string &name : schema_)
+        out << " " << name;
+    out << "\n";
+    out << "range " << targetMin_ << " " << targetMax_ << " "
+        << globalSd_ << " " << (config_.clampPredictions ? 1 : 0)
+        << "\n";
+
+    // Pre-order node dump.
+    std::vector<const Node *> stack = {root_.get()};
+    while (!stack.empty()) {
+        const Node *node = stack.back();
+        stack.pop_back();
+        if (!node->isLeaf) {
+            out << "node split " << node->splitAttr << " "
+                << node->splitValue << " " << node->count << " "
+                << node->meanTarget << "\n";
+            // Left child first in pre-order.
+            stack.push_back(node->right.get());
+            stack.push_back(node->left.get());
+            continue;
+        }
+        out << "node leaf " << node->count << " " << node->meanTarget
+            << " " << node->model.intercept << " "
+            << node->model.attributes.size();
+        for (std::size_t i = 0; i < node->model.attributes.size();
+             ++i) {
+            out << " " << node->model.attributes[i] << " "
+                << node->model.coefficients[i];
+        }
+        out << "\n";
+    }
+    out << "end\n";
+}
+
+ModelTree
+ModelTree::load(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        wct_fatal("not a wct model tree (bad magic line)");
+
+    ModelTree tree;
+    std::string keyword;
+
+    if (!(in >> keyword) || keyword != "target" || !(in >> tree.target_))
+        wct_fatal("model tree: missing target line");
+
+    std::size_t schema_size = 0;
+    if (!(in >> keyword) || keyword != "schema" || !(in >> schema_size))
+        wct_fatal("model tree: missing schema line");
+    tree.schema_.resize(schema_size);
+    for (std::string &name : tree.schema_)
+        if (!(in >> name))
+            wct_fatal("model tree: truncated schema");
+    bool found_target = false;
+    for (std::size_t c = 0; c < tree.schema_.size(); ++c) {
+        if (tree.schema_[c] == tree.target_) {
+            tree.targetColumn_ = c;
+            found_target = true;
+        }
+    }
+    if (!found_target)
+        wct_fatal("model tree: target '", tree.target_,
+                  "' not in schema");
+
+    int clamp = 1;
+    if (!(in >> keyword) || keyword != "range" ||
+        !(in >> tree.targetMin_ >> tree.targetMax_ >> tree.globalSd_ >>
+          clamp)) {
+        wct_fatal("model tree: missing range line");
+    }
+    tree.config_.clampPredictions = clamp != 0;
+
+    // Recursive pre-order reader (needs Node, so it lives here).
+    const std::size_t num_columns = tree.schema_.size();
+    const std::function<std::unique_ptr<Node>()> read_node =
+        [&]() -> std::unique_ptr<Node> {
+        std::string node_keyword;
+        std::string kind;
+        if (!(in >> node_keyword >> kind) || node_keyword != "node")
+            wct_fatal("model tree: expected a node record");
+
+        auto node = std::make_unique<Node>();
+        if (kind == "split") {
+            node->isLeaf = false;
+            if (!(in >> node->splitAttr >> node->splitValue >>
+                  node->count >> node->meanTarget)) {
+                wct_fatal("model tree: malformed split node");
+            }
+            if (node->splitAttr >= num_columns)
+                wct_fatal("model tree: split attribute ",
+                          node->splitAttr, " outside schema");
+            node->left = read_node();
+            node->right = read_node();
+            return node;
+        }
+        if (kind != "leaf")
+            wct_fatal("model tree: unknown node kind '", kind, "'");
+
+        std::size_t terms = 0;
+        if (!(in >> node->count >> node->meanTarget >>
+              node->model.intercept >> terms)) {
+            wct_fatal("model tree: malformed leaf node");
+        }
+        node->model.attributes.resize(terms);
+        node->model.coefficients.resize(terms);
+        for (std::size_t i = 0; i < terms; ++i) {
+            if (!(in >> node->model.attributes[i] >>
+                  node->model.coefficients[i])) {
+                wct_fatal("model tree: truncated leaf model");
+            }
+            if (node->model.attributes[i] >= num_columns)
+                wct_fatal("model tree: leaf attribute outside "
+                          "schema");
+        }
+        return node;
+    };
+    tree.root_ = read_node();
+
+    if (!(in >> keyword) || keyword != "end")
+        wct_fatal("model tree: missing end marker");
+
+    tree.collectLeaves(tree.root_.get());
+    return tree;
+}
+
+void
+writeModelTree(const ModelTree &tree, std::ostream &out)
+{
+    tree.save(out);
+}
+
+void
+writeModelTreeFile(const ModelTree &tree, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        wct_fatal("cannot open '", path, "' for writing");
+    tree.save(out);
+    out.flush();
+    if (!out)
+        wct_fatal("write error on '", path, "'");
+}
+
+ModelTree
+readModelTree(std::istream &in)
+{
+    return ModelTree::load(in);
+}
+
+ModelTree
+readModelTreeFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        wct_fatal("cannot open '", path, "' for reading");
+    return ModelTree::load(in);
+}
+
+} // namespace wct

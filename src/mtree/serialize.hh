@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text serialization of trained model trees, so a model built from
+ * one collection run can be stored, versioned, and applied to new
+ * data later (or shipped to another machine) without retraining.
+ *
+ * The format is line-oriented and human-inspectable:
+ *
+ *   wct-model-tree v1
+ *   target CPI
+ *   schema <n> <name>...
+ *   range <min> <max> <globalSd> <clamp>
+ *   node split <attr> <value>        # children follow: left, right
+ *   node leaf <count> <mean> <intercept> <k> (<attr> <coef>)...
+ *   end
+ */
+
+#ifndef WCT_MTREE_SERIALIZE_HH
+#define WCT_MTREE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "mtree/model_tree.hh"
+
+namespace wct
+{
+
+/** Write a trained tree. */
+void writeModelTree(const ModelTree &tree, std::ostream &out);
+
+/** Write a trained tree to a file; fatal on I/O failure. */
+void writeModelTreeFile(const ModelTree &tree,
+                        const std::string &path);
+
+/**
+ * Read a tree previously written by writeModelTree. Malformed input
+ * is a fatal error (user input).
+ */
+ModelTree readModelTree(std::istream &in);
+
+/** Read a tree from a file; fatal on I/O failure. */
+ModelTree readModelTreeFile(const std::string &path);
+
+} // namespace wct
+
+#endif // WCT_MTREE_SERIALIZE_HH

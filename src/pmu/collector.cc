@@ -1,0 +1,114 @@
+#include "pmu/collector.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+IntervalCollector::IntervalCollector(CoreModel &core,
+                                     const CollectorConfig &config)
+    : core_(core), config_(config)
+{
+    wct_assert(config.intervalInstructions > 0,
+               "interval must cover at least one instruction");
+    wct_assert(config.programmableCounters > 0,
+               "need at least one programmable counter");
+
+    // Build the multiplexing groups over the non-dedicated events.
+    std::vector<Event> multiplexed;
+    for (std::size_t i = kFirstMultiplexedEvent; i < kNumEvents; ++i)
+        multiplexed.push_back(static_cast<Event>(i));
+    for (std::size_t i = 0; i < multiplexed.size();
+         i += config.programmableCounters) {
+        std::vector<Event> group;
+        for (std::size_t j = i;
+             j < std::min(i + config.programmableCounters,
+                          multiplexed.size());
+             ++j) {
+            group.push_back(multiplexed[j]);
+        }
+        groups_.push_back(std::move(group));
+    }
+    wct_assert(config.intervalInstructions >= groups_.size(),
+               "interval of ", config.intervalInstructions,
+               " instructions cannot fit ", groups_.size(),
+               " multiplexing sub-windows");
+}
+
+std::vector<double>
+IntervalCollector::collectInterval(InstSource &source)
+{
+    core_.resetCounts();
+
+    EventCounts estimated{};
+    clearCounts(estimated);
+
+    if (!config_.multiplexed) {
+        core_.run(source, config_.intervalInstructions);
+        estimated = core_.counts();
+    } else {
+        const std::size_t num_groups = groups_.size();
+        const std::uint64_t base =
+            config_.intervalInstructions / num_groups;
+        std::uint64_t remaining = config_.intervalInstructions;
+        EventCounts before = core_.counts();
+
+        for (std::size_t g = 0; g < num_groups; ++g) {
+            // The last sub-window absorbs the rounding remainder.
+            const std::uint64_t width =
+                g + 1 == num_groups ? remaining : base;
+            remaining -= width;
+            core_.run(source, width);
+            const EventCounts &after = core_.counts();
+
+            const auto &group =
+                groups_[(g + rotation_) % num_groups];
+            for (Event e : group) {
+                const auto idx = static_cast<std::size_t>(e);
+                const std::uint64_t delta = after[idx] - before[idx];
+                // Scale the sub-window observation to the interval.
+                const double duty = static_cast<double>(width) /
+                    static_cast<double>(config_.intervalInstructions);
+                estimated[idx] += static_cast<std::uint64_t>(
+                    static_cast<double>(delta) / duty + 0.5);
+            }
+            before = after;
+        }
+        // Advance the rotation so each event visits every sub-window
+        // position over consecutive intervals, as on real hardware.
+        rotation_ = (rotation_ + 1) % num_groups;
+
+        // Dedicated counters always observe the full interval.
+        for (Event e : {Event::Cycles, Event::Instructions,
+                        Event::CyclesRef}) {
+            const auto idx = static_cast<std::size_t>(e);
+            estimated[idx] = core_.counts()[idx];
+        }
+    }
+
+    const double instructions = static_cast<double>(
+        countOf(estimated, Event::Instructions));
+    wct_assert(instructions > 0.0, "interval retired no instructions");
+
+    std::vector<double> row;
+    row.reserve(kNumEvents - kFirstMultiplexedEvent + 1);
+    row.push_back(core_.cycles() / instructions); // CPI
+    for (std::size_t i = kFirstMultiplexedEvent; i < kNumEvents; ++i) {
+        row.push_back(static_cast<double>(estimated[i]) / instructions);
+    }
+    return row;
+}
+
+Dataset
+IntervalCollector::collect(InstSource &source, std::size_t intervals)
+{
+    Dataset data(metricColumnNames());
+    data.reserveRows(intervals);
+    for (std::size_t i = 0; i < intervals; ++i)
+        data.addRow(collectInterval(source));
+    return data;
+}
+
+} // namespace wct

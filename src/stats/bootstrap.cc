@@ -1,0 +1,84 @@
+#include "stats/bootstrap.hh"
+
+#include <algorithm>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+ConfidenceInterval
+percentileInterval(std::vector<double> &replicas, double point,
+                   double confidence)
+{
+    std::sort(replicas.begin(), replicas.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    ConfidenceInterval ci;
+    ci.pointEstimate = point;
+    ci.lower = quantile(replicas, alpha);
+    ci.upper = quantile(replicas, 1.0 - alpha);
+    return ci;
+}
+
+} // namespace
+
+ConfidenceInterval
+bootstrapCi(std::span<const double> xs,
+            const std::function<double(std::span<const double>)>
+                &statistic,
+            Rng &rng, std::size_t replicates, double confidence)
+{
+    wct_assert(!xs.empty(), "bootstrap of an empty sample");
+    wct_assert(replicates >= 10, "too few bootstrap replicates");
+    wct_assert(confidence > 0.0 && confidence < 1.0,
+               "confidence out of (0, 1): ", confidence);
+
+    const std::size_t n = xs.size();
+    std::vector<double> resample(n);
+    std::vector<double> replicas;
+    replicas.reserve(replicates);
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (std::size_t i = 0; i < n; ++i)
+            resample[i] = xs[rng.uniformInt(n)];
+        replicas.push_back(statistic(resample));
+    }
+    return percentileInterval(replicas, statistic(xs), confidence);
+}
+
+ConfidenceInterval
+bootstrapPairedCi(
+    std::span<const double> xs, std::span<const double> ys,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)> &statistic,
+    Rng &rng, std::size_t replicates, double confidence)
+{
+    wct_assert(xs.size() == ys.size(),
+               "paired bootstrap size mismatch: ", xs.size(), " vs ",
+               ys.size());
+    wct_assert(!xs.empty(), "bootstrap of an empty sample");
+    wct_assert(replicates >= 10, "too few bootstrap replicates");
+    wct_assert(confidence > 0.0 && confidence < 1.0,
+               "confidence out of (0, 1): ", confidence);
+
+    const std::size_t n = xs.size();
+    std::vector<double> rx(n);
+    std::vector<double> ry(n);
+    std::vector<double> replicas;
+    replicas.reserve(replicates);
+    for (std::size_t b = 0; b < replicates; ++b) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = rng.uniformInt(n);
+            rx[i] = xs[j];
+            ry[i] = ys[j];
+        }
+        replicas.push_back(statistic(rx, ry));
+    }
+    return percentileInterval(replicas, statistic(xs, ys),
+                              confidence);
+}
+
+} // namespace wct

@@ -1,0 +1,265 @@
+#include "stats/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+double
+squaredDistance(const std::vector<double> &a,
+                const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+/** One k-means run from a k-means++ seeding. */
+KMeansResult
+kMeansOnce(const std::vector<std::vector<double>> &points,
+           std::size_t k, Rng &rng, std::size_t max_iterations)
+{
+    const std::size_t n = points.size();
+    KMeansResult result;
+
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(points[rng.uniformInt(n)]);
+    std::vector<double> d2(n);
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : centroids)
+                best = std::min(best, squaredDistance(points[i], c));
+            d2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid.
+            centroids.push_back(points[rng.uniformInt(n)]);
+            continue;
+        }
+        double target = rng.uniform() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= d2[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    std::vector<std::size_t> assignment(n, 0);
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_d =
+                squaredDistance(points[i], centroids[0]);
+            for (std::size_t c = 1; c < k; ++c) {
+                const double d =
+                    squaredDistance(points[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Recompute centroids; empty clusters re-seed on the point
+        // farthest from its centroid.
+        const std::size_t dim = points[0].size();
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < dim; ++j)
+                sums[assignment[i]][j] += points[i][j];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                std::size_t far = 0;
+                double far_d = -1.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double d = squaredDistance(
+                        points[i], centroids[assignment[i]]);
+                    if (d > far_d) {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                centroids[c] = points[far];
+                continue;
+            }
+            for (std::size_t j = 0; j < dim; ++j)
+                sums[c][j] /= static_cast<double>(counts[c]);
+            centroids[c] = sums[c];
+        }
+    }
+
+    result.assignment = std::move(assignment);
+    result.centroids = std::move(centroids);
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia += squaredDistance(
+            points[i], result.centroids[result.assignment[i]]);
+
+    // Exemplars: nearest real point to each centroid.
+    result.exemplars.assign(k, 0);
+    for (std::size_t c = 0; c < k; ++c) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d =
+                squaredDistance(points[i], result.centroids[c]);
+            if (d < best) {
+                best = d;
+                result.exemplars[c] = i;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       Rng &rng, std::size_t max_iterations, std::size_t restarts)
+{
+    wct_assert(!points.empty(), "k-means on empty input");
+    wct_assert(k >= 1 && k <= points.size(),
+               "k = ", k, " out of range for ", points.size(),
+               " points");
+    for (const auto &pt : points)
+        wct_assert(pt.size() == points[0].size(),
+                   "ragged k-means input");
+
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < std::max<std::size_t>(restarts, 1);
+         ++r) {
+        KMeansResult candidate =
+            kMeansOnce(points, k, rng, max_iterations);
+        if (candidate.inertia < best.inertia)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+KMedoidsResult
+kMedoids(const std::vector<double> &distances, std::size_t n,
+         std::size_t k)
+{
+    wct_assert(distances.size() == n * n,
+               "distance matrix size mismatch");
+    wct_assert(k >= 1 && k <= n, "k = ", k, " out of range");
+
+    auto dist = [&](std::size_t i, std::size_t j) {
+        return distances[i * n + j];
+    };
+
+    // Cost of a medoid set: sum over points of min distance.
+    auto cost_of = [&](const std::vector<std::size_t> &medoids) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t m : medoids)
+                best = std::min(best, dist(i, m));
+            total += best;
+        }
+        return total;
+    };
+
+    // BUILD: start from the 1-medoid optimum, then greedily add the
+    // point that lowers cost the most.
+    std::vector<std::size_t> medoids;
+    {
+        std::size_t best = 0;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t m = 0; m < n; ++m) {
+            const double c = cost_of({m});
+            if (c < best_cost) {
+                best_cost = c;
+                best = m;
+            }
+        }
+        medoids.push_back(best);
+    }
+    while (medoids.size() < k) {
+        std::size_t best = n;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t cand = 0; cand < n; ++cand) {
+            if (std::find(medoids.begin(), medoids.end(), cand) !=
+                medoids.end())
+                continue;
+            auto trial = medoids;
+            trial.push_back(cand);
+            const double c = cost_of(trial);
+            if (c < best_cost) {
+                best_cost = c;
+                best = cand;
+            }
+        }
+        medoids.push_back(best);
+    }
+
+    // SWAP refinement.
+    double current = cost_of(medoids);
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (std::size_t mi = 0; mi < medoids.size(); ++mi) {
+            for (std::size_t cand = 0; cand < n; ++cand) {
+                if (std::find(medoids.begin(), medoids.end(), cand) !=
+                    medoids.end())
+                    continue;
+                auto trial = medoids;
+                trial[mi] = cand;
+                const double c = cost_of(trial);
+                if (c + 1e-12 < current) {
+                    medoids = std::move(trial);
+                    current = c;
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    KMedoidsResult result;
+    std::sort(medoids.begin(), medoids.end());
+    result.medoids = medoids;
+    result.cost = current;
+    result.assignment.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t m = 0; m < medoids.size(); ++m) {
+            if (dist(i, medoids[m]) < best) {
+                best = dist(i, medoids[m]);
+                result.assignment[i] = m;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace wct

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Clustering primitives used for benchmark subsetting: k-means over
+ * feature vectors (the PCA-space methodology of the paper's related
+ * work [12], [13]) and k-medoids over a precomputed distance matrix
+ * (natural for the L1 profile distances of Table III).
+ */
+
+#ifndef WCT_STATS_CLUSTER_HH
+#define WCT_STATS_CLUSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace wct
+{
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    /** Cluster index per input point. */
+    std::vector<std::size_t> assignment;
+
+    /** Cluster centroids. */
+    std::vector<std::vector<double>> centroids;
+
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0.0;
+
+    /** Index of the point nearest to each centroid. */
+    std::vector<std::size_t> exemplars;
+};
+
+/**
+ * Lloyd's k-means with k-means++ seeding and multiple restarts
+ * (best inertia wins). Deterministic given the Rng.
+ */
+KMeansResult kMeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, Rng &rng,
+                    std::size_t max_iterations = 100,
+                    std::size_t restarts = 8);
+
+/** Result of a k-medoids run. */
+struct KMedoidsResult
+{
+    /** Indices of the medoid points. */
+    std::vector<std::size_t> medoids;
+
+    /** Medoid position (0..k-1) per input point. */
+    std::vector<std::size_t> assignment;
+
+    /** Total distance of points to their medoids. */
+    double cost = 0.0;
+};
+
+/**
+ * PAM-style k-medoids over a symmetric distance matrix (row-major
+ * n x n): greedy BUILD seeding followed by SWAP refinement until no
+ * single medoid/non-medoid swap lowers the cost.
+ */
+KMedoidsResult kMedoids(const std::vector<double> &distances,
+                        std::size_t n, std::size_t k);
+
+} // namespace wct
+
+#endif // WCT_STATS_CLUSTER_HH

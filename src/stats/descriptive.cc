@@ -1,0 +1,170 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+double
+mean(std::span<const double> xs)
+{
+    wct_assert(!xs.empty(), "mean of empty sequence");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleVariance(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+double
+sampleStddev(std::span<const double> xs)
+{
+    return std::sqrt(sampleVariance(xs));
+}
+
+double
+populationVariance(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        const double d = x - m;
+        ss += d * d;
+    }
+    return ss / static_cast<double>(xs.size());
+}
+
+double
+median(std::span<const double> xs)
+{
+    return quantile(xs, 0.5);
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    wct_assert(!xs.empty(), "quantile of empty sequence");
+    wct_assert(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double
+sampleCovariance(std::span<const double> xs, std::span<const double> ys)
+{
+    wct_assert(xs.size() == ys.size(), "covariance size mismatch: ",
+               xs.size(), " vs ", ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        acc += (xs[i] - mx) * (ys[i] - my);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+pearsonCorrelation(std::span<const double> xs, std::span<const double> ys)
+{
+    const double cov = sampleCovariance(xs, ys);
+    const double sx = sampleStddev(xs);
+    const double sy = sampleStddev(ys);
+    if (sx == 0.0 || sy == 0.0)
+        return 0.0;
+    return cov / (sx * sy);
+}
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStats::populationVariance() const
+{
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStats::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
+RunningStats::min() const
+{
+    wct_assert(count_ > 0, "min of empty accumulator");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    wct_assert(count_ > 0, "max of empty accumulator");
+    return max_;
+}
+
+} // namespace wct

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Descriptive statistics over raw double sequences.
+ *
+ * These are the estimators Section VI of the paper uses: sample means,
+ * unbiased sample variances, and the derived standard errors feeding
+ * the two-sample t statistics.
+ */
+
+#ifndef WCT_STATS_DESCRIPTIVE_HH
+#define WCT_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wct
+{
+
+/** Arithmetic mean; panics on empty input. */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample variance (divides by n - 1); zero for n < 2. */
+double sampleVariance(std::span<const double> xs);
+
+/** Square root of sampleVariance. */
+double sampleStddev(std::span<const double> xs);
+
+/** Population variance (divides by n). */
+double populationVariance(std::span<const double> xs);
+
+/** Median (copies and partially sorts). */
+double median(std::span<const double> xs);
+
+/**
+ * Quantile with linear interpolation between order statistics,
+ * q in [0, 1].
+ */
+double quantile(std::span<const double> xs, double q);
+
+/** Sample covariance (divides by n - 1); panics on size mismatch. */
+double sampleCovariance(std::span<const double> xs,
+                        std::span<const double> ys);
+
+/**
+ * Pearson correlation coefficient; returns 0 when either side has
+ * zero variance (degenerate, by convention).
+ */
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/**
+ * Single-pass accumulator (Welford) for streaming mean/variance,
+ * used by the interval collector and by tree training.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel Welford combination). */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance; zero for count < 2. */
+    double sampleVariance() const;
+
+    /** Population variance; zero for count < 1. */
+    double populationVariance() const;
+
+    double sampleStddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace wct
+
+#endif // WCT_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,69 @@
+#include "stats/metrics.hh"
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace wct
+{
+
+double
+meanAbsoluteError(std::span<const double> predicted,
+                  std::span<const double> actual)
+{
+    wct_assert(predicted.size() == actual.size(),
+               "MAE size mismatch: ", predicted.size(), " vs ",
+               actual.size());
+    wct_assert(!predicted.empty(), "MAE of empty vectors");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        acc += std::fabs(predicted[i] - actual[i]);
+    return acc / static_cast<double>(predicted.size());
+}
+
+double
+rootMeanSquaredError(std::span<const double> predicted,
+                     std::span<const double> actual)
+{
+    wct_assert(predicted.size() == actual.size(),
+               "RMSE size mismatch: ", predicted.size(), " vs ",
+               actual.size());
+    wct_assert(!predicted.empty(), "RMSE of empty vectors");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double e = predicted[i] - actual[i];
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+AccuracyMetrics
+computeAccuracy(std::span<const double> predicted,
+                std::span<const double> actual)
+{
+    AccuracyMetrics m;
+    m.correlation = pearsonCorrelation(predicted, actual);
+    m.meanAbsoluteError = meanAbsoluteError(predicted, actual);
+    m.rootMeanSquaredError = rootMeanSquaredError(predicted, actual);
+
+    // Error of the trivial predictor that always answers mean(actual).
+    const double actual_mean = mean(actual);
+    double base_abs = 0.0;
+    double base_sq = 0.0;
+    for (double a : actual) {
+        base_abs += std::fabs(a - actual_mean);
+        base_sq += (a - actual_mean) * (a - actual_mean);
+    }
+    const double n = static_cast<double>(actual.size());
+    base_abs /= n;
+    base_sq = std::sqrt(base_sq / n);
+
+    m.relativeAbsoluteError =
+        base_abs > 0.0 ? m.meanAbsoluteError / base_abs : 0.0;
+    m.rootRelativeSquaredError =
+        base_sq > 0.0 ? m.rootMeanSquaredError / base_sq : 0.0;
+    return m;
+}
+
+} // namespace wct

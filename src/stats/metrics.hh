@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Prediction accuracy metrics for transferability assessment
+ * (Section VI-B of the paper): the correlation coefficient C and mean
+ * absolute error MAE, plus the standard companions (RMSE, relative
+ * absolute error, root relative squared error) WEKA reports.
+ */
+
+#ifndef WCT_STATS_METRICS_HH
+#define WCT_STATS_METRICS_HH
+
+#include <span>
+
+namespace wct
+{
+
+/** Bundle of accuracy metrics for a prediction vector. */
+struct AccuracyMetrics
+{
+    /** Pearson correlation between predicted and actual (paper's C). */
+    double correlation = 0.0;
+
+    /** Mean absolute error, in units of the target (paper's MAE). */
+    double meanAbsoluteError = 0.0;
+
+    /** Root mean squared error. */
+    double rootMeanSquaredError = 0.0;
+
+    /** MAE relative to the mean-predictor MAE, as a fraction. */
+    double relativeAbsoluteError = 0.0;
+
+    /** RMSE relative to the mean-predictor RMSE, as a fraction. */
+    double rootRelativeSquaredError = 0.0;
+
+    /**
+     * The paper's acceptance rule: C > 0.85 and MAE < 0.15 (CPI
+     * units) indicate a transferable model.
+     */
+    bool acceptable(double min_correlation = 0.85,
+                    double max_mae = 0.15) const
+    {
+        return correlation > min_correlation &&
+            meanAbsoluteError < max_mae;
+    }
+};
+
+/** Compute all metrics from paired predicted/actual vectors. */
+AccuracyMetrics computeAccuracy(std::span<const double> predicted,
+                                std::span<const double> actual);
+
+/** Mean absolute error only. */
+double meanAbsoluteError(std::span<const double> predicted,
+                         std::span<const double> actual);
+
+/** Root mean squared error only. */
+double rootMeanSquaredError(std::span<const double> predicted,
+                            std::span<const double> actual);
+
+} // namespace wct
+
+#endif // WCT_STATS_METRICS_HH

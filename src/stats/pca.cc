@@ -1,0 +1,229 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+void
+jacobiEigenSymmetric(const std::vector<double> &matrix, std::size_t n,
+                     std::vector<double> &eigenvalues,
+                     std::vector<std::vector<double>> &eigenvectors)
+{
+    wct_assert(matrix.size() == n * n, "matrix size mismatch");
+    std::vector<double> a = matrix;
+
+    // V starts as identity and accumulates the rotations.
+    std::vector<double> v(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i * n + i] = 1.0;
+
+    constexpr int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of squared off-diagonal elements.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += a[p * n + q] * a[p * n + q];
+        if (off < 1e-22)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a[p * n + q];
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a[p * n + p];
+                const double aqq = a[q * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a[k * n + p];
+                    const double akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a[p * n + k];
+                    const double aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k * n + p];
+                    const double vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t(0));
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  return a[x * n + x] > a[y * n + y];
+              });
+
+    eigenvalues.assign(n, 0.0);
+    eigenvectors.assign(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t src = order[i];
+        eigenvalues[i] = a[src * n + src];
+        for (std::size_t k = 0; k < n; ++k)
+            eigenvectors[i][k] = v[k * n + src];
+    }
+}
+
+PcaResult
+computePca(const Dataset &data, const std::vector<std::string> &exclude,
+           bool standardize)
+{
+    if (data.numRows() < 2)
+        wct_fatal("PCA needs at least two rows");
+
+    PcaResult result;
+    std::vector<std::size_t> cols;
+    for (std::size_t c = 0; c < data.numColumns(); ++c) {
+        const std::string &name = data.columnNames()[c];
+        if (std::find(exclude.begin(), exclude.end(), name) ==
+            exclude.end()) {
+            cols.push_back(c);
+            result.columns.push_back(name);
+        }
+    }
+    const std::size_t p = cols.size();
+    if (p == 0)
+        wct_fatal("PCA: every column excluded");
+    const double n = static_cast<double>(data.numRows());
+
+    // Means and scales.
+    result.mean.assign(p, 0.0);
+    for (std::size_t r = 0; r < data.numRows(); ++r)
+        for (std::size_t j = 0; j < p; ++j)
+            result.mean[j] += data.at(r, cols[j]);
+    for (double &m : result.mean)
+        m /= n;
+
+    result.scale.assign(p, 1.0);
+    if (standardize) {
+        for (std::size_t j = 0; j < p; ++j) {
+            double ss = 0.0;
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                const double d =
+                    data.at(r, cols[j]) - result.mean[j];
+                ss += d * d;
+            }
+            const double sd = std::sqrt(ss / (n - 1.0));
+            // Constant columns stay unscaled (their PCs carry zero
+            // variance anyway).
+            result.scale[j] = sd > 0.0 ? sd : 1.0;
+        }
+    }
+
+    // Covariance of the centred (and scaled) data.
+    std::vector<double> cov(p * p, 0.0);
+    std::vector<double> z(p);
+    for (std::size_t r = 0; r < data.numRows(); ++r) {
+        for (std::size_t j = 0; j < p; ++j)
+            z[j] = (data.at(r, cols[j]) - result.mean[j]) /
+                result.scale[j];
+        for (std::size_t i = 0; i < p; ++i)
+            for (std::size_t j = i; j < p; ++j)
+                cov[i * p + j] += z[i] * z[j];
+    }
+    for (std::size_t i = 0; i < p; ++i)
+        for (std::size_t j = i; j < p; ++j) {
+            cov[i * p + j] /= (n - 1.0);
+            cov[j * p + i] = cov[i * p + j];
+        }
+
+    jacobiEigenSymmetric(cov, p, result.eigenvalues,
+                         result.components);
+    // Numerical floor: tiny negative eigenvalues are zero variance.
+    for (double &ev : result.eigenvalues)
+        ev = std::max(ev, 0.0);
+    return result;
+}
+
+double
+PcaResult::varianceExplained(std::size_t k) const
+{
+    double total = 0.0;
+    for (double ev : eigenvalues)
+        total += ev;
+    if (total <= 0.0)
+        return 1.0;
+    double head = 0.0;
+    for (std::size_t i = 0; i < std::min(k, eigenvalues.size()); ++i)
+        head += eigenvalues[i];
+    return head / total;
+}
+
+std::size_t
+PcaResult::componentsForVariance(double fraction) const
+{
+    wct_assert(fraction > 0.0 && fraction <= 1.0,
+               "variance fraction out of range: ", fraction);
+    for (std::size_t k = 1; k <= eigenvalues.size(); ++k)
+        if (varianceExplained(k) >= fraction)
+            return k;
+    return eigenvalues.size();
+}
+
+std::vector<double>
+PcaResult::project(std::span<const double> row, std::size_t k) const
+{
+    wct_assert(row.size() == dimension(),
+               "projection row arity ", row.size(), " != ",
+               dimension());
+    wct_assert(k <= components.size(), "too many components: ", k);
+    std::vector<double> out(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < dimension(); ++j)
+            dot += components[c][j] * (row[j] - mean[j]) / scale[j];
+        out[c] = dot;
+    }
+    return out;
+}
+
+Dataset
+PcaResult::transform(const Dataset &data, std::size_t k) const
+{
+    wct_assert(k >= 1 && k <= components.size(),
+               "component count out of range: ", k);
+    std::vector<std::size_t> cols;
+    cols.reserve(dimension());
+    for (const std::string &name : columns)
+        cols.push_back(data.columnIndex(name));
+
+    std::vector<std::string> names;
+    names.reserve(k);
+    for (std::size_t c = 1; c <= k; ++c)
+        names.push_back("PC" + std::to_string(c));
+    Dataset out(names);
+    out.reserveRows(data.numRows());
+
+    std::vector<double> row(dimension());
+    for (std::size_t r = 0; r < data.numRows(); ++r) {
+        for (std::size_t j = 0; j < dimension(); ++j)
+            row[j] = data.at(r, cols[j]);
+        out.addRow(project(row, k));
+    }
+    return out;
+}
+
+} // namespace wct

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Principal component analysis over dataset columns.
+ *
+ * The paper's related work ([12], [13], [14]) subsets benchmark
+ * suites by clustering in PCA space; this module provides the PCA
+ * half so the toolkit can reproduce that methodology as a baseline
+ * against profile-distance subsetting. Dimensionality here is tiny
+ * (~20 metrics), so the symmetric eigenproblem is solved exactly with
+ * cyclic Jacobi rotations.
+ */
+
+#ifndef WCT_STATS_PCA_HH
+#define WCT_STATS_PCA_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace wct
+{
+
+/** A fitted PCA basis. */
+struct PcaResult
+{
+    /** Names of the columns the basis was fitted on, in order. */
+    std::vector<std::string> columns;
+
+    /** Per-column training means. */
+    std::vector<double> mean;
+
+    /** Per-column scale divisors (1s when not standardised). */
+    std::vector<double> scale;
+
+    /** Eigenvalues of the (standardised) covariance, descending. */
+    std::vector<double> eigenvalues;
+
+    /** Principal directions; components[k] has one weight per column. */
+    std::vector<std::vector<double>> components;
+
+    std::size_t dimension() const { return columns.size(); }
+
+    /** Cumulative fraction of variance captured by the first k PCs. */
+    double varianceExplained(std::size_t k) const;
+
+    /** Smallest k capturing at least the given variance fraction. */
+    std::size_t componentsForVariance(double fraction) const;
+
+    /**
+     * Project one observation (in fitted-column order) onto the
+     * first k components.
+     */
+    std::vector<double> project(std::span<const double> row,
+                                std::size_t k) const;
+
+    /**
+     * Transform a dataset (must contain the fitted columns) into a
+     * k-column dataset of principal-component scores PC1..PCk.
+     */
+    Dataset transform(const Dataset &data, std::size_t k) const;
+};
+
+/**
+ * Fit PCA on all columns of a dataset except those listed.
+ *
+ * @param standardize Divide columns by their sample sd (correlation
+ *                    PCA), the usual choice for PMU metrics whose
+ *                    scales differ by orders of magnitude.
+ */
+PcaResult computePca(const Dataset &data,
+                     const std::vector<std::string> &exclude = {},
+                     bool standardize = true);
+
+/**
+ * Jacobi eigensolver for symmetric matrices (row-major n x n).
+ * Exposed for testing. Eigenvalues/vectors are returned descending.
+ *
+ * @param matrix        Symmetric input (unchanged).
+ * @param eigenvalues   Output, size n.
+ * @param eigenvectors  Output, eigenvectors[i] is the unit vector for
+ *                      eigenvalues[i].
+ */
+void jacobiEigenSymmetric(const std::vector<double> &matrix,
+                          std::size_t n,
+                          std::vector<double> &eigenvalues,
+                          std::vector<std::vector<double>> &eigenvectors);
+
+} // namespace wct
+
+#endif // WCT_STATS_PCA_HH

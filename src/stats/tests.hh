@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Two-sample hypothesis tests used by the transferability analysis
+ * (Section VI-A of the paper): pooled and Welch two-sample t-tests,
+ * and the non-parametric alternatives the paper names (Mann-Whitney U
+ * and Levene's variance test).
+ */
+
+#ifndef WCT_STATS_TESTS_HH
+#define WCT_STATS_TESTS_HH
+
+#include <span>
+
+namespace wct
+{
+
+/** Outcome of a two-sample location/scale test. */
+struct TestResult
+{
+    /** The test statistic (t, z, or F depending on the test). */
+    double statistic = 0.0;
+
+    /** Degrees of freedom (0 for z-approximated tests). */
+    double df = 0.0;
+
+    /** Two-sided p-value. */
+    double pValue = 1.0;
+
+    /** Standard error of the tested difference where defined. */
+    double stderror = 0.0;
+
+    /** True when the null hypothesis is rejected at level alpha. */
+    bool rejectAt(double alpha) const { return pValue < alpha; }
+};
+
+/**
+ * Two-sample t-test assuming equal variances (pooled estimator).
+ * H0: the two populations share a mean.
+ */
+TestResult pooledTTest(std::span<const double> xs,
+                       std::span<const double> ys);
+
+/**
+ * Welch's two-sample t-test (unequal variances); the paper notes the
+ * pooled test is robust for its large, similarly sized samples, but
+ * Welch is the safer default for library users.
+ */
+TestResult welchTTest(std::span<const double> xs,
+                      std::span<const double> ys);
+
+/**
+ * Summary-statistics form of the pooled t-test, matching the formulae
+ * of Section VI-A.1 (Equations 8-11): the caller supplies means,
+ * unbiased variances, and counts.
+ */
+TestResult pooledTTestFromMoments(double mean1, double var1,
+                                  std::size_t n1, double mean2,
+                                  double var2, std::size_t n2);
+
+/**
+ * Mann-Whitney U test with normal approximation and tie correction.
+ * H0: equal distributions (sensitive to location shift).
+ */
+TestResult mannWhitneyUTest(std::span<const double> xs,
+                            std::span<const double> ys);
+
+/**
+ * Levene's test for equality of variances (two groups, centered on
+ * the group means as in Levene's original formulation).
+ */
+TestResult leveneTest(std::span<const double> xs,
+                      std::span<const double> ys);
+
+/**
+ * Two-sample Kolmogorov-Smirnov test with the asymptotic p-value.
+ * H0: equal distributions (sensitive to any distributional
+ * difference, not just location). The statistic is the maximum
+ * vertical distance between the empirical CDFs.
+ */
+TestResult ksTest(std::span<const double> xs,
+                  std::span<const double> ys);
+
+} // namespace wct
+
+#endif // WCT_STATS_TESTS_HH

@@ -1,0 +1,64 @@
+#include "uarch/branch.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : config_(config)
+{
+    wct_assert(config.tableBits >= 4 && config.tableBits <= 24,
+               "unreasonable gshare table bits ", config.tableBits);
+    wct_assert(config.historyBits <= config.tableBits,
+               "history bits ", config.historyBits,
+               " exceed table bits ", config.tableBits);
+    counters_.assign(std::size_t(1) << config.tableBits, 2);
+    indexMask_ = (std::uint64_t(1) << config.tableBits) - 1;
+    historyMask_ = config.historyBits == 0
+        ? 0 : (std::uint64_t(1) << config.historyBits) - 1;
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc, bool taken)
+{
+    ++branches_;
+    // Fold the PC to decorrelate low-entropy strides before xoring in
+    // the global history.
+    const std::uint64_t folded = (pc >> 2) ^ (pc >> 13);
+    const std::uint64_t index =
+        (folded ^ (history_ & historyMask_)) & indexMask_;
+    std::uint8_t &counter = counters_[index];
+    const bool predicted_taken = counter >= 2;
+
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+
+    const bool correct = predicted_taken == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    counters_.assign(counters_.size(), 2);
+    history_ = 0;
+    branches_ = 0;
+    mispredicts_ = 0;
+}
+
+double
+BranchPredictor::mispredictRate() const
+{
+    return branches_ == 0
+        ? 0.0
+        : static_cast<double>(mispredicts_) /
+            static_cast<double>(branches_);
+}
+
+} // namespace wct

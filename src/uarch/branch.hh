@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gshare branch direction predictor.
+ *
+ * Predicts conditional branch directions from the xor of the branch PC
+ * and a global history register, backed by a table of two-bit
+ * saturating counters — adequate fidelity for reproducing mispredict
+ * densities without modelling a full Core 2 front end.
+ */
+
+#ifndef WCT_UARCH_BRANCH_HH
+#define WCT_UARCH_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wct
+{
+
+/** Predictor geometry. */
+struct BranchPredictorConfig
+{
+    /** log2 of the pattern history table size. */
+    std::uint32_t tableBits = 14;
+
+    /** Number of global history bits xor-ed into the index. */
+    std::uint32_t historyBits = 12;
+};
+
+/** Gshare predictor with two-bit saturating counters. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config);
+
+    /**
+     * Predict and train on one branch.
+     * @return true when the prediction was correct.
+     */
+    bool predict(std::uint64_t pc, bool taken);
+
+    /** Forget all learned state. */
+    void reset();
+
+    const BranchPredictorConfig &config() const { return config_; }
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    double mispredictRate() const;
+
+  private:
+    BranchPredictorConfig config_;
+    std::vector<std::uint8_t> counters_;
+    std::uint64_t history_ = 0;
+    std::uint64_t indexMask_;
+    std::uint64_t historyMask_;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace wct
+
+#endif // WCT_UARCH_BRANCH_HH

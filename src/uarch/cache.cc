@@ -1,0 +1,173 @@
+#include "uarch/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+CacheModel::CacheModel(const CacheConfig &config)
+    : config_(config)
+{
+    wct_assert(config.lineBytes > 0 &&
+               std::has_single_bit(config.lineBytes),
+               "line size must be a power of two, got ",
+               config.lineBytes);
+    wct_assert(config.ways > 0, "cache needs at least one way");
+    wct_assert(config.sizeBytes % (config.lineBytes * config.ways) == 0,
+               "capacity ", config.sizeBytes,
+               " not divisible by way size");
+    if (config.policy == ReplacementPolicy::TreePlru) {
+        wct_assert(std::has_single_bit(config.ways),
+                   "tree-PLRU needs a power-of-two way count, got ",
+                   config.ways);
+    }
+
+    numSets_ = config.sizeBytes / (config.lineBytes * config.ways);
+    wct_assert(numSets_ > 0 && std::has_single_bit(numSets_),
+               "number of sets must be a power of two, got ", numSets_);
+    lineShift_ = std::countr_zero(config.lineBytes);
+    lines_.resize(numSets_ * config.ways);
+    if (config.policy == ReplacementPolicy::TreePlru)
+        plruBits_.assign(numSets_, 0);
+}
+
+std::uint32_t
+CacheModel::victimWay(std::uint64_t set)
+{
+    Line *base = &lines_[set * config_.ways];
+
+    // Invalid ways are always preferred, regardless of policy.
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        if (!base[w].valid)
+            return w;
+
+    switch (config_.policy) {
+      case ReplacementPolicy::Lru:
+      case ReplacementPolicy::Fifo: {
+        // Smallest stamp: least recently used, or oldest fill.
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < config_.ways; ++w)
+            if (base[w].stamp < base[victim].stamp)
+                victim = w;
+        return victim;
+      }
+      case ReplacementPolicy::Random: {
+        // xorshift64: deterministic, independent of the Rng layer.
+        rngState_ ^= rngState_ << 13;
+        rngState_ ^= rngState_ >> 7;
+        rngState_ ^= rngState_ << 17;
+        return static_cast<std::uint32_t>(rngState_ % config_.ways);
+      }
+      case ReplacementPolicy::TreePlru: {
+        // Follow the PLRU bits from the root: bit==0 means the left
+        // subtree is older.
+        const std::uint32_t bits = plruBits_[set];
+        std::uint32_t node = 1; // 1-based heap index
+        while (node < config_.ways) {
+            const bool go_right = ((bits >> (node - 1)) & 1) == 0;
+            node = node * 2 + (go_right ? 1 : 0);
+        }
+        return node - config_.ways;
+      }
+    }
+    wct_panic("unreachable replacement policy");
+}
+
+void
+CacheModel::touch(std::uint64_t set, std::uint32_t way, bool fill)
+{
+    Line &line = lines_[set * config_.ways + way];
+    switch (config_.policy) {
+      case ReplacementPolicy::Lru:
+        line.stamp = tick_;
+        break;
+      case ReplacementPolicy::Fifo:
+        if (fill)
+            line.stamp = tick_;
+        break;
+      case ReplacementPolicy::Random:
+        break;
+      case ReplacementPolicy::TreePlru: {
+        // Flip the path bits to point away from this way.
+        std::uint32_t bits = plruBits_[set];
+        std::uint32_t node = way + config_.ways;
+        while (node > 1) {
+            const bool is_right = (node & 1) != 0;
+            node /= 2;
+            const std::uint32_t mask = 1u << (node - 1);
+            // Mark the *other* side as the older one.
+            if (is_right)
+                bits |= mask; // right just used: left is older -> 1?
+            else
+                bits &= ~mask;
+        }
+        // Convention: bit==0 -> victim search goes right, so a hit on
+        // the right sets the bit (next victim left) and vice versa.
+        plruBits_[set] = bits;
+        break;
+      }
+    }
+}
+
+bool
+CacheModel::access(std::uint64_t addr)
+{
+    ++accesses_;
+    ++tick_;
+    const std::uint64_t block = addr >> lineShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> std::countr_zero(numSets_);
+    Line *base = &lines_[set * config_.ways];
+
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            touch(set, w, /*fill=*/false);
+            return true;
+        }
+    }
+
+    ++misses_;
+    const std::uint32_t victim = victimWay(set);
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    touch(set, victim, /*fill=*/true);
+    return false;
+}
+
+bool
+CacheModel::contains(std::uint64_t addr) const
+{
+    const std::uint64_t block = addr >> lineShift_;
+    const std::uint64_t set = block & (numSets_ - 1);
+    const std::uint64_t tag = block >> std::countr_zero(numSets_);
+    const Line *base = &lines_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    if (config_.policy == ReplacementPolicy::TreePlru)
+        plruBits_.assign(numSets_, 0);
+    tick_ = 0;
+    rngState_ = 0x9e3779b97f4a7c15ull;
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+double
+CacheModel::missRate() const
+{
+    return accesses_ == 0
+        ? 0.0
+        : static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+} // namespace wct

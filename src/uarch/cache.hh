@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement policies.
+ *
+ * Models only hit/miss behaviour (tag state), which is all the PMU
+ * characterization needs; latencies are charged by the core model.
+ * Four replacement policies are provided so the machine-sensitivity
+ * ablation can vary the platform under the models (Section III of
+ * the paper notes its results are specific to the measured
+ * architecture).
+ */
+
+#ifndef WCT_UARCH_CACHE_HH
+#define WCT_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wct
+{
+
+/** Victim selection strategy. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,      ///< true least-recently-used
+    Fifo,     ///< oldest fill evicted, hits do not promote
+    Random,   ///< uniform victim (deterministic xorshift stream)
+    TreePlru, ///< binary-tree pseudo-LRU (ways must be a power of 2)
+};
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+
+    /** Line size in bytes (power of two). */
+    std::uint32_t lineBytes = 64;
+
+    /** Set associativity. */
+    std::uint32_t ways = 8;
+
+    /** Victim selection policy. */
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+};
+
+/**
+ * A single cache level. Thread-compatible (no internal locking): each
+ * simulated core owns its private levels; the shared L2 of the paper's
+ * dual-core machine is modelled per-core because the benchmarks were
+ * run one at a time.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &config);
+
+    /**
+     * Look up the line containing addr, filling on miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Hit/miss lookup for a probe without changing state. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate all lines. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Misses divided by accesses (0 when idle). */
+    double missRate() const;
+
+    /** True when [addr, addr+size) touches more than one line. */
+    bool
+    splitsLine(std::uint64_t addr, std::uint32_t size) const
+    {
+        if (size == 0)
+            return false;
+        return (addr / config_.lineBytes) !=
+            ((addr + size - 1) / config_.lineBytes);
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t stamp = 0; ///< LRU: last use; FIFO: fill time
+        bool valid = false;
+    };
+
+    /** Pick the victim way in a full set. */
+    std::uint32_t victimWay(std::uint64_t set);
+
+    /** Update policy state after an access hit/fill at a way. */
+    void touch(std::uint64_t set, std::uint32_t way, bool fill);
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::uint64_t lineShift_;
+    std::vector<Line> lines_; ///< numSets_ x ways, row-major
+    std::vector<std::uint32_t> plruBits_; ///< one tree per set
+    std::uint64_t tick_ = 0;
+    std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace wct
+
+#endif // WCT_UARCH_CACHE_HH

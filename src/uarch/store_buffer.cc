@@ -1,0 +1,99 @@
+#include "uarch/store_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+constexpr std::uint64_t kPageMask = 0xFFF;
+
+/** Byte ranges [a, a+as) and [b, b+bs) intersect. */
+bool
+rangesOverlap(std::uint64_t a, std::uint32_t as, std::uint64_t b,
+              std::uint32_t bs)
+{
+    return a < b + bs && b < a + as;
+}
+
+} // namespace
+
+StoreBuffer::StoreBuffer(const StoreBufferConfig &config)
+    : config_(config)
+{
+    wct_assert(config.entries > 0, "store buffer needs entries");
+    ring_.resize(config.entries);
+}
+
+void
+StoreBuffer::recordStore(const Inst &store, std::uint64_t now)
+{
+    wct_assert(store.cls == InstClass::Store,
+               "recordStore on a non-store");
+    Entry &slot = ring_[head_];
+    slot.addr = store.addr;
+    slot.bornAt = now;
+    slot.size = store.size;
+    slot.slowAddress = store.slowAddress();
+    slot.slowData = store.slowData();
+    slot.valid = true;
+    head_ = (head_ + 1) % ring_.size();
+}
+
+LoadBlock
+StoreBuffer::checkLoad(const Inst &load, std::uint64_t now) const
+{
+    wct_assert(load.cls == InstClass::Load, "checkLoad on a non-load");
+
+    // Scan youngest first: the nearest older store decides.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const std::size_t idx =
+            (head_ + ring_.size() - 1 - i) % ring_.size();
+        const Entry &store = ring_[idx];
+        if (!store.valid)
+            continue;
+        const std::uint64_t age = now - store.bornAt;
+        if (age >= config_.lifetime)
+            continue; // retired
+
+        // An unresolved store address forces conservative blocking
+        // when the load might alias it. The disambiguator compares
+        // partial address bits, so the check uses page-offset bits.
+        if (store.slowAddress && age < config_.staResolveAge) {
+            if (((load.addr ^ store.addr) & kPageMask) < 8)
+                return LoadBlock::Sta;
+            continue;
+        }
+
+        if (rangesOverlap(load.addr, load.size, store.addr,
+                          store.size)) {
+            const bool covers = store.addr <= load.addr &&
+                store.addr + store.size >= load.addr + load.size;
+            if (!covers)
+                return LoadBlock::Overlap;
+            if (store.slowData && age < config_.stdResolveAge)
+                return LoadBlock::Std;
+            return LoadBlock::Forwarded;
+        }
+
+        // 4 KB aliasing: equal page offsets on different pages defeat
+        // the partial-address disambiguation and stall until retire.
+        if ((load.addr & kPageMask) == (store.addr & kPageMask) &&
+            load.addr != store.addr) {
+            return LoadBlock::Overlap;
+        }
+    }
+    return LoadBlock::None;
+}
+
+void
+StoreBuffer::reset()
+{
+    for (Entry &slot : ring_)
+        slot.valid = false;
+    head_ = 0;
+}
+
+} // namespace wct

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Store buffer model detecting the load-block conditions of Table I:
+ * LOAD_BLOCK.STA (unknown store address), LOAD_BLOCK.STD (unready
+ * store data), and LOAD_BLOCK.OVERLAP_STORE (partial overlap or 4 KB
+ * aliasing that forbids store-to-load forwarding until retirement).
+ */
+
+#ifndef WCT_UARCH_STORE_BUFFER_HH
+#define WCT_UARCH_STORE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/types.hh"
+
+namespace wct
+{
+
+/** Store buffer depth and resolution timing, in instruction counts. */
+struct StoreBufferConfig
+{
+    /** Buffered (not yet retired) stores visible to younger loads. */
+    std::uint32_t entries = 20;
+
+    /** Instructions after which a store retires out of the buffer. */
+    std::uint32_t lifetime = 16;
+
+    /** Age below which a slow-address store's address is unknown. */
+    std::uint32_t staResolveAge = 4;
+
+    /** Age below which a slow-data store's data is not ready. */
+    std::uint32_t stdResolveAge = 10;
+};
+
+/** How a load interacted with older buffered stores. */
+enum class LoadBlock : std::uint8_t
+{
+    None,      ///< No interaction with buffered stores
+    Forwarded, ///< Fully covered by a ready store: free forwarding
+    Sta,       ///< Blocked: older store address unknown
+    Std,       ///< Blocked: forwarding store's data not ready
+    Overlap,   ///< Blocked: partial overlap or 4 KB alias
+};
+
+/** FIFO of in-flight stores with block-condition checks. */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(const StoreBufferConfig &config);
+
+    /** Insert a store issued at instruction index now. */
+    void recordStore(const Inst &store, std::uint64_t now);
+
+    /**
+     * Check a load issued at instruction index now against older
+     * buffered stores; youngest conflicting store wins.
+     */
+    LoadBlock checkLoad(const Inst &load, std::uint64_t now) const;
+
+    /** Drop all buffered stores. */
+    void reset();
+
+    const StoreBufferConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t addr = 0;
+        std::uint64_t bornAt = 0;
+        std::uint8_t size = 0;
+        bool slowAddress = false;
+        bool slowData = false;
+        bool valid = false;
+    };
+
+    StoreBufferConfig config_;
+    std::vector<Entry> ring_;
+    std::size_t head_ = 0; ///< next slot to fill
+};
+
+} // namespace wct
+
+#endif // WCT_UARCH_STORE_BUFFER_HH

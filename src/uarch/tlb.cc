@@ -1,0 +1,75 @@
+#include "uarch/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+CacheConfig
+TlbModel::tlbGeometry(const TlbConfig &config)
+{
+    wct_assert(config.entries % config.ways == 0,
+               "TLB entries ", config.entries,
+               " not divisible by ways ", config.ways);
+    CacheConfig geometry;
+    geometry.lineBytes = config.pageBytes;
+    geometry.ways = config.ways;
+    geometry.sizeBytes =
+        static_cast<std::uint64_t>(config.entries) * config.pageBytes;
+    return geometry;
+}
+
+CacheConfig
+TlbModel::pdeGeometry(const TlbConfig &config)
+{
+    // One entry covers a 2 MB region (a full page-table page of 4 KB
+    // pages); fully associative.
+    CacheConfig geometry;
+    geometry.lineBytes = 2 * 1024 * 1024;
+    geometry.ways = config.pdeEntries;
+    geometry.sizeBytes =
+        static_cast<std::uint64_t>(config.pdeEntries) * geometry.lineBytes;
+    return geometry;
+}
+
+TlbModel::TlbModel(const TlbConfig &config)
+    : config_(config), tlb_(tlbGeometry(config)),
+      pdeCache_(pdeGeometry(config))
+{
+}
+
+TlbResult
+TlbModel::access(std::uint64_t addr)
+{
+    ++accesses_;
+    TlbResult result;
+    if (tlb_.access(addr))
+        return result;
+
+    ++misses_;
+    result.miss = true;
+    result.walk = true;
+    // The walker reads the page-table page; a cached PDE shortens it.
+    result.walkLatency = pdeCache_.access(addr)
+        ? config_.shortWalkCycles : config_.walkCycles;
+    return result;
+}
+
+void
+TlbModel::reset()
+{
+    tlb_.reset();
+    pdeCache_.reset();
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+double
+TlbModel::missRate() const
+{
+    return accesses_ == 0
+        ? 0.0
+        : static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+} // namespace wct

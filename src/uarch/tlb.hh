@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Data TLB model with a hardware page walker and a small paging-
+ * structure (PDE) cache that shortens repeat walks within the same
+ * page-table page, as on Core 2.
+ */
+
+#ifndef WCT_UARCH_TLB_HH
+#define WCT_UARCH_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/cache.hh"
+
+namespace wct
+{
+
+/** TLB geometry and walk costs. */
+struct TlbConfig
+{
+    /** Page size in bytes (power of two). */
+    std::uint32_t pageBytes = 4096;
+
+    /** Number of entries. */
+    std::uint32_t entries = 256;
+
+    /** Set associativity. */
+    std::uint32_t ways = 4;
+
+    /** Walk latency in cycles when the PDE cache misses. */
+    double walkCycles = 42.0;
+
+    /** Walk latency in cycles when the PDE cache hits. */
+    double shortWalkCycles = 20.0;
+
+    /** Entries in the PDE cache (each covers 2 MB of address space). */
+    std::uint32_t pdeEntries = 8;
+};
+
+/** Outcome of one TLB lookup. */
+struct TlbResult
+{
+    bool miss = false;         ///< DTLB_MISSES.ANY fired
+    bool walk = false;         ///< PAGE_WALKS.COUNT fired
+    double walkLatency = 0.0;  ///< cycles charged for the walk
+};
+
+/**
+ * A translation lookaside buffer. Every miss triggers a hardware page
+ * walk; the walk is cheaper when the covering PDE entry is cached.
+ */
+class TlbModel
+{
+  public:
+    explicit TlbModel(const TlbConfig &config);
+
+    /** Translate the page containing addr. */
+    TlbResult access(std::uint64_t addr);
+
+    /** Drop all translations (context switch). */
+    void reset();
+
+    const TlbConfig &config() const { return config_; }
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    double missRate() const;
+
+  private:
+    TlbConfig config_;
+    CacheModel tlb_;      ///< reuses the tag array for page tracking
+    CacheModel pdeCache_; ///< 2 MB-granular paging-structure cache
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+
+    static CacheConfig tlbGeometry(const TlbConfig &config);
+    static CacheConfig pdeGeometry(const TlbConfig &config);
+};
+
+} // namespace wct
+
+#endif // WCT_UARCH_TLB_HH

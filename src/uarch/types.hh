@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Abstract instruction descriptors exchanged between the synthetic
+ * workload generators and the core timing model.
+ *
+ * The simulator is behavioural, not functional: an instruction carries
+ * only the attributes that influence timing and PMU events — its
+ * class, program counter, memory target, and a few dataflow flags the
+ * generator derives from the workload's dependence structure.
+ */
+
+#ifndef WCT_UARCH_TYPES_HH
+#define WCT_UARCH_TYPES_HH
+
+#include <cstdint>
+
+namespace wct
+{
+
+/** Instruction classes with distinct timing/event behaviour. */
+enum class InstClass : std::uint8_t
+{
+    Alu,    ///< Simple integer/fp op, fully pipelined
+    Load,   ///< Memory read
+    Store,  ///< Memory write
+    Branch, ///< Conditional or indirect branch
+    Mul,    ///< Multiply (pipelined, small extra latency)
+    Div,    ///< Divide (unpipelined, long latency)
+    Simd,   ///< Streaming SIMD op
+};
+
+/** Dataflow and behaviour flags attached to an instruction. */
+enum InstFlag : std::uint8_t
+{
+    /** Branch outcome is taken. */
+    kFlagTaken = 1 << 0,
+
+    /**
+     * The instruction consumes the result of the most recent load,
+     * serialising behind outstanding cache misses (pointer chasing).
+     */
+    kFlagDependent = 1 << 1,
+
+    /** Store address comes from a long dependence chain (late STA). */
+    kFlagSlowAddress = 1 << 2,
+
+    /** Store data comes from a long dependence chain (late STD). */
+    kFlagSlowData = 1 << 3,
+
+    /** Floating point op requires a microcode assist. */
+    kFlagFpAssist = 1 << 4,
+};
+
+/** One abstract instruction. */
+struct Inst
+{
+    /** Program counter (drives the L1I model). */
+    std::uint64_t pc = 0;
+
+    /** Virtual byte address for loads/stores; 0 otherwise. */
+    std::uint64_t addr = 0;
+
+    InstClass cls = InstClass::Alu;
+
+    /** Access size in bytes for loads/stores. */
+    std::uint8_t size = 0;
+
+    /** Bitwise or of InstFlag values. */
+    std::uint8_t flags = 0;
+
+    bool taken() const { return flags & kFlagTaken; }
+    bool dependent() const { return flags & kFlagDependent; }
+    bool slowAddress() const { return flags & kFlagSlowAddress; }
+    bool slowData() const { return flags & kFlagSlowData; }
+    bool fpAssist() const { return flags & kFlagFpAssist; }
+
+    bool
+    isMemory() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+};
+
+/** Produces the dynamic instruction stream of a workload. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** Generate the next dynamic instruction. */
+    virtual Inst next() = 0;
+};
+
+} // namespace wct
+
+#endif // WCT_UARCH_TYPES_HH

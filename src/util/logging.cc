@@ -1,0 +1,40 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wct
+{
+
+namespace detail
+{
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::abort();
+}
+
+void
+warnImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", message.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+} // namespace detail
+
+} // namespace wct

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * fatal()  — the run cannot continue because of a user-level problem
+ *            (bad configuration, malformed input file); exits with
+ *            status 1.
+ * panic()  — an internal invariant was violated (a library bug);
+ *            aborts so that a core dump or debugger can take over.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output for the user.
+ */
+
+#ifndef WCT_UTIL_LOGGING_HH
+#define WCT_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace wct
+{
+
+namespace detail
+{
+
+/** Append every argument to an output string stream. */
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+/** Stringify a pack of arguments by streaming each in turn. */
+template <typename... Args>
+std::string
+formatArgs(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+/** Terminate with exit(1) after printing a user-level error. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Terminate with abort() after printing an internal error. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &message);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+} // namespace wct
+
+/** Report an unrecoverable user-level error and exit. */
+#define wct_fatal(...) \
+    ::wct::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::wct::detail::formatArgs(__VA_ARGS__))
+
+/** Report a violated internal invariant and abort. */
+#define wct_panic(...) \
+    ::wct::detail::panicImpl(__FILE__, __LINE__, \
+                             ::wct::detail::formatArgs(__VA_ARGS__))
+
+/** Report a suspicious condition without stopping the run. */
+#define wct_warn(...) \
+    ::wct::detail::warnImpl(__FILE__, __LINE__, \
+                            ::wct::detail::formatArgs(__VA_ARGS__))
+
+/** Print a status message for the user. */
+#define wct_inform(...) \
+    ::wct::detail::informImpl(::wct::detail::formatArgs(__VA_ARGS__))
+
+/** Panic when a library invariant does not hold. */
+#define wct_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::wct::detail::panicImpl(__FILE__, __LINE__, \
+                ::wct::detail::formatArgs("assertion '" #cond "' failed: ", \
+                                          ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // WCT_UTIL_LOGGING_HH

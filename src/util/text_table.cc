@@ -1,0 +1,75 @@
+#include "util/text_table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    wct_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    wct_assert(cells.size() == headers_.size(),
+               "row arity ", cells.size(), " != header arity ",
+               headers_.size());
+    Row row;
+    row.cells = std::move(cells);
+    row.ruleBefore = pendingRule_;
+    pendingRule_ = false;
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    pendingRule_ = true;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const Row &row : rows_)
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+
+    auto renderLine = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                line += "  ";
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+        }
+        // Trim trailing padding for tidy diffs.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+    const std::string rule(total, '-');
+
+    std::string out = renderLine(headers_);
+    out += rule + "\n";
+    for (const Row &row : rows_) {
+        if (row.ruleBefore)
+            out += rule + "\n";
+        out += renderLine(row.cells);
+    }
+    return out;
+}
+
+} // namespace wct

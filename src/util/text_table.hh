@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table renderer used by the experiment binaries to print
+ * paper-style tables (Table II, Table III, ...).
+ */
+
+#ifndef WCT_UTIL_TEXT_TABLE_HH
+#define WCT_UTIL_TEXT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wct
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; the renderer
+ * computes column widths and emits an ASCII grid with a header rule.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next appended row. */
+    void addRule();
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render the table to a string, one trailing newline included. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool ruleBefore = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+    bool pendingRule_ = false;
+};
+
+} // namespace wct
+
+#endif // WCT_UTIL_TEXT_TABLE_HH

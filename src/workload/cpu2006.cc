@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Behavioural stand-ins for the 29 SPEC CPU2006 benchmarks (reference
+ * inputs), calibrated to the characteristics Section IV of the paper
+ * reports: which benchmarks are cache-resident low-CPI compute kernels
+ * (the LM1 group), which are DTLB/L2-bound pointer chasers (429.mcf,
+ * 471.omnetpp), which are SIMD-dense (470.lbm, 436.cactusADM), and the
+ * lone split-load outlier (482.sphinx3).
+ */
+
+#include "workload/suites.hh"
+
+#include "workload/suite_common.hh"
+
+namespace wct
+{
+
+using namespace suite_detail;
+
+namespace
+{
+
+BenchmarkProfile
+bench(const std::string &name, const std::string &language,
+      bool is_integer, double weight)
+{
+    BenchmarkProfile b;
+    b.name = name;
+    b.language = language;
+    b.integer = is_integer;
+    b.instructionWeight = weight;
+    return b;
+}
+
+// ---- Integer benchmarks ------------------------------------------------
+
+BenchmarkProfile
+perlbench()
+{
+    auto b = bench("400.perlbench", "C", true, 1.2);
+    PhaseProfile interp = computePhase("interp", 0.7);
+    interp.branchFrac = 0.22;
+    interp.branchEntropy = 0.10;
+    interp.codeFootprint = 256 * kKiB; // interpreter blows the L1I
+    interp.hotCodeBytes = 24 * kKiB;
+    interp.hotCodeFrac = 0.90;
+    interp.dataFootprint = 3200 * kKiB;
+    interp.hotBytes = 28 * kKiB;
+    interp.hotFrac = 0.975;
+    PhaseProfile match = computePhase("regex", 0.3);
+    match.loadFrac = 0.32;
+    match.streamFrac = 0.55;
+    match.dataFootprint = 8 * kMiB;
+    b.phases = {interp, match};
+    return b;
+}
+
+BenchmarkProfile
+bzip2()
+{
+    auto b = bench("401.bzip2", "C", true, 1.4);
+    PhaseProfile sort = computePhase("blocksort", 0.6);
+    sort.loadFrac = 0.30;
+    sort.storeFrac = 0.14;
+    sort.dataFootprint = 3584 * kKiB;
+    sort.hotBytes = 48 * kKiB;
+    sort.hotFrac = 0.965;
+    sort.streamFrac = 0.30;
+    sort.branchEntropy = 0.12;
+    PhaseProfile huff = computePhase("huffman", 0.4);
+    huff.branchFrac = 0.20;
+    huff.branchEntropy = 0.10;
+    b.phases = {sort, huff};
+    return b;
+}
+
+BenchmarkProfile
+gcc()
+{
+    auto b = bench("403.gcc", "C", true, 1.0);
+    PhaseProfile front = computePhase("parse", 0.4);
+    front.branchFrac = 0.21;
+    front.branchEntropy = 0.10;
+    front.codeFootprint = 384 * kKiB;
+    front.hotCodeBytes = 20 * kKiB;
+    front.hotCodeFrac = 0.92;
+    front.dataFootprint = 96 * kMiB;
+    front.hotBytes = 64 * kKiB;
+    front.hotFrac = 0.990;
+    PhaseProfile alloc = chasePhase("rtl", 0.6, 96 * kMiB, 0.25);
+    alloc.codeFootprint = 256 * kKiB;
+    alloc.hotCodeBytes = 16 * kKiB;
+    alloc.hotCodeFrac = 0.93;
+    alloc.hotFrac = 0.985;
+    b.phases = {front, alloc};
+    return b;
+}
+
+BenchmarkProfile
+mcf()
+{
+    // Single-depot vehicle scheduling: network simplex over a ~GB
+    // arc graph. The suite's DTLB/L2 extreme: serialised pointer
+    // chases into a footprint far beyond any cache.
+    auto b = bench("429.mcf", "C", true, 0.8);
+    PhaseProfile simplex = chasePhase("simplex", 0.8, 320 * kMiB, 0.60);
+    simplex.loadFrac = 0.36;
+    simplex.hotFrac = 0.965;
+    simplex.branchEntropy = 0.14;
+    PhaseProfile update = chasePhase("update", 0.2, 320 * kMiB, 0.35);
+    update.storeFrac = 0.14;
+    update.hotFrac = 0.975;
+    b.phases = {simplex, update};
+    return b;
+}
+
+BenchmarkProfile
+gobmk()
+{
+    auto b = bench("445.gobmk", "C", true, 1.0);
+    PhaseProfile search = computePhase("search", 0.8);
+    search.branchFrac = 0.22;
+    search.branchEntropy = 0.13;
+    search.codeFootprint = 128 * kKiB;
+    search.hotCodeBytes = 16 * kKiB;
+    search.hotCodeFrac = 0.94;
+    search.dataFootprint = 2816 * kKiB;
+    search.hotBytes = 32 * kKiB;
+    search.hotFrac = 0.98;
+    PhaseProfile pattern = computePhase("pattern", 0.2);
+    pattern.loadFrac = 0.32;
+    b.phases = {search, pattern};
+    return b;
+}
+
+BenchmarkProfile
+hmmer()
+{
+    // Profile-HMM dynamic programming: dense, cache-resident,
+    // perfectly predictable inner loop -> the LM1 archetype.
+    auto b = bench("456.hmmer", "C", true, 1.6);
+    PhaseProfile viterbi = computePhase("viterbi", 1.0);
+    viterbi.loadFrac = 0.30;
+    viterbi.storeFrac = 0.12;
+    viterbi.branchFrac = 0.08;
+    viterbi.mulFrac = 0.05;
+    viterbi.simdFrac = 0.09; // vectorised integer SSE inner loop
+    viterbi.branchEntropy = 0.01;
+    viterbi.hotBytes = 20 * kKiB;
+    viterbi.hotFrac = 0.999;
+    viterbi.dataFootprint = 1 * kMiB;
+    b.phases = {viterbi};
+    return b;
+}
+
+BenchmarkProfile
+sjeng()
+{
+    auto b = bench("458.sjeng", "C", true, 1.1);
+    PhaseProfile tree = computePhase("alphabeta", 0.85);
+    tree.branchFrac = 0.21;
+    tree.branchEntropy = 0.12;
+    tree.dataFootprint = 160 * kMiB; // transposition table
+    tree.hotBytes = 32 * kKiB;
+    tree.hotFrac = 0.993;
+    PhaseProfile eval = computePhase("eval", 0.15);
+    b.phases = {tree, eval};
+    return b;
+}
+
+BenchmarkProfile
+libquantum()
+{
+    auto b = bench("462.libquantum", "C", true, 1.9);
+    PhaseProfile gate = streamPhase("gates", 1.0, 64 * kMiB);
+    gate.loadFrac = 0.28;
+    gate.storeFrac = 0.16;
+    gate.branchFrac = 0.12;
+    gate.branchEntropy = 0.01;
+    b.phases = {gate};
+    return b;
+}
+
+BenchmarkProfile
+h264ref()
+{
+    auto b = bench("464.h264ref", "C", true, 2.2);
+    PhaseProfile motion = computePhase("motion", 0.6);
+    motion.simdFrac = 0.12;
+    motion.loadFrac = 0.30;
+    motion.streamFrac = 0.45;
+    motion.dataFootprint = 3 * kMiB;
+    motion.hotBytes = 48 * kKiB;
+    motion.hotFrac = 0.97;
+    PhaseProfile dct = computePhase("dct", 0.4);
+    dct.simdFrac = 0.10;
+    dct.mulFrac = 0.05;
+    b.phases = {motion, dct};
+    return b;
+}
+
+BenchmarkProfile
+omnetpp()
+{
+    // Discrete event simulation: heap-walking event queue plus store
+    // overlap stalls -> the LM24 outlier of Table II.
+    auto b = bench("471.omnetpp", "C++", true, 0.9);
+    PhaseProfile queue = chasePhase("eventq", 0.85, 192 * kMiB, 0.45);
+    queue.storeFrac = 0.13;
+    queue.hotFrac = 0.972;
+    queue.overlapFrac = 0.035;
+    queue.aliasFrac = 0.02;
+    queue.slowStoreAddrFrac = 0.10;
+    queue.branchFrac = 0.20;
+    queue.branchEntropy = 0.20;
+    queue.codeFootprint = 128 * kKiB;
+    queue.hotCodeBytes = 12 * kKiB;
+    queue.hotCodeFrac = 0.93;
+    PhaseProfile msg = computePhase("handlers", 0.15);
+    msg.codeFootprint = 96 * kKiB;
+    b.phases = {queue, msg};
+    return b;
+}
+
+BenchmarkProfile
+astar()
+{
+    auto b = bench("473.astar", "C++", true, 1.0);
+    PhaseProfile path = chasePhase("search", 0.6, 3 * kMiB, 0.20);
+    path.hotFrac = 0.95;
+    path.branchEntropy = 0.20;
+    PhaseProfile grid = computePhase("grid", 0.4);
+    grid.streamFrac = 0.40;
+    grid.dataFootprint = 3 * kMiB;
+    b.phases = {path, grid};
+    return b;
+}
+
+BenchmarkProfile
+xalancbmk()
+{
+    auto b = bench("483.xalancbmk", "C++", true, 1.0);
+    PhaseProfile walk = chasePhase("domwalk", 0.7, 64 * kMiB, 0.30);
+    walk.codeFootprint = 512 * kKiB; // template-heavy code
+    walk.hotCodeBytes = 24 * kKiB;
+    walk.hotCodeFrac = 0.91;
+    walk.branchFrac = 0.21;
+    walk.hotFrac = 0.982;
+    PhaseProfile fmt = computePhase("format", 0.3);
+    fmt.codeFootprint = 256 * kKiB;
+    fmt.hotCodeBytes = 16 * kKiB;
+    fmt.hotCodeFrac = 0.95;
+    b.phases = {walk, fmt};
+    return b;
+}
+
+// ---- Floating point benchmarks ----------------------------------------
+
+BenchmarkProfile
+bwaves()
+{
+    auto b = bench("410.bwaves", "Fortran", false, 2.0);
+    PhaseProfile solver = simdPhase("solver", 1.0, 0.38, 96 * kMiB);
+    solver.mulFrac = 0.05;
+    b.phases = {solver};
+    return b;
+}
+
+BenchmarkProfile
+gamess()
+{
+    auto b = bench("416.gamess", "Fortran", false, 2.4);
+    PhaseProfile integrals = computePhase("integrals", 1.0);
+    integrals.mulFrac = 0.06;
+    integrals.divFrac = 0.008;
+    integrals.simdFrac = 0.08;
+    integrals.hotBytes = 28 * kKiB;
+    integrals.hotFrac = 0.998;
+    b.phases = {integrals};
+    return b;
+}
+
+BenchmarkProfile
+milc()
+{
+    auto b = bench("433.milc", "C", false, 1.3);
+    PhaseProfile su3 = simdPhase("su3", 1.0, 0.30, 160 * kMiB);
+    su3.streamFrac = 0.80;
+    su3.mulFrac = 0.04;
+    b.phases = {su3};
+    return b;
+}
+
+BenchmarkProfile
+zeusmp()
+{
+    auto b = bench("434.zeusmp", "Fortran", false, 1.4);
+    PhaseProfile stencil = simdPhase("stencil", 0.8, 0.26, 64 * kMiB);
+    stencil.hotBytes = 48 * kKiB;
+    stencil.hotFrac = 0.97;
+    stencil.streamFrac = 0.60;
+    PhaseProfile bc = computePhase("boundary", 0.2);
+    b.phases = {stencil, bc};
+    return b;
+}
+
+BenchmarkProfile
+gromacs()
+{
+    // Molecular dynamics inner loop: resident neighbour lists, some
+    // SIMD, no memory pressure -> LM1 twin of 444.namd.
+    auto b = bench("435.gromacs", "C/Fortran", false, 1.8);
+    PhaseProfile nonbonded = computePhase("nonbonded", 1.0);
+    nonbonded.mulFrac = 0.06;
+    nonbonded.simdFrac = 0.12;
+    nonbonded.loadFrac = 0.29;
+    nonbonded.branchFrac = 0.07;
+    nonbonded.branchEntropy = 0.015;
+    nonbonded.hotBytes = 24 * kKiB;
+    nonbonded.hotFrac = 0.999;
+    nonbonded.dataFootprint = 2 * kMiB;
+    b.phases = {nonbonded};
+    return b;
+}
+
+BenchmarkProfile
+cactusADM()
+{
+    // Einstein equations: extremely SIMD-dense staggered-grid update
+    // with a resident tile -> the LM11 outlier (high SIMD, few L2
+    // misses, CPI ~1.2).
+    auto b = bench("436.cactusADM", "Fortran/C", false, 1.1);
+    PhaseProfile kernel = simdPhase("adm", 1.0, 0.68, 12 * kMiB);
+    kernel.loadFrac = 0.16;
+    kernel.storeFrac = 0.08;
+    kernel.branchFrac = 0.03;
+    kernel.hotBytes = 64 * kKiB;
+    kernel.hotFrac = 0.97;
+    kernel.streamFrac = 0.45;
+    kernel.mulFrac = 0.02;
+    b.phases = {kernel};
+    return b;
+}
+
+BenchmarkProfile
+leslie3d()
+{
+    auto b = bench("437.leslie3d", "Fortran", false, 1.3);
+    PhaseProfile flux = simdPhase("flux", 1.0, 0.30, 80 * kMiB);
+    flux.streamFrac = 0.70;
+    flux.mulFrac = 0.05;
+    b.phases = {flux};
+    return b;
+}
+
+BenchmarkProfile
+namd()
+{
+    // Biomolecular simulation, the paper's poster child for LM1
+    // coverage above 90% and near-identical profile to 456.hmmer.
+    auto b = bench("444.namd", "C++", false, 2.0);
+    PhaseProfile forces = computePhase("forces", 1.0);
+    forces.loadFrac = 0.30;
+    forces.storeFrac = 0.11;
+    forces.branchFrac = 0.08;
+    forces.mulFrac = 0.05;
+    forces.simdFrac = 0.10;
+    forces.branchEntropy = 0.012;
+    forces.hotBytes = 22 * kKiB;
+    forces.hotFrac = 0.999;
+    forces.dataFootprint = 1536 * kKiB;
+    b.phases = {forces};
+    return b;
+}
+
+BenchmarkProfile
+dealII()
+{
+    auto b = bench("447.dealII", "C++", false, 1.7);
+    PhaseProfile assemble = computePhase("assemble", 1.0);
+    assemble.loadFrac = 0.29;
+    assemble.storeFrac = 0.12;
+    assemble.branchFrac = 0.09;
+    assemble.mulFrac = 0.06;
+    assemble.simdFrac = 0.08;
+    assemble.branchEntropy = 0.025;
+    assemble.hotBytes = 27 * kKiB;
+    assemble.hotFrac = 0.997;
+    assemble.dataFootprint = 2 * kMiB;
+    b.phases = {assemble};
+    return b;
+}
+
+BenchmarkProfile
+soplex()
+{
+    auto b = bench("450.soplex", "C++", false, 0.9);
+    PhaseProfile pricing = computePhase("pricing", 0.7);
+    pricing.loadFrac = 0.32;
+    pricing.dataFootprint = 48 * kMiB;
+    pricing.hotBytes = 40 * kKiB;
+    pricing.hotFrac = 0.985;
+    pricing.streamFrac = 0.30;
+    pricing.branchEntropy = 0.12;
+    PhaseProfile factor = streamPhase("factorise", 0.3, 48 * kMiB);
+    b.phases = {pricing, factor};
+    return b;
+}
+
+BenchmarkProfile
+povray()
+{
+    auto b = bench("453.povray", "C++", false, 1.2);
+    PhaseProfile trace = computePhase("trace", 1.0);
+    trace.branchFrac = 0.17;
+    trace.branchEntropy = 0.08;
+    trace.mulFrac = 0.06;
+    trace.divFrac = 0.004;
+    trace.hotBytes = 32 * kKiB;
+    trace.hotFrac = 0.985;
+    trace.dataFootprint = 2560 * kKiB;
+    b.phases = {trace};
+    return b;
+}
+
+BenchmarkProfile
+calculix()
+{
+    auto b = bench("454.calculix", "Fortran/C", false, 1.8);
+    PhaseProfile solve = computePhase("spooles", 1.0);
+    solve.loadFrac = 0.29;
+    solve.storeFrac = 0.12;
+    solve.branchFrac = 0.09;
+    solve.mulFrac = 0.06;
+    solve.simdFrac = 0.08;
+    solve.branchEntropy = 0.025;
+    solve.hotBytes = 26 * kKiB;
+    solve.hotFrac = 0.997;
+    solve.dataFootprint = 2 * kMiB;
+    b.phases = {solve};
+    return b;
+}
+
+BenchmarkProfile
+gemsFDTD()
+{
+    // Finite-difference time domain: pure streaming over a huge grid;
+    // many independent (overlapped) L2 misses, very unlike 429.mcf's
+    // serialised chases and unlike the resident LM1 group.
+    auto b = bench("459.GemsFDTD", "Fortran", false, 1.2);
+    PhaseProfile update = streamPhase("fieldupdate", 1.0, 224 * kMiB);
+    update.loadFrac = 0.33;
+    update.storeFrac = 0.16;
+    update.simdFrac = 0.18;
+    update.streamFrac = 0.93;
+    update.accessSize = 16;
+    b.phases = {update};
+    return b;
+}
+
+BenchmarkProfile
+tonto()
+{
+    auto b = bench("465.tonto", "Fortran", false, 1.4);
+    PhaseProfile scf = computePhase("scf", 1.0);
+    scf.mulFrac = 0.07;
+    scf.divFrac = 0.006;
+    scf.simdFrac = 0.10;
+    scf.hotBytes = 36 * kKiB;
+    scf.hotFrac = 0.975;
+    scf.dataFootprint = 3 * kMiB;
+    b.phases = {scf};
+    return b;
+}
+
+BenchmarkProfile
+lbm()
+{
+    // Lattice-Boltzmann: SIMD-saturated streaming with paired
+    // read-modify-write of cell neighbourhoods, giving overlapped
+    // store stalls -> the LM5 outlier (high SIMD + LdBlkOlp).
+    auto b = bench("470.lbm", "C", false, 1.3);
+    PhaseProfile collide = simdPhase("collide", 1.0, 0.55, 384 * kMiB);
+    collide.loadFrac = 0.20;
+    collide.storeFrac = 0.14;
+    collide.branchFrac = 0.02;
+    collide.streamFrac = 0.90;
+    collide.overlapFrac = 0.06;
+    collide.slowStoreDataFrac = 0.20;
+    b.phases = {collide};
+    return b;
+}
+
+BenchmarkProfile
+wrf()
+{
+    auto b = bench("481.wrf", "Fortran/C", false, 1.5);
+    PhaseProfile physics = simdPhase("physics", 0.6, 0.24, 48 * kMiB);
+    physics.hotBytes = 48 * kKiB;
+    physics.hotFrac = 0.97;
+    physics.streamFrac = 0.55;
+    PhaseProfile dynamics = computePhase("dynamics", 0.4);
+    dynamics.mulFrac = 0.05;
+    dynamics.simdFrac = 0.12;
+    b.phases = {physics, dynamics};
+    return b;
+}
+
+BenchmarkProfile
+sphinx3()
+{
+    // Speech recognition: Gaussian scoring walks packed feature
+    // vectors at odd offsets -> the only benchmark with massive split
+    // loads (LM18 of Figure 1) and a CPI ~20% above suite average.
+    auto b = bench("482.sphinx3", "C", false, 1.1);
+    PhaseProfile gauss = computePhase("gaussian", 0.85);
+    gauss.loadFrac = 0.34;
+    gauss.storeFrac = 0.06;
+    gauss.splitFrac = 0.11;
+    gauss.misalignFrac = 0.12;
+    gauss.slowStoreAddrFrac = 0.08;
+    gauss.aliasFrac = 0.03;
+    gauss.mulFrac = 0.05;
+    gauss.dataFootprint = 24 * kMiB;
+    gauss.hotBytes = 36 * kKiB;
+    gauss.hotFrac = 0.99;
+    gauss.streamFrac = 0.45;
+    PhaseProfile search = computePhase("search", 0.15);
+    search.branchEntropy = 0.15;
+    b.phases = {gauss, search};
+    return b;
+}
+
+} // namespace
+
+const SuiteProfile &
+specCpu2006()
+{
+    static const SuiteProfile suite = [] {
+        SuiteProfile s;
+        s.name = "SPEC CPU2006";
+        s.benchmarks = {
+            perlbench(), bzip2(),      gcc(),     mcf(),
+            gobmk(),     hmmer(),      sjeng(),   libquantum(),
+            h264ref(),   omnetpp(),    astar(),   xalancbmk(),
+            bwaves(),    gamess(),     milc(),    zeusmp(),
+            gromacs(),   cactusADM(),  leslie3d(), namd(),
+            dealII(),    soplex(),     povray(),  calculix(),
+            gemsFDTD(),  tonto(),      lbm(),     wrf(),
+            sphinx3(),
+        };
+        for (const auto &bench_profile : s.benchmarks)
+            validateProfile(bench_profile);
+        return s;
+    }();
+    return suite;
+}
+
+} // namespace wct

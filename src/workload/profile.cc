@@ -1,0 +1,97 @@
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+const BenchmarkProfile &
+SuiteProfile::benchmark(const std::string &bench_name) const
+{
+    for (const auto &bench : benchmarks)
+        if (bench.name == bench_name)
+            return bench;
+    wct_fatal("suite '", name, "' has no benchmark '", bench_name, "'");
+}
+
+namespace
+{
+
+void
+checkFraction(const std::string &where, const char *what, double value)
+{
+    if (value < 0.0 || value > 1.0)
+        wct_fatal(where, ": ", what, " = ", value, " outside [0, 1]");
+}
+
+} // namespace
+
+void
+validateProfile(const BenchmarkProfile &profile)
+{
+    if (profile.name.empty())
+        wct_fatal("benchmark profile without a name");
+    if (profile.phases.empty())
+        wct_fatal(profile.name, ": no phases");
+    if (profile.phaseRunLength == 0)
+        wct_fatal(profile.name, ": zero phase run length");
+    if (profile.instructionWeight <= 0.0)
+        wct_fatal(profile.name, ": non-positive instruction weight");
+
+    double total_weight = 0.0;
+    for (const PhaseProfile &phase : profile.phases) {
+        const std::string where = profile.name + "/" + phase.name;
+        if (phase.weight < 0.0)
+            wct_fatal(where, ": negative phase weight");
+        total_weight += phase.weight;
+
+        checkFraction(where, "loadFrac", phase.loadFrac);
+        checkFraction(where, "storeFrac", phase.storeFrac);
+        checkFraction(where, "branchFrac", phase.branchFrac);
+        checkFraction(where, "mulFrac", phase.mulFrac);
+        checkFraction(where, "divFrac", phase.divFrac);
+        checkFraction(where, "simdFrac", phase.simdFrac);
+        const double mix = phase.loadFrac + phase.storeFrac +
+            phase.branchFrac + phase.mulFrac + phase.divFrac +
+            phase.simdFrac;
+        if (mix > 1.0 + 1e-9)
+            wct_fatal(where, ": instruction mix sums to ", mix, " > 1");
+
+        checkFraction(where, "hotFrac", phase.hotFrac);
+        checkFraction(where, "streamFrac", phase.streamFrac);
+        checkFraction(where, "pointerChaseFrac", phase.pointerChaseFrac);
+        checkFraction(where, "misalignFrac", phase.misalignFrac);
+        checkFraction(where, "splitFrac", phase.splitFrac);
+        checkFraction(where, "aliasFrac", phase.aliasFrac);
+        checkFraction(where, "overlapFrac", phase.overlapFrac);
+        checkFraction(where, "slowStoreAddrFrac",
+                      phase.slowStoreAddrFrac);
+        checkFraction(where, "slowStoreDataFrac",
+                      phase.slowStoreDataFrac);
+        checkFraction(where, "branchEntropy", phase.branchEntropy);
+        checkFraction(where, "takenBias", phase.takenBias);
+        checkFraction(where, "fpAssistFrac", phase.fpAssistFrac);
+
+        if (phase.dataFootprint == 0)
+            wct_fatal(where, ": zero data footprint");
+        if (phase.hotBytes == 0 ||
+            phase.hotBytes > phase.dataFootprint) {
+            wct_fatal(where, ": hotBytes ", phase.hotBytes,
+                      " outside (0, footprint]");
+        }
+        if (phase.codeFootprint < 64)
+            wct_fatal(where, ": code footprint under one line");
+        if (phase.hotCodeBytes < 64 ||
+            phase.hotCodeBytes > phase.codeFootprint) {
+            wct_fatal(where, ": hotCodeBytes ", phase.hotCodeBytes,
+                      " outside [64, codeFootprint]");
+        }
+        checkFraction(where, "hotCodeFrac", phase.hotCodeFrac);
+        if (phase.accessSize == 0 || (phase.accessSize & 0x3) != 0)
+            wct_fatal(where, ": access size must be a multiple of 4");
+    }
+    if (total_weight <= 0.0)
+        wct_fatal(profile.name, ": phase weights sum to zero");
+}
+
+} // namespace wct

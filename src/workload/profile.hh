@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Behavioural profiles for synthetic benchmarks.
+ *
+ * SPEC CPU2006 and SPEC OMP2001 binaries and their reference inputs
+ * are proprietary, so the suites are reproduced as *behavioural
+ * profiles*: each benchmark is a mixture of execution phases, and each
+ * phase specifies an instruction mix, memory locality structure,
+ * store-load interaction rates, and control-flow predictability. The
+ * workload source expands a profile into a dynamic instruction stream
+ * that the Core2-like machine model executes; all PMU event densities
+ * then emerge from genuine structural interactions.
+ *
+ * Profile parameters are tuned so each synthetic benchmark reproduces
+ * the qualitative characteristics the paper reports for its namesake
+ * (e.g., 429.mcf's pointer-chasing DTLB/L2 pressure, 470.lbm's SIMD
+ * density, 328.fma3d_m's store-overlap stalls); see DESIGN.md.
+ */
+
+#ifndef WCT_WORKLOAD_PROFILE_HH
+#define WCT_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wct
+{
+
+/** One steady-state execution phase of a benchmark. */
+struct PhaseProfile
+{
+    std::string name = "phase";
+
+    /** Relative share of dynamic instructions spent in this phase. */
+    double weight = 1.0;
+
+    // ---- Instruction mix (fractions of dynamic instructions; the
+    // remainder are plain ALU ops). ----
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double mulFrac = 0.02;
+    double divFrac = 0.0;
+    double simdFrac = 0.0;
+
+    // ---- Data-side memory behaviour. ----
+    /** Total data working set in bytes. */
+    std::uint64_t dataFootprint = 1 << 20;
+
+    /** Size of the hot subset frequently revisited. */
+    std::uint64_t hotBytes = 64 * 1024;
+
+    /** Probability a random access lands in the hot subset. */
+    double hotFrac = 0.9;
+
+    /** Fraction of accesses that stream sequentially. */
+    double streamFrac = 0.3;
+
+    /** Fraction of loads that chase pointers (dependent misses). */
+    double pointerChaseFrac = 0.0;
+
+    /** Typical access width in bytes (16 for packed SIMD data). */
+    std::uint8_t accessSize = 8;
+
+    /** Fraction of accesses made misaligned (within a line). */
+    double misalignFrac = 0.0;
+
+    /** Fraction of accesses placed to split a cache line. */
+    double splitFrac = 0.0;
+
+    // ---- Store-load interaction. ----
+    /** Loads aimed at the 4 KB-offset image of a recent store. */
+    double aliasFrac = 0.0;
+
+    /** Loads partially overlapping a recent store. */
+    double overlapFrac = 0.0;
+
+    /** Stores whose address resolves late (STA exposure). */
+    double slowStoreAddrFrac = 0.0;
+
+    /** Stores whose data arrives late (STD exposure). */
+    double slowStoreDataFrac = 0.0;
+
+    // ---- Control flow. ----
+    /** Probability a branch outcome is random rather than patterned. */
+    double branchEntropy = 0.05;
+
+    /** Taken probability for random outcomes. */
+    double takenBias = 0.6;
+
+    // ---- Front end. ----
+    /** Total instruction working set in bytes. */
+    std::uint64_t codeFootprint = 16 * 1024;
+
+    /** Hot loop body size in bytes (resident inner loops). */
+    std::uint64_t hotCodeBytes = 6 * 1024;
+
+    /** Probability an instruction fetches from the hot loop body. */
+    double hotCodeFrac = 0.97;
+
+    // ---- Rare events. ----
+    /** Fraction of SIMD/ALU ops needing a floating point assist. */
+    double fpAssistFrac = 0.0;
+};
+
+/** A named benchmark: metadata plus its phase mixture. */
+struct BenchmarkProfile
+{
+    /** SPEC-style name, e.g. "429.mcf" or "328.fma3d_m". */
+    std::string name;
+
+    /** Source language recorded by the paper (metadata only). */
+    std::string language;
+
+    /** True for integer benchmarks, false for floating point. */
+    bool integer = false;
+
+    /**
+     * Relative dynamic instruction count; Table II's "Suite" row
+     * weights each benchmark's samples by this.
+     */
+    double instructionWeight = 1.0;
+
+    /** Mean phase run length in instructions (geometric switching). */
+    std::uint64_t phaseRunLength = 20000;
+
+    std::vector<PhaseProfile> phases;
+};
+
+/** A benchmark suite. */
+struct SuiteProfile
+{
+    std::string name;
+    std::vector<BenchmarkProfile> benchmarks;
+
+    /** Find a benchmark by name; fatal when absent. */
+    const BenchmarkProfile &benchmark(const std::string &name) const;
+};
+
+/**
+ * Validate a profile: fractions in range, mixes that sum below one,
+ * nonzero footprints. Fatal on violations (profiles are user input).
+ */
+void validateProfile(const BenchmarkProfile &profile);
+
+} // namespace wct
+
+#endif // WCT_WORKLOAD_PROFILE_HH

@@ -1,0 +1,193 @@
+#include "workload/source.hh"
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+WorkloadSource::WorkloadSource(const BenchmarkProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile), rng_(Rng(seed).fork(0x77c7))
+{
+    validateProfile(profile_);
+    phaseWeights_.reserve(profile_.phases.size());
+    for (const PhaseProfile &phase : profile_.phases)
+        phaseWeights_.push_back(phase.weight);
+    streamPos_.assign(profile_.phases.size(), 0);
+    switchPhase();
+}
+
+void
+WorkloadSource::switchPhase()
+{
+    phaseIndex_ = rng_.weightedChoice(phaseWeights_);
+    // Geometric run length with the configured mean.
+    const double p =
+        1.0 / static_cast<double>(profile_.phaseRunLength);
+    phaseRemaining_ = rng_.geometric(p);
+}
+
+std::uint64_t
+WorkloadSource::dataAddress(const PhaseProfile &phase)
+{
+    const std::uint64_t align = phase.accessSize;
+    std::uint64_t addr;
+
+    if (rng_.bernoulli(phase.streamFrac)) {
+        // Sequential streaming through this phase's own arrays.
+        std::uint64_t &pos = streamPos_[phaseIndex_];
+        addr = kDataBase + phaseIndex_ * (1ull << 30) + pos;
+        pos = (pos + align) % phase.dataFootprint;
+    } else if (rng_.bernoulli(phase.hotFrac)) {
+        // Frequently revisited hot structures.
+        addr = kDataBase +
+            rng_.uniformInt(phase.hotBytes / align) * align;
+    } else {
+        // Cold touch anywhere in the footprint.
+        addr = kDataBase +
+            rng_.uniformInt(phase.dataFootprint / align) * align;
+    }
+
+    // Alignment perturbations.
+    if (phase.splitFrac > 0.0 && rng_.bernoulli(phase.splitFrac)) {
+        // Park the access so it crosses a 64-byte line.
+        addr = (addr & ~std::uint64_t(63)) + 64 - align / 2;
+    } else if (phase.misalignFrac > 0.0 &&
+               rng_.bernoulli(phase.misalignFrac)) {
+        addr += align / 2;
+    }
+    return addr;
+}
+
+std::uint64_t
+WorkloadSource::nextPc(const PhaseProfile &phase)
+{
+    // Each phase occupies its own code region so phase switches shift
+    // the active instruction working set.
+    const std::uint64_t code_base =
+        kCodeBase + phaseIndex_ * (16ull << 20);
+
+    if (rng_.bernoulli(phase.hotCodeFrac)) {
+        // Inside the resident inner loop.
+        const std::uint64_t pc = code_base + hotPcCursor_;
+        hotPcCursor_ = (hotPcCursor_ + 4) % phase.hotCodeBytes;
+        return pc;
+    }
+    // Cold code: occasionally relocate, then walk sequentially.
+    if (coldRunRemaining_ == 0) {
+        coldPcCursor_ =
+            rng_.uniformInt(phase.codeFootprint / 4) * 4;
+        coldRunRemaining_ = 16 + rng_.uniformInt(48);
+    }
+    --coldRunRemaining_;
+    const std::uint64_t pc = code_base + coldPcCursor_;
+    coldPcCursor_ = (coldPcCursor_ + 4) % phase.codeFootprint;
+    return pc;
+}
+
+Inst
+WorkloadSource::next()
+{
+    if (phaseRemaining_ == 0)
+        switchPhase();
+    --phaseRemaining_;
+    ++generated_;
+
+    const PhaseProfile &phase = profile_.phases[phaseIndex_];
+    Inst inst;
+    inst.pc = nextPc(phase);
+
+    // Class selection.
+    const double u = rng_.uniform();
+    double edge = phase.loadFrac;
+    if (u < edge) {
+        inst.cls = InstClass::Load;
+    } else if (u < (edge += phase.storeFrac)) {
+        inst.cls = InstClass::Store;
+    } else if (u < (edge += phase.branchFrac)) {
+        inst.cls = InstClass::Branch;
+    } else if (u < (edge += phase.mulFrac)) {
+        inst.cls = InstClass::Mul;
+    } else if (u < (edge += phase.divFrac)) {
+        inst.cls = InstClass::Div;
+    } else if (u < (edge += phase.simdFrac)) {
+        inst.cls = InstClass::Simd;
+    } else {
+        inst.cls = InstClass::Alu;
+    }
+
+    switch (inst.cls) {
+      case InstClass::Load: {
+        inst.size = phase.accessSize;
+        if (lastStoreAddr_ != 0 &&
+            rng_.bernoulli(phase.overlapFrac)) {
+            // Re-read the latest store's slot through its previous-
+            // page image: same page offset, different page. The
+            // partial-address disambiguator cannot forward across the
+            // alias, so the load blocks until the store retires (the
+            // LOAD_BLOCK.OVERLAP_STORE condition). Aliasing downward
+            // keeps the target line warm for recently streamed data,
+            // isolating the block cost from cold-miss costs.
+            inst.addr = lastStoreAddr_ >= 8192
+                ? lastStoreAddr_ - 4096
+                : lastStoreAddr_ + 4096;
+        } else if (lastStoreAddr_ != 0 &&
+                   rng_.bernoulli(phase.aliasFrac)) {
+            // Same page offset, different page (4 KB alias).
+            inst.addr = lastStoreAddr_ +
+                4096 * (1 + rng_.uniformInt(7));
+        } else {
+            inst.addr = dataAddress(phase);
+            // Pointer chases serialise behind earlier misses.
+            if (rng_.bernoulli(phase.pointerChaseFrac))
+                inst.flags |= kFlagDependent;
+        }
+        break;
+      }
+      case InstClass::Store: {
+        inst.size = phase.accessSize;
+        inst.addr = dataAddress(phase);
+        if (rng_.bernoulli(phase.slowStoreAddrFrac))
+            inst.flags |= kFlagSlowAddress;
+        if (rng_.bernoulli(phase.slowStoreDataFrac))
+            inst.flags |= kFlagSlowData;
+        lastStoreAddr_ = inst.addr;
+        break;
+      }
+      case InstClass::Branch: {
+        // Branch instructions come from a pool of static branch sites
+        // within the hot code; each site has a fixed direction so the
+        // predictor can learn it, while a fraction of dynamic
+        // branches (branchEntropy) are data-dependent and random.
+        const std::uint64_t site = branchCounter_++ % kBranchSites;
+        const std::uint64_t code_base =
+            kCodeBase + phaseIndex_ * (16ull << 20);
+        inst.pc = code_base + (site * 28) % phase.hotCodeBytes;
+
+        bool taken;
+        if (rng_.bernoulli(phase.branchEntropy)) {
+            taken = rng_.bernoulli(phase.takenBias);
+        } else {
+            // Constant per-site direction, biased toward taken the
+            // way loop back-edges are.
+            taken = ((site * 2654435761ull) >> 7 & 0xFF) <
+                static_cast<std::uint64_t>(224);
+        }
+        if (taken)
+            inst.flags |= kFlagTaken;
+        break;
+      }
+      case InstClass::Simd:
+      case InstClass::Alu:
+        if (phase.fpAssistFrac > 0.0 &&
+            rng_.bernoulli(phase.fpAssistFrac)) {
+            inst.flags |= kFlagFpAssist;
+        }
+        break;
+      default:
+        break;
+    }
+    return inst;
+}
+
+} // namespace wct

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Expansion of a benchmark profile into a dynamic instruction stream.
+ */
+
+#ifndef WCT_WORKLOAD_SOURCE_HH
+#define WCT_WORKLOAD_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "uarch/types.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace wct
+{
+
+/**
+ * Deterministic instruction generator for one benchmark profile.
+ *
+ * The source alternates between the profile's phases (geometric run
+ * lengths, weighted phase selection) and synthesises per-instruction
+ * classes, program counters, memory addresses, and dataflow flags
+ * according to the active phase. All randomness derives from the
+ * seed passed at construction.
+ */
+class WorkloadSource : public InstSource
+{
+  public:
+    /**
+     * @param profile Benchmark description (validated on entry).
+     * @param seed    Stream seed; two sources with equal profile and
+     *                seed generate identical streams.
+     */
+    WorkloadSource(const BenchmarkProfile &profile, std::uint64_t seed);
+
+    Inst next() override;
+
+    /** Index of the phase generating instructions right now. */
+    std::size_t currentPhase() const { return phaseIndex_; }
+
+    /** Instructions generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    /** Pick the next phase and its run length. */
+    void switchPhase();
+
+    /** Produce a data address per the active phase's locality model. */
+    std::uint64_t dataAddress(const PhaseProfile &phase);
+
+    /** Produce the next program counter (hot loop or cold code). */
+    std::uint64_t nextPc(const PhaseProfile &phase);
+
+    /** Number of distinct static branch sites per phase. */
+    static constexpr std::uint64_t kBranchSites = 128;
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+    std::vector<double> phaseWeights_;
+
+    std::size_t phaseIndex_ = 0;
+    std::uint64_t phaseRemaining_ = 0;
+
+    std::uint64_t generated_ = 0;
+    std::uint64_t hotPcCursor_ = 0;
+    std::uint64_t coldPcCursor_ = 0;
+    std::uint64_t coldRunRemaining_ = 0;
+
+    /** Per-phase streaming cursors (phases stream their own arrays). */
+    std::vector<std::uint64_t> streamPos_;
+    std::uint64_t lastStoreAddr_ = 0;
+    std::uint64_t branchCounter_ = 0;
+
+    /** Data segment base (per-benchmark constant). */
+    static constexpr std::uint64_t kDataBase = 0x100000000ull;
+
+    /** Code segment base. */
+    static constexpr std::uint64_t kCodeBase = 0x400000ull;
+};
+
+} // namespace wct
+
+#endif // WCT_WORKLOAD_SOURCE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Registry of the built-in synthetic benchmark suites.
+ *
+ * The profiles are hand-calibrated so each synthetic benchmark
+ * reproduces the qualitative behaviour the paper attributes to its
+ * SPEC namesake (Sections IV-B and V-B); see DESIGN.md for the
+ * substitution rationale and EXPERIMENTS.md for the resulting
+ * paper-vs-measured comparison.
+ */
+
+#ifndef WCT_WORKLOAD_SUITES_HH
+#define WCT_WORKLOAD_SUITES_HH
+
+#include "workload/profile.hh"
+
+namespace wct
+{
+
+/** The 29-benchmark SPEC CPU2006 stand-in suite. */
+const SuiteProfile &specCpu2006();
+
+/** The 11-benchmark SPEC OMP2001 (medium) stand-in suite. */
+const SuiteProfile &specOmp2001();
+
+/** Look up one of the built-in suites by name; fatal when unknown. */
+const SuiteProfile &suiteByName(const std::string &name);
+
+} // namespace wct
+
+#endif // WCT_WORKLOAD_SUITES_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * End-to-end tests of the `wct` command line interface, driving the
+ * whole pipeline through runCli(): collect -> train -> show ->
+ * predict -> transfer -> profile -> subset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hh"
+
+namespace wct
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Temp workspace, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string &name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
+
+int
+run(const std::vector<std::string> &args, std::string *out_text = nullptr,
+    std::string *err_text = nullptr)
+{
+    std::ostringstream out;
+    std::ostringstream err;
+    const int code = runCli(args, out, err);
+    if (out_text != nullptr)
+        *out_text = out.str();
+    if (err_text != nullptr)
+        *err_text = err.str();
+    return code;
+}
+
+/** Shared pipeline state built once (collection is the slow part). */
+struct Pipeline
+{
+    TempDir dir{"wct_cli_test"};
+    std::string data_dir;
+    std::string model_path;
+
+    Pipeline()
+    {
+        data_dir = dir.file("omp");
+        model_path = dir.file("omp.mtree");
+        // A small-but-real collection of the smaller suite.
+        EXPECT_EQ(run({"collect", "--suite", "omp2001", "--out",
+                       data_dir, "--intervals", "60",
+                       "--interval-length", "2048", "--warmup",
+                       "200000"}),
+                  0);
+        EXPECT_EQ(run({"train", "--data", data_dir, "--out",
+                       model_path, "--min-leaf", "20"}),
+                  0);
+    }
+};
+
+const Pipeline &
+pipeline()
+{
+    static const Pipeline p;
+    return p;
+}
+
+TEST(CliTest, HelpAndUnknownCommand)
+{
+    std::string err;
+    EXPECT_EQ(run({"help"}, nullptr, &err), 0);
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+    EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
+    EXPECT_EQ(run({}, nullptr, &err), 2);
+}
+
+TEST(CliTest, SuitesListsBothSuites)
+{
+    std::string out;
+    EXPECT_EQ(run({"suites"}, &out), 0);
+    EXPECT_NE(out.find("cpu2006"), std::string::npos);
+    EXPECT_NE(out.find("omp2001"), std::string::npos);
+    EXPECT_NE(out.find("429.mcf"), std::string::npos);
+    EXPECT_NE(out.find("328.fma3d_m"), std::string::npos);
+}
+
+TEST(CliTest, CollectWritesOneCsvPerBenchmark)
+{
+    const auto &p = pipeline();
+    std::size_t csvs = 0;
+    for (const auto &entry : fs::directory_iterator(p.data_dir))
+        csvs += entry.path().extension() == ".csv";
+    EXPECT_EQ(csvs, 11u); // the OMP2001 stand-in suite
+}
+
+TEST(CliTest, CollectSingleBenchmark)
+{
+    TempDir dir("wct_cli_single");
+    EXPECT_EQ(run({"collect", "--suite", "cpu2006", "--benchmark",
+                   "456.hmmer", "--out", dir.file("one"),
+                   "--intervals", "10", "--interval-length", "1024",
+                   "--warmup", "50000"}),
+              0);
+    EXPECT_TRUE(fs::exists(dir.file("one") + "/456.hmmer.csv"));
+    std::size_t csvs = 0;
+    for (const auto &entry : fs::directory_iterator(dir.file("one")))
+        csvs += entry.is_regular_file();
+    EXPECT_EQ(csvs, 1u);
+}
+
+TEST(CliTest, TrainReportsAndSavesModel)
+{
+    const auto &p = pipeline();
+    EXPECT_TRUE(fs::exists(p.model_path));
+    std::ifstream in(p.model_path);
+    std::string magic;
+    std::getline(in, magic);
+    EXPECT_EQ(magic, "wct-model-tree v1");
+}
+
+TEST(CliTest, ShowPrintsTreeAndDot)
+{
+    const auto &p = pipeline();
+    std::string out;
+    EXPECT_EQ(run({"show", "--model", p.model_path}, &out), 0);
+    EXPECT_NE(out.find("LM1"), std::string::npos);
+    EXPECT_NE(out.find("CPI ="), std::string::npos);
+
+    EXPECT_EQ(run({"show", "--model", p.model_path, "--dot"}, &out),
+              0);
+    EXPECT_EQ(out.find("digraph"), 0u);
+}
+
+TEST(CliTest, PredictWritesAugmentedCsv)
+{
+    const auto &p = pipeline();
+    const std::string out_csv =
+        p.dir.file("predictions.csv");
+    std::string out;
+    EXPECT_EQ(run({"predict", "--model", p.model_path, "--data",
+                   p.data_dir + "/330.art_m.csv", "--out", out_csv},
+                  &out),
+              0);
+    std::ifstream in(out_csv);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("PredictedCPI"), std::string::npos);
+    EXPECT_NE(header.find("LeafModel"), std::string::npos);
+}
+
+TEST(CliTest, TransferSameDataIsTransferable)
+{
+    const auto &p = pipeline();
+    std::string out;
+    EXPECT_EQ(run({"transfer", "--model", p.model_path, "--train",
+                   p.data_dir, "--target", p.data_dir},
+                  &out),
+              0);
+    EXPECT_NE(out.find("accuracy:"), std::string::npos);
+    EXPECT_NE(out.find("verdicts"), std::string::npos);
+    // Identical train and target populations must accept H0.
+    EXPECT_NE(out.find("hypothesis tests -> transferable"),
+              std::string::npos);
+}
+
+TEST(CliTest, ProfileRendersTable)
+{
+    const auto &p = pipeline();
+    std::string out;
+    EXPECT_EQ(run({"profile", "--model", p.model_path, "--data",
+                   p.data_dir, "--similarity"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("330.art_m"), std::string::npos);
+    EXPECT_NE(out.find("Suite"), std::string::npos);
+    EXPECT_NE(out.find("Average"), std::string::npos);
+}
+
+TEST(CliTest, SubsetSelectorsRun)
+{
+    const auto &p = pipeline();
+    for (const char *method : {"greedy", "medoids", "pca"}) {
+        std::string out;
+        EXPECT_EQ(run({"subset", "--model", p.model_path, "--data",
+                       p.data_dir, "--k", "3", "--method", method},
+                      &out),
+                  0)
+            << method;
+        EXPECT_NE(out.find("profile distance"), std::string::npos)
+            << method;
+    }
+}
+
+TEST(CliTest, PhasesRendersTimeline)
+{
+    const auto &p = pipeline();
+    std::string out;
+    EXPECT_EQ(run({"phases", "--model", p.model_path, "--data",
+                   p.data_dir + "/328.fma3d_m.csv"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("timeline:"), std::string::npos);
+    EXPECT_NE(out.find("entropy:"), std::string::npos);
+
+    // Directory form renders every benchmark.
+    EXPECT_EQ(run({"phases", "--model", p.model_path, "--data",
+                   p.data_dir},
+                  &out),
+              0);
+    EXPECT_NE(out.find("330.art_m"), std::string::npos);
+}
+
+TEST(CliDeathTest, MissingRequiredFlagIsFatal)
+{
+    std::ostringstream out, err;
+    EXPECT_EXIT(runCli({"train", "--out", "/tmp/x"}, out, err),
+                ::testing::ExitedWithCode(1), "missing required");
+}
+
+TEST(CliDeathTest, UnknownSuiteIsFatal)
+{
+    std::ostringstream out, err;
+    EXPECT_EXIT(runCli({"collect", "--suite", "spec95", "--out",
+                        "/tmp/x"},
+                       out, err),
+                ::testing::ExitedWithCode(1), "unknown suite");
+}
+
+TEST(CliDeathTest, BadIntegerFlagIsFatal)
+{
+    std::ostringstream out, err;
+    EXPECT_EXIT(runCli({"collect", "--suite", "cpu2006", "--out",
+                        "/tmp/x", "--intervals", "abc"},
+                       out, err),
+                ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for row filtering, outlier removal, and winsorising.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/filter.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+Dataset
+withOutliers()
+{
+    Dataset d({"x", "y"});
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i)
+        d.addRow({rng.normal(10.0, 1.0), static_cast<double>(i)});
+    d.addRow({1000.0, 500.0}); // gross outlier
+    d.addRow({-990.0, 501.0});
+    return d;
+}
+
+TEST(FilterTest, PredicateKeepsMatchingRows)
+{
+    Dataset d({"v"});
+    for (int i = 0; i < 10; ++i)
+        d.addRow({static_cast<double>(i)});
+    const Dataset even = filterRows(
+        d, [](std::span<const double> row) {
+            return static_cast<int>(row[0]) % 2 == 0;
+        });
+    EXPECT_EQ(even.numRows(), 5u);
+    EXPECT_DOUBLE_EQ(even.at(2, 0), 4.0);
+}
+
+TEST(FilterTest, PredicateOrderPreserved)
+{
+    Dataset d({"v"});
+    for (double x : {5.0, 1.0, 7.0, 3.0})
+        d.addRow({x});
+    const Dataset big = filterRows(
+        d, [](std::span<const double> row) { return row[0] > 2.0; });
+    ASSERT_EQ(big.numRows(), 3u);
+    EXPECT_DOUBLE_EQ(big.at(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(big.at(1, 0), 7.0);
+    EXPECT_DOUBLE_EQ(big.at(2, 0), 3.0);
+}
+
+TEST(FilterTest, RemoveOutliersDropsExtremes)
+{
+    const Dataset d = withOutliers();
+    const Dataset clean = removeOutliers(d, "x", 4.0);
+    EXPECT_EQ(clean.numRows(), d.numRows() - 2);
+    const auto summary = clean.summarize(0);
+    EXPECT_NEAR(summary.mean, 10.0, 0.3);
+    EXPECT_LT(summary.max, 20.0);
+    EXPECT_GT(summary.min, 0.0);
+}
+
+TEST(FilterTest, RemoveOutliersKeepsCleanData)
+{
+    Dataset d({"x"});
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i)
+        d.addRow({rng.normal(0.0, 1.0)});
+    // At z = 6 nothing in 300 normal draws should fall out.
+    EXPECT_EQ(removeOutliers(d, "x", 6.0).numRows(), 300u);
+}
+
+TEST(FilterTest, ConstantColumnUntouched)
+{
+    Dataset d({"k"});
+    for (int i = 0; i < 20; ++i)
+        d.addRow({7.0});
+    EXPECT_EQ(removeOutliers(d, "k", 1.0).numRows(), 20u);
+}
+
+TEST(FilterTest, ClampColumnWinsorises)
+{
+    const Dataset d = withOutliers();
+    const Dataset clipped = clampColumn(d, "x", 5.0, 15.0);
+    EXPECT_EQ(clipped.numRows(), d.numRows()); // rows preserved
+    const auto summary = clipped.summarize(0);
+    EXPECT_DOUBLE_EQ(summary.max, 15.0);
+    EXPECT_DOUBLE_EQ(summary.min, 5.0);
+    // Other columns untouched.
+    EXPECT_DOUBLE_EQ(clipped.at(clipped.numRows() - 1, 1), 501.0);
+}
+
+TEST(FilterDeathTest, BadArguments)
+{
+    const Dataset d = withOutliers();
+    EXPECT_DEATH(removeOutliers(d, "x", 0.0), "threshold");
+    EXPECT_DEATH(clampColumn(d, "x", 2.0, 1.0), "inverted");
+    EXPECT_EXIT(removeOutliers(d, "zzz", 1.0),
+                ::testing::ExitedWithCode(1), "no column");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for sparse linear models and the Gram-based fitting with
+ * greedy attribute elimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "mtree/linear_model.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+/** Dataset with columns x0, x1, x2, y where y = f(x). */
+Dataset
+makeData(std::size_t n, std::uint64_t seed,
+         double (*f)(double, double, double, Rng &))
+{
+    Dataset d({"x0", "x1", "x2", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 2.0);
+        const double x1 = rng.uniform(-1.0, 1.0);
+        const double x2 = rng.uniform(0.0, 1.0);
+        d.addRow({x0, x1, x2, f(x0, x1, x2, rng)});
+    }
+    return d;
+}
+
+std::vector<std::size_t>
+allRows(const Dataset &d)
+{
+    std::vector<std::size_t> rows(d.numRows());
+    std::iota(rows.begin(), rows.end(), std::size_t(0));
+    return rows;
+}
+
+TEST(LinearModelTest, PredictSparse)
+{
+    LinearModel m;
+    m.intercept = 1.0;
+    m.attributes = {2, 0};
+    m.coefficients = {3.0, -2.0};
+    const std::vector<double> row = {10.0, 99.0, 5.0, 0.0};
+    EXPECT_DOUBLE_EQ(m.predict(row), 1.0 + 15.0 - 20.0);
+}
+
+TEST(LinearModelTest, DescribeFormatsSigns)
+{
+    LinearModel m;
+    m.intercept = 0.53;
+    m.attributes = {0, 1};
+    m.coefficients = {4.73, -0.198};
+    const std::vector<std::string> names = {"L1DMiss", "Store", "y"};
+    const std::string text = m.describe(names, "CPI");
+    EXPECT_NE(text.find("CPI = 0.5300"), std::string::npos);
+    EXPECT_NE(text.find("+ 4.7300 * L1DMiss"), std::string::npos);
+    EXPECT_NE(text.find("- 0.1980 * Store"), std::string::npos);
+}
+
+TEST(GramTest, CountsAndTargetMoments)
+{
+    Dataset d = makeData(500, 1, [](double a, double, double, Rng &) {
+        return 2.0 * a;
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    EXPECT_EQ(gram.count(), 500u);
+    const auto y = d.column("y");
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= y.size();
+    EXPECT_NEAR(gram.targetMean(), mean, 1e-10);
+}
+
+TEST(GramTest, FullSubsetRecoversCoefficients)
+{
+    Dataset d = makeData(2000, 2, [](double a, double b, double c,
+                                     Rng &) {
+        return 1.5 + 2.0 * a - 3.0 * b + 0.5 * c;
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    const std::vector<std::size_t> all = {0, 1, 2};
+    double rss = 0.0;
+    const LinearModel m = gram.fitSubset(all, rss);
+    EXPECT_NEAR(m.intercept, 1.5, 1e-6);
+    EXPECT_NEAR(m.coefficients[0], 2.0, 1e-6);
+    EXPECT_NEAR(m.coefficients[1], -3.0, 1e-6);
+    EXPECT_NEAR(m.coefficients[2], 0.5, 1e-6);
+    EXPECT_LT(rss, 1e-12 * 2000);
+}
+
+TEST(GramTest, SubsetMapsColumnIndices)
+{
+    Dataset d = makeData(1000, 3, [](double, double b, double, Rng &) {
+        return 4.0 * b + 1.0;
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    const std::vector<std::size_t> only_x1 = {1}; // position of col 1
+    double rss = 0.0;
+    const LinearModel m = gram.fitSubset(only_x1, rss);
+    ASSERT_EQ(m.attributes.size(), 1u);
+    EXPECT_EQ(m.attributes[0], 1u); // dataset column index
+    EXPECT_NEAR(m.coefficients[0], 4.0, 1e-6);
+}
+
+TEST(GramTest, RssMatchesDirectComputation)
+{
+    Dataset d = makeData(800, 4, [](double a, double b, double,
+                                    Rng &rng) {
+        return a - b + rng.normal(0.0, 0.2);
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    const std::vector<std::size_t> subset = {0, 1};
+    double rss = 0.0;
+    const LinearModel m = gram.fitSubset(subset, rss);
+
+    double direct = 0.0;
+    for (std::size_t r = 0; r < d.numRows(); ++r) {
+        const double e = m.predict(d.row(r)) - d.at(r, 3);
+        direct += e * e;
+    }
+    EXPECT_NEAR(rss, direct, 1e-6 * std::max(1.0, direct));
+}
+
+TEST(GramTest, SimplifiedDropsIrrelevantAttributes)
+{
+    // y depends only on x0; x1 and x2 are pure noise dimensions.
+    Dataset d = makeData(3000, 5, [](double a, double, double,
+                                     Rng &rng) {
+        return 3.0 * a + rng.normal(0.0, 0.05);
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    double err = 0.0;
+    const LinearModel m = gram.fitSimplified(err);
+    // With n = 3000 the (n+v+1)/(n-v-1) compensation is weak, so a
+    // noise attribute may survive — but only with a negligible
+    // coefficient; the real attribute must be present at full weight.
+    bool found_x0 = false;
+    for (std::size_t i = 0; i < m.attributes.size(); ++i) {
+        if (m.attributes[i] == 0) {
+            found_x0 = true;
+            EXPECT_NEAR(m.coefficients[i], 3.0, 0.01);
+        } else {
+            EXPECT_LT(std::fabs(m.coefficients[i]), 0.02);
+        }
+    }
+    EXPECT_TRUE(found_x0);
+    EXPECT_GT(err, 0.0);
+
+    // At leaf-like sample counts the compensation does bite and the
+    // noise dimensions are eliminated outright.
+    Dataset small = makeData(60, 55, [](double a, double, double,
+                                        Rng &rng) {
+        return 3.0 * a + rng.normal(0.0, 0.05);
+    });
+    GramAccumulator small_gram({0, 1, 2}, 3);
+    small_gram.addRows(small, allRows(small));
+    double small_err = 0.0;
+    const LinearModel sm = small_gram.fitSimplified(small_err);
+    EXPECT_LE(sm.attributes.size(), 2u);
+    EXPECT_EQ(sm.attributes.front(), 0u);
+}
+
+TEST(GramTest, SimplifiedKeepsAllUsefulAttributes)
+{
+    Dataset d = makeData(3000, 6, [](double a, double b, double c,
+                                     Rng &rng) {
+        return a + b + c + rng.normal(0.0, 0.01);
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    double err = 0.0;
+    const LinearModel m = gram.fitSimplified(err);
+    EXPECT_EQ(m.attributes.size(), 3u);
+}
+
+TEST(GramTest, ConstantTargetCollapsesToIntercept)
+{
+    Dataset d({"x0", "y"});
+    for (int i = 0; i < 100; ++i)
+        d.addRow({static_cast<double>(i), 7.0});
+    GramAccumulator gram({0}, 1);
+    gram.addRows(d, allRows(d));
+    double err = 0.0;
+    const LinearModel m = gram.fitSimplified(err);
+    EXPECT_TRUE(m.attributes.empty());
+    EXPECT_NEAR(m.intercept, 7.0, 1e-9);
+    EXPECT_NEAR(err, 0.0, 1e-9);
+    EXPECT_NEAR(gram.targetStddev(), 0.0, 1e-9);
+}
+
+TEST(GramTest, AdjustedErrorPenalisesParameters)
+{
+    Dataset d = makeData(50, 7, [](double a, double, double, Rng &r) {
+        return a + r.normal(0.0, 0.1);
+    });
+    GramAccumulator gram({0, 1, 2}, 3);
+    gram.addRows(d, allRows(d));
+    const double rss = 1.0;
+    EXPECT_GT(gram.adjustedError(rss, 3), gram.adjustedError(rss, 1));
+    EXPECT_GT(gram.adjustedError(rss, 1), gram.adjustedError(rss, 0));
+}
+
+TEST(GramTest, TargetStddevMatchesSample)
+{
+    Dataset d = makeData(400, 8, [](double, double, double, Rng &r) {
+        return r.normal(5.0, 2.0);
+    });
+    GramAccumulator gram({0}, 3);
+    gram.addRows(d, allRows(d));
+    EXPECT_NEAR(gram.targetStddev(), 2.0, 0.25);
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the M5' model tree: structure discovery, prediction
+ * accuracy, classification, pruning, smoothing, printers, and the
+ * regression baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mtree/baselines.hh"
+#include "mtree/model_tree.hh"
+#include "stats/metrics.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+/**
+ * Piecewise-linear ground truth with an obvious split on x0:
+ *   x0 <= 0.5 : y = 1 + 2*x1
+ *   x0 >  0.5 : y = 10 - 4*x1 + 3*x2
+ */
+Dataset
+piecewiseData(std::size_t n, std::uint64_t seed, double noise = 0.0)
+{
+    Dataset d({"x0", "x1", "x2", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        const double x2 = rng.uniform(0.0, 1.0);
+        double y = x0 <= 0.5 ? 1.0 + 2.0 * x1
+                             : 10.0 - 4.0 * x1 + 3.0 * x2;
+        if (noise > 0.0)
+            y += rng.normal(0.0, noise);
+        d.addRow({x0, x1, x2, y});
+    }
+    return d;
+}
+
+TEST(ModelTreeTest, FindsThePlantedSplit)
+{
+    const Dataset d = piecewiseData(4000, 1);
+    const ModelTree tree = ModelTree::train(d, "y");
+    // Root split on x0 near 0.5.
+    const auto path = tree.leafPath(0);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(tree.schema()[path[0].attribute], "x0");
+    EXPECT_NEAR(path[0].value, 0.5, 0.05);
+}
+
+TEST(ModelTreeTest, PredictsPiecewiseFunctionAccurately)
+{
+    const Dataset train = piecewiseData(4000, 2);
+    const Dataset test = piecewiseData(1000, 3);
+    const ModelTree tree = ModelTree::train(train, "y");
+    const auto pred = tree.predictAll(test);
+    const auto metrics = computeAccuracy(pred, test.column("y"));
+    EXPECT_GT(metrics.correlation, 0.995);
+    EXPECT_LT(metrics.meanAbsoluteError, 0.15);
+}
+
+TEST(ModelTreeTest, BeatsGlobalRegressionOnPiecewiseData)
+{
+    const Dataset train = piecewiseData(4000, 4, 0.05);
+    const Dataset test = piecewiseData(1000, 5, 0.05);
+    const ModelTree tree = ModelTree::train(train, "y");
+    const auto lr = GlobalLinearRegression::train(train, "y");
+
+    const auto tree_metrics =
+        computeAccuracy(tree.predictAll(test), test.column("y"));
+    const auto lr_metrics =
+        computeAccuracy(lr.predictAll(test), test.column("y"));
+    EXPECT_LT(tree_metrics.meanAbsoluteError,
+              0.5 * lr_metrics.meanAbsoluteError);
+}
+
+TEST(ModelTreeTest, BeatsConstantLeafTreeOnLinearLeaves)
+{
+    const Dataset train = piecewiseData(4000, 6, 0.05);
+    const Dataset test = piecewiseData(1000, 7, 0.05);
+    ModelTreeConfig config;
+    config.minLeafInstances = 40;
+    const ModelTree m5 = ModelTree::train(train, "y", config);
+    const ModelTree cart = trainRegressionTree(train, "y", config);
+    const auto m5_metrics =
+        computeAccuracy(m5.predictAll(test), test.column("y"));
+    const auto cart_metrics =
+        computeAccuracy(cart.predictAll(test), test.column("y"));
+    EXPECT_LT(m5_metrics.meanAbsoluteError,
+              cart_metrics.meanAbsoluteError);
+}
+
+TEST(ModelTreeTest, LinearDataCollapsesToSingleLeaf)
+{
+    // Pure global linear function: pruning should collapse the tree.
+    Dataset d({"x0", "x1", "y"});
+    Rng rng(8);
+    for (int i = 0; i < 3000; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        d.addRow({x0, x1, 2.0 + x0 - 3.0 * x1 +
+                          rng.normal(0.0, 0.02)});
+    }
+    const ModelTree tree = ModelTree::train(d, "y");
+    EXPECT_LE(tree.numLeaves(), 3u);
+    // And still predicts well.
+    const auto pred = tree.predictAll(d);
+    EXPECT_GT(computeAccuracy(pred, d.column("y")).correlation, 0.99);
+}
+
+TEST(ModelTreeTest, ConstantTargetIsOneLeaf)
+{
+    Dataset d({"x", "y"});
+    for (int i = 0; i < 100; ++i)
+        d.addRow({static_cast<double>(i), 3.14});
+    const ModelTree tree = ModelTree::train(d, "y");
+    EXPECT_EQ(tree.numLeaves(), 1u);
+    const std::vector<double> row = {55.0, 0.0};
+    EXPECT_NEAR(tree.predict(row), 3.14, 1e-9);
+}
+
+TEST(ModelTreeTest, LeafFractionsSumToOne)
+{
+    const Dataset d = piecewiseData(3000, 9, 0.1);
+    const ModelTree tree = ModelTree::train(d, "y");
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const auto &leaf : tree.leaves()) {
+        total += leaf.fraction;
+        count += leaf.count;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(count, d.numRows());
+}
+
+TEST(ModelTreeTest, ClassificationMatchesLeafNumbering)
+{
+    const Dataset d = piecewiseData(3000, 10, 0.1);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const auto classes = tree.classifyAll(d);
+    std::vector<std::size_t> counts(tree.numLeaves(), 0);
+    for (std::size_t c : classes) {
+        ASSERT_LT(c, tree.numLeaves());
+        ++counts[c];
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        EXPECT_EQ(counts[i], tree.leaves()[i].count) << "leaf " << i;
+}
+
+TEST(ModelTreeTest, LeafPathsAreConsistentWithClassification)
+{
+    const Dataset d = piecewiseData(2000, 11, 0.1);
+    const ModelTree tree = ModelTree::train(d, "y");
+    for (std::size_t r = 0; r < 200; ++r) {
+        const auto row = d.row(r);
+        const std::size_t leaf = tree.classify(row);
+        for (const auto &cond : tree.leafPath(leaf)) {
+            if (cond.lessOrEqual)
+                EXPECT_LE(row[cond.attribute], cond.value);
+            else
+                EXPECT_GT(row[cond.attribute], cond.value);
+        }
+    }
+}
+
+TEST(ModelTreeTest, MinLeafFractionBoundsTreeSize)
+{
+    const Dataset d = piecewiseData(4000, 12, 0.3);
+    ModelTreeConfig config;
+    config.minLeafFraction = 0.2; // at most 5 leaves possible
+    const ModelTree tree = ModelTree::train(d, "y", config);
+    EXPECT_LE(tree.numLeaves(), 5u);
+    for (const auto &leaf : tree.leaves())
+        EXPECT_GE(leaf.count, 800u);
+}
+
+TEST(ModelTreeTest, PruningShrinksNoisyTrees)
+{
+    const Dataset d = piecewiseData(2000, 13, 1.0); // heavy noise
+    ModelTreeConfig no_prune;
+    no_prune.prune = false;
+    ModelTreeConfig with_prune;
+    with_prune.prune = true;
+    const ModelTree raw = ModelTree::train(d, "y", no_prune);
+    const ModelTree pruned = ModelTree::train(d, "y", with_prune);
+    EXPECT_LT(pruned.numLeaves(), raw.numLeaves());
+}
+
+TEST(ModelTreeTest, SmoothingKeepsPredictionsExactlyFoldable)
+{
+    // Smoothed predictions must equal the leaf-model evaluation
+    // (smoothing is folded into the printed equations).
+    const Dataset d = piecewiseData(2000, 14, 0.2);
+    ModelTreeConfig config;
+    config.smooth = true;
+    const ModelTree tree = ModelTree::train(d, "y", config);
+    for (std::size_t r = 0; r < 100; ++r) {
+        const auto row = d.row(r);
+        const std::size_t leaf = tree.classify(row);
+        EXPECT_NEAR(tree.predict(row),
+                    tree.leaves()[leaf].model.predict(row), 1e-9);
+    }
+}
+
+TEST(ModelTreeTest, SmoothingChangesLeafModels)
+{
+    const Dataset d = piecewiseData(2000, 15, 0.2);
+    ModelTreeConfig smooth_on;
+    smooth_on.smooth = true;
+    ModelTreeConfig smooth_off;
+    smooth_off.smooth = false;
+    const ModelTree a = ModelTree::train(d, "y", smooth_on);
+    const ModelTree b = ModelTree::train(d, "y", smooth_off);
+    ASSERT_EQ(a.numLeaves(), b.numLeaves());
+    bool any_difference = false;
+    for (std::size_t i = 0; i < a.numLeaves(); ++i) {
+        if (std::fabs(a.leaves()[i].model.intercept -
+                      b.leaves()[i].model.intercept) > 1e-12) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(ModelTreeTest, SplitAttributesReported)
+{
+    const Dataset d = piecewiseData(4000, 16);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const auto attrs = tree.splitAttributes();
+    ASSERT_FALSE(attrs.empty());
+    std::set<std::string> names;
+    for (std::size_t a : attrs)
+        names.insert(tree.schema()[a]);
+    EXPECT_TRUE(names.count("x0"));
+    EXPECT_FALSE(names.count("y"));
+}
+
+TEST(ModelTreeTest, DescribeContainsLeavesAndEquations)
+{
+    const Dataset d = piecewiseData(3000, 17, 0.05);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const std::string text = tree.describe();
+    EXPECT_NE(text.find("LM1"), std::string::npos);
+    EXPECT_NE(text.find("y ="), std::string::npos);
+    EXPECT_NE(text.find("x0"), std::string::npos);
+    EXPECT_NE(text.find("% of samples"), std::string::npos);
+}
+
+TEST(ModelTreeTest, DotOutputWellFormed)
+{
+    const Dataset d = piecewiseData(2000, 18, 0.05);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const std::string dot = tree.toDot();
+    EXPECT_EQ(dot.find("digraph"), 0u);
+    EXPECT_NE(dot.find("shape=box"), std::string::npos);
+    EXPECT_NE(dot.find("shape=oval"), std::string::npos);
+    EXPECT_NE(dot.find("}"), std::string::npos);
+    // One box per leaf.
+    std::size_t boxes = 0;
+    std::size_t pos = 0;
+    while ((pos = dot.find("shape=box", pos)) != std::string::npos) {
+        ++boxes;
+        pos += 9;
+    }
+    EXPECT_EQ(boxes, tree.numLeaves());
+}
+
+TEST(ModelTreeTest, DeterministicTraining)
+{
+    const Dataset d = piecewiseData(2000, 19, 0.1);
+    const ModelTree a = ModelTree::train(d, "y");
+    const ModelTree b = ModelTree::train(d, "y");
+    EXPECT_EQ(a.numLeaves(), b.numLeaves());
+    for (std::size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(a.predict(d.row(r)), b.predict(d.row(r)));
+}
+
+TEST(ModelTreeDeathTest, EmptyDatasetIsFatal)
+{
+    Dataset d({"x", "y"});
+    EXPECT_EXIT(ModelTree::train(d, "y"),
+                ::testing::ExitedWithCode(1), "empty dataset");
+}
+
+TEST(ModelTreeDeathTest, SchemaMismatchOnPredictAll)
+{
+    const Dataset d = piecewiseData(500, 20);
+    const ModelTree tree = ModelTree::train(d, "y");
+    Dataset other({"a", "b"});
+    other.addRow({1.0, 2.0});
+    EXPECT_EXIT(tree.predictAll(other), ::testing::ExitedWithCode(1),
+                "schema");
+}
+
+TEST(BaselineTest, GlobalRegressionRecoversLinearTruth)
+{
+    Dataset d({"x0", "x1", "y"});
+    Rng rng(21);
+    for (int i = 0; i < 2000; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        d.addRow({x0, x1, 0.5 + 2.0 * x0 - x1});
+    }
+    const auto lr = GlobalLinearRegression::train(d, "y");
+    EXPECT_NEAR(lr.model().intercept, 0.5, 1e-6);
+    const auto pred = lr.predictAll(d);
+    EXPECT_LT(meanAbsoluteError(pred, d.column("y")), 1e-6);
+}
+
+TEST(BaselineTest, ConstantLeafTreePredictsLeafMeans)
+{
+    const Dataset d = piecewiseData(2000, 22, 0.0);
+    ModelTreeConfig config;
+    config.minLeafInstances = 50;
+    const ModelTree cart = trainRegressionTree(d, "y", config);
+    for (const auto &leaf : cart.leaves()) {
+        EXPECT_TRUE(leaf.model.attributes.empty());
+        EXPECT_NEAR(leaf.model.intercept, leaf.meanTarget, 1e-9);
+    }
+}
+
+// Hyper-parameter sweep: trees stay valid across configurations.
+struct SweepParam
+{
+    std::size_t min_leaf;
+    bool prune;
+    bool smooth;
+};
+
+class ModelTreeSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(ModelTreeSweep, TrainsAndPredictsSanely)
+{
+    const auto param = GetParam();
+    const Dataset train = piecewiseData(3000, 23, 0.1);
+    const Dataset test = piecewiseData(500, 24, 0.1);
+    ModelTreeConfig config;
+    config.minLeafInstances = param.min_leaf;
+    config.prune = param.prune;
+    config.smooth = param.smooth;
+    const ModelTree tree = ModelTree::train(train, "y", config);
+    EXPECT_GE(tree.numLeaves(), 1u);
+    const auto metrics =
+        computeAccuracy(tree.predictAll(test), test.column("y"));
+    EXPECT_GT(metrics.correlation, 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelTreeSweep,
+    ::testing::Values(SweepParam{4, true, true},
+                      SweepParam{4, true, false},
+                      SweepParam{4, false, true},
+                      SweepParam{4, false, false},
+                      SweepParam{50, true, true},
+                      SweepParam{200, true, true}));
+
+} // namespace
+} // namespace wct

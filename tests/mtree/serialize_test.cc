@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Round-trip tests for model tree serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mtree/serialize.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+Dataset
+trainingData(std::size_t n, std::uint64_t seed)
+{
+    Dataset d({"x0", "x1", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        const double y = x0 <= 0.5 ? 1.0 + 2.0 * x1
+                                   : 8.0 - x1 + rng.normal(0.0, 0.05);
+        d.addRow({x0, x1, y});
+    }
+    return d;
+}
+
+TEST(SerializeTest, RoundTripPredictionsIdentical)
+{
+    const Dataset d = trainingData(2000, 1);
+    const ModelTree original = ModelTree::train(d, "y");
+
+    std::stringstream buffer;
+    original.save(buffer);
+    const ModelTree restored = ModelTree::load(buffer);
+
+    EXPECT_EQ(restored.numLeaves(), original.numLeaves());
+    EXPECT_EQ(restored.targetName(), "y");
+    EXPECT_EQ(restored.schema(), original.schema());
+    for (std::size_t r = 0; r < d.numRows(); r += 7) {
+        const auto row = d.row(r);
+        EXPECT_DOUBLE_EQ(restored.predict(row), original.predict(row));
+        EXPECT_EQ(restored.classify(row), original.classify(row));
+    }
+}
+
+TEST(SerializeTest, RoundTripLeafMetadata)
+{
+    const Dataset d = trainingData(1500, 2);
+    const ModelTree original = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    original.save(buffer);
+    const ModelTree restored = ModelTree::load(buffer);
+
+    ASSERT_EQ(restored.leaves().size(), original.leaves().size());
+    for (std::size_t i = 0; i < original.leaves().size(); ++i) {
+        EXPECT_EQ(restored.leaves()[i].count,
+                  original.leaves()[i].count);
+        EXPECT_DOUBLE_EQ(restored.leaves()[i].meanTarget,
+                         original.leaves()[i].meanTarget);
+        EXPECT_DOUBLE_EQ(restored.leaves()[i].fraction,
+                         original.leaves()[i].fraction);
+    }
+}
+
+TEST(SerializeTest, DescribeSurvivesRoundTrip)
+{
+    const Dataset d = trainingData(1000, 3);
+    const ModelTree original = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    original.save(buffer);
+    const ModelTree restored = ModelTree::load(buffer);
+    EXPECT_EQ(restored.describe(), original.describe());
+    EXPECT_EQ(restored.toDot(), original.toDot());
+}
+
+TEST(SerializeTest, DoubleRoundTripIsStable)
+{
+    const Dataset d = trainingData(1000, 4);
+    const ModelTree tree = ModelTree::train(d, "y");
+    std::stringstream first;
+    tree.save(first);
+    const std::string text1 = first.str();
+    const ModelTree again = ModelTree::load(first);
+    std::stringstream second;
+    again.save(second);
+    EXPECT_EQ(text1, second.str());
+}
+
+TEST(SerializeTest, FileRoundTrip)
+{
+    const Dataset d = trainingData(800, 5);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const std::string path = "/tmp/wct_serialize_test.mtree";
+    writeModelTreeFile(tree, path);
+    const ModelTree restored = readModelTreeFile(path);
+    EXPECT_EQ(restored.numLeaves(), tree.numLeaves());
+    for (std::size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(restored.predict(d.row(r)),
+                         tree.predict(d.row(r)));
+}
+
+TEST(SerializeTest, SingleLeafTree)
+{
+    Dataset d({"x", "y"});
+    for (int i = 0; i < 50; ++i)
+        d.addRow({static_cast<double>(i), 2.5});
+    const ModelTree tree = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    tree.save(buffer);
+    const ModelTree restored = ModelTree::load(buffer);
+    EXPECT_EQ(restored.numLeaves(), 1u);
+    const std::vector<double> row = {99.0, 0.0};
+    EXPECT_NEAR(restored.predict(row), 2.5, 1e-12);
+}
+
+TEST(SerializeDeathTest, BadMagicIsFatal)
+{
+    std::stringstream buffer("not a model\n");
+    EXPECT_EXIT(ModelTree::load(buffer),
+                ::testing::ExitedWithCode(1), "magic");
+}
+
+TEST(SerializeDeathTest, TruncatedInputIsFatal)
+{
+    const Dataset d = trainingData(500, 6);
+    const ModelTree tree = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    tree.save(buffer);
+    std::string text = buffer.str();
+    text.resize(text.size() / 2);
+    std::stringstream half(text);
+    EXPECT_EXIT(ModelTree::load(half), ::testing::ExitedWithCode(1),
+                "model tree");
+}
+
+TEST(SerializeDeathTest, OutOfSchemaAttributeIsFatal)
+{
+    std::stringstream buffer(
+        "wct-model-tree v1\n"
+        "target y\n"
+        "schema 2 x y\n"
+        "range 0 1 0.5 1\n"
+        "node leaf 10 0.5 0.5 1 7 2.0\n" // attribute 7 > schema
+        "end\n");
+    EXPECT_EXIT(ModelTree::load(buffer),
+                ::testing::ExitedWithCode(1), "outside schema");
+}
+
+} // namespace
+} // namespace wct

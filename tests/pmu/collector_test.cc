@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the interval collector: normalisation, multiplexing
+ * estimation against exact counts, and dataset assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pmu/collector.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+/** Stochastic mixed-class source with stable rates. */
+class MixSource : public InstSource
+{
+  public:
+    explicit MixSource(std::uint64_t seed) : rng_(seed) {}
+
+    Inst
+    next() override
+    {
+        Inst inst;
+        inst.pc = 0x400 + (step_++ % 64) * 4;
+        const double u = rng_.uniform();
+        if (u < 0.25) {
+            inst.cls = InstClass::Load;
+            inst.addr = 0x100000 + rng_.uniformInt(1 << 14) * 8;
+            inst.size = 8;
+        } else if (u < 0.35) {
+            inst.cls = InstClass::Store;
+            inst.addr = 0x200000 + rng_.uniformInt(1 << 14) * 8;
+            inst.size = 8;
+        } else if (u < 0.50) {
+            inst.cls = InstClass::Branch;
+            if (rng_.bernoulli(0.6))
+                inst.flags = kFlagTaken;
+        } else if (u < 0.55) {
+            inst.cls = InstClass::Mul;
+        } else if (u < 0.57) {
+            inst.cls = InstClass::Div;
+        } else if (u < 0.70) {
+            inst.cls = InstClass::Simd;
+        } else {
+            inst.cls = InstClass::Alu;
+        }
+        return inst;
+    }
+
+  private:
+    Rng rng_;
+    std::uint64_t step_ = 0;
+};
+
+TEST(CollectorTest, GroupsCoverAllMultiplexedEventsOnce)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    IntervalCollector collector(core, config);
+
+    std::vector<int> seen(kNumEvents, 0);
+    for (const auto &group : collector.groups()) {
+        EXPECT_LE(group.size(), config.programmableCounters);
+        for (Event e : group)
+            ++seen[static_cast<std::size_t>(e)];
+    }
+    for (std::size_t i = 0; i < kNumEvents; ++i) {
+        const bool multiplexed = i >= kFirstMultiplexedEvent;
+        EXPECT_EQ(seen[i], multiplexed ? 1 : 0) << "event " << i;
+    }
+}
+
+TEST(CollectorTest, ExactModeMatchesCoreCounts)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.multiplexed = false;
+    config.intervalInstructions = 2000;
+    IntervalCollector collector(core, config);
+    MixSource src(42);
+
+    const auto row = collector.collectInterval(src);
+    const auto names = metricColumnNames();
+    ASSERT_EQ(row.size(), names.size());
+
+    // Densities recomputed straight from the core's counters.
+    const auto &counts = core.counts();
+    const double insts =
+        static_cast<double>(countOf(counts, Event::Instructions));
+    EXPECT_DOUBLE_EQ(insts, 2000.0);
+    for (std::size_t i = 1; i < names.size(); ++i) {
+        const Event e = eventFromShortName(names[i]);
+        EXPECT_DOUBLE_EQ(
+            row[i],
+            static_cast<double>(countOf(counts, e)) / insts)
+            << names[i];
+    }
+    EXPECT_NEAR(row[0], core.cpi(), 1e-12);
+}
+
+TEST(CollectorTest, DensitiesAreSane)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.multiplexed = false;
+    config.intervalInstructions = 5000;
+    IntervalCollector collector(core, config);
+    MixSource src(43);
+    const auto names = metricColumnNames();
+
+    for (int interval = 0; interval < 5; ++interval) {
+        const auto row = collector.collectInterval(src);
+        EXPECT_GT(row[0], 0.0);    // CPI positive
+        EXPECT_LT(row[0], 1000.0); // and bounded
+        for (std::size_t i = 1; i < row.size(); ++i) {
+            EXPECT_GE(row[i], 0.0) << names[i];
+            EXPECT_LE(row[i], 1.0) << names[i]; // per-instruction
+        }
+    }
+}
+
+TEST(CollectorTest, MixRatesRecovered)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.multiplexed = false;
+    config.intervalInstructions = 50000;
+    IntervalCollector collector(core, config);
+    MixSource src(44);
+    const auto row = collector.collectInterval(src);
+    const auto names = metricColumnNames();
+    auto density = [&](const char *name) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            if (names[i] == name)
+                return row[i];
+        ADD_FAILURE() << "no column " << name;
+        return 0.0;
+    };
+    EXPECT_NEAR(density("Load"), 0.25, 0.02);
+    EXPECT_NEAR(density("Store"), 0.10, 0.02);
+    EXPECT_NEAR(density("Br"), 0.15, 0.02);
+    EXPECT_NEAR(density("Mul"), 0.05, 0.01);
+    EXPECT_NEAR(density("Div"), 0.02, 0.01);
+    EXPECT_NEAR(density("SIMD"), 0.13, 0.02);
+}
+
+TEST(CollectorTest, MultiplexedEstimatesTrackExactCounts)
+{
+    // Run the same deterministic stream through an exact collector
+    // and a multiplexed one; averaged over many intervals the
+    // multiplexed estimates must converge to the exact densities.
+    CollectorConfig exact_config;
+    exact_config.multiplexed = false;
+    exact_config.intervalInstructions = 4000;
+    CollectorConfig mux_config = exact_config;
+    mux_config.multiplexed = true;
+
+    CoreModel exact_core{CoreConfig{}};
+    CoreModel mux_core{CoreConfig{}};
+    IntervalCollector exact_collector(exact_core, exact_config);
+    IntervalCollector mux_collector(mux_core, mux_config);
+    MixSource exact_src(45);
+    MixSource mux_src(45);
+
+    constexpr int intervals = 200;
+    const Dataset exact = exact_collector.collect(exact_src, intervals);
+    const Dataset mux = mux_collector.collect(mux_src, intervals);
+
+    for (std::size_t c = 0; c < exact.numColumns(); ++c) {
+        const auto e = exact.summarize(c);
+        const auto m = mux.summarize(c);
+        // Within 10% relative or a small absolute floor.
+        const double tolerance = std::max(0.1 * e.mean, 2e-4);
+        EXPECT_NEAR(m.mean, e.mean, tolerance)
+            << exact.columnNames()[c];
+    }
+}
+
+TEST(CollectorTest, MultiplexingAddsVariance)
+{
+    // For a steady-rate event the multiplexed estimator is noisier
+    // than exact counting.
+    CollectorConfig exact_config;
+    exact_config.multiplexed = false;
+    exact_config.intervalInstructions = 4000;
+    CollectorConfig mux_config = exact_config;
+    mux_config.multiplexed = true;
+
+    CoreModel exact_core{CoreConfig{}};
+    CoreModel mux_core{CoreConfig{}};
+    IntervalCollector exact_collector(exact_core, exact_config);
+    IntervalCollector mux_collector(mux_core, mux_config);
+    MixSource exact_src(46);
+    MixSource mux_src(46);
+
+    const Dataset exact = exact_collector.collect(exact_src, 150);
+    const Dataset mux = mux_collector.collect(mux_src, 150);
+
+    const auto load_col = exact.columnIndex("Load");
+    EXPECT_GT(mux.summarize(load_col).stddev,
+              exact.summarize(load_col).stddev);
+}
+
+TEST(CollectorTest, CollectBuildsDatasetShape)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.intervalInstructions = 1000;
+    IntervalCollector collector(core, config);
+    MixSource src(47);
+    const Dataset data = collector.collect(src, 25);
+    EXPECT_EQ(data.numRows(), 25u);
+    EXPECT_EQ(data.columnNames(), metricColumnNames());
+}
+
+TEST(CollectorDeathTest, TinyIntervalRejected)
+{
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.intervalInstructions = 3; // fewer than sub-windows
+    EXPECT_DEATH(IntervalCollector(core, config), "sub-windows");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the Table I event taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmu/events.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(EventsTest, TableIsCompleteAndOrdered)
+{
+    const auto &table = eventTable();
+    ASSERT_EQ(table.size(), kNumEvents);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        EXPECT_EQ(static_cast<std::size_t>(table[i].event), i);
+}
+
+TEST(EventsTest, ExactlyThreeDedicatedCounters)
+{
+    int dedicated = 0;
+    for (const auto &info : eventTable())
+        dedicated += info.dedicated;
+    EXPECT_EQ(dedicated, 3);
+    EXPECT_TRUE(eventInfo(Event::Cycles).dedicated);
+    EXPECT_TRUE(eventInfo(Event::Instructions).dedicated);
+    EXPECT_TRUE(eventInfo(Event::CyclesRef).dedicated);
+    EXPECT_FALSE(eventInfo(Event::DtlbMiss).dedicated);
+}
+
+TEST(EventsTest, ShortNamesUniqueAndRoundTrip)
+{
+    std::set<std::string> names;
+    for (const auto &info : eventTable()) {
+        EXPECT_TRUE(names.insert(info.shortName).second)
+            << "duplicate " << info.shortName;
+        EXPECT_EQ(eventFromShortName(info.shortName), info.event);
+    }
+}
+
+TEST(EventsTest, PmuNamesMatchTableI)
+{
+    EXPECT_STREQ(eventInfo(Event::DtlbMiss).pmuName,
+                 "DTLB_MISSES.ANY");
+    EXPECT_STREQ(eventInfo(Event::LdBlkSta).pmuName,
+                 "LOAD_BLOCK.STA");
+    EXPECT_STREQ(eventInfo(Event::Simd).pmuName,
+                 "SIMD_INST_RETIRED.ANY");
+    EXPECT_STREQ(eventInfo(Event::Cycles).pmuName,
+                 "CPU_CLK_UNHALTED.CORE");
+}
+
+TEST(EventsTest, MetricColumnsStartWithCpi)
+{
+    const auto names = metricColumnNames();
+    ASSERT_FALSE(names.empty());
+    EXPECT_EQ(names.front(), "CPI");
+    // CPI plus the 19 multiplexed events of Table I.
+    EXPECT_EQ(names.size(), kNumEvents - kFirstMultiplexedEvent + 1);
+    // The dedicated raw counters are not modeling columns.
+    for (const auto &name : names) {
+        EXPECT_NE(name, "Cycles");
+        EXPECT_NE(name, "Inst");
+        EXPECT_NE(name, "CyclesRef");
+    }
+}
+
+TEST(EventsTest, CountHelpers)
+{
+    EventCounts counts;
+    clearCounts(counts);
+    bump(counts, Event::L2Miss);
+    bump(counts, Event::L2Miss, 5);
+    EXPECT_EQ(countOf(counts, Event::L2Miss), 6u);
+    EXPECT_EQ(countOf(counts, Event::Div), 0u);
+    clearCounts(counts);
+    EXPECT_EQ(countOf(counts, Event::L2Miss), 0u);
+}
+
+TEST(EventsDeathTest, UnknownShortNameIsFatal)
+{
+    EXPECT_EXIT(eventFromShortName("NoSuchEvent"),
+                ::testing::ExitedWithCode(1), "unknown event");
+}
+
+} // namespace
+} // namespace wct

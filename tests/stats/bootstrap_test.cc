@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the bootstrap confidence intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.hh"
+#include "stats/descriptive.hh"
+#include "stats/metrics.hh"
+
+namespace wct
+{
+namespace
+{
+
+std::vector<double>
+normalSample(Rng &rng, std::size_t n, double mean, double sd)
+{
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(rng.normal(mean, sd));
+    return xs;
+}
+
+double
+meanStat(std::span<const double> xs)
+{
+    return mean(xs);
+}
+
+TEST(BootstrapTest, MeanCiCoversTruth)
+{
+    Rng rng(1);
+    const auto xs = normalSample(rng, 400, 5.0, 1.0);
+    const auto ci = bootstrapCi(xs, meanStat, rng, 1000, 0.95);
+    EXPECT_LE(ci.lower, 5.1);
+    EXPECT_GE(ci.upper, 4.9);
+    EXPECT_NEAR(ci.pointEstimate, mean(xs), 1e-12);
+    EXPECT_LT(ci.lower, ci.pointEstimate);
+    EXPECT_GT(ci.upper, ci.pointEstimate);
+}
+
+TEST(BootstrapTest, WidthMatchesClassicStandardError)
+{
+    // 95% CI width for a mean ~ 2 * 1.96 * sd/sqrt(n).
+    Rng rng(2);
+    const std::size_t n = 900;
+    const auto xs = normalSample(rng, n, 0.0, 3.0);
+    const auto ci = bootstrapCi(xs, meanStat, rng, 1500, 0.95);
+    const double expected =
+        2.0 * 1.96 * 3.0 / std::sqrt(static_cast<double>(n));
+    EXPECT_NEAR(ci.width(), expected, 0.30 * expected);
+}
+
+TEST(BootstrapTest, WidthShrinksWithSampleSize)
+{
+    Rng rng(3);
+    const auto small = normalSample(rng, 50, 0.0, 1.0);
+    const auto large = normalSample(rng, 5000, 0.0, 1.0);
+    const auto ci_small = bootstrapCi(small, meanStat, rng, 800);
+    const auto ci_large = bootstrapCi(large, meanStat, rng, 800);
+    EXPECT_LT(ci_large.width(), ci_small.width() / 3.0);
+}
+
+TEST(BootstrapTest, ConfidenceLevelOrdersWidths)
+{
+    Rng rng(4);
+    const auto xs = normalSample(rng, 300, 0.0, 1.0);
+    Rng rng_a(9);
+    const auto ci90 = bootstrapCi(xs, meanStat, rng_a, 1200, 0.90);
+    Rng rng_b(9);
+    const auto ci99 = bootstrapCi(xs, meanStat, rng_b, 1200, 0.99);
+    EXPECT_LT(ci90.width(), ci99.width());
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed)
+{
+    Rng data_rng(5);
+    const auto xs = normalSample(data_rng, 200, 1.0, 0.5);
+    Rng a(7);
+    Rng b(7);
+    const auto ci_a = bootstrapCi(xs, meanStat, a, 500);
+    const auto ci_b = bootstrapCi(xs, meanStat, b, 500);
+    EXPECT_DOUBLE_EQ(ci_a.lower, ci_b.lower);
+    EXPECT_DOUBLE_EQ(ci_a.upper, ci_b.upper);
+}
+
+TEST(BootstrapTest, IntervalPredicates)
+{
+    ConfidenceInterval ci;
+    ci.lower = 0.8;
+    ci.upper = 0.9;
+    EXPECT_TRUE(ci.entirelyAbove(0.7));
+    EXPECT_FALSE(ci.entirelyAbove(0.85));
+    EXPECT_TRUE(ci.entirelyBelow(0.95));
+    EXPECT_FALSE(ci.entirelyBelow(0.85));
+    EXPECT_TRUE(ci.contains(0.85));
+    EXPECT_FALSE(ci.contains(0.95));
+    EXPECT_NEAR(ci.width(), 0.1, 1e-12);
+}
+
+TEST(BootstrapPairedTest, CorrelationCiTight)
+{
+    Rng rng(6);
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.uniform(0.0, 2.0);
+        actual.push_back(a);
+        predicted.push_back(a + rng.normal(0.0, 0.1));
+    }
+    const auto ci = bootstrapPairedCi(
+        predicted, actual,
+        [](std::span<const double> p, std::span<const double> a) {
+            return pearsonCorrelation(p, a);
+        },
+        rng, 800);
+    EXPECT_GT(ci.lower, 0.97);
+    EXPECT_LE(ci.upper, 1.0 + 1e-12);
+    EXPECT_LT(ci.width(), 0.02);
+}
+
+TEST(BootstrapPairedTest, PairingIsPreserved)
+{
+    // Statistic sensitive to pairing: MAE of a perfect predictor is
+    // 0 in every resample only if pairs stay together.
+    Rng rng(8);
+    std::vector<double> actual;
+    for (int i = 0; i < 500; ++i)
+        actual.push_back(rng.uniform(0.0, 10.0));
+    const auto ci = bootstrapPairedCi(
+        actual, actual,
+        [](std::span<const double> p, std::span<const double> a) {
+            return meanAbsoluteError(p, a);
+        },
+        rng, 300);
+    EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+    EXPECT_DOUBLE_EQ(ci.upper, 0.0);
+}
+
+TEST(BootstrapDeathTest, InvalidArguments)
+{
+    Rng rng(9);
+    const std::vector<double> xs = {1.0, 2.0};
+    EXPECT_DEATH(bootstrapCi({}, meanStat, rng), "empty");
+    EXPECT_DEATH(bootstrapCi(xs, meanStat, rng, 5), "replicates");
+    EXPECT_DEATH(bootstrapCi(xs, meanStat, rng, 100, 1.5),
+                 "confidence");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for k-means and k-medoids clustering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/cluster.hh"
+
+namespace wct
+{
+namespace
+{
+
+/** Three well-separated 2-D blobs. */
+std::vector<std::vector<double>>
+threeBlobs(Rng &rng, std::size_t per_blob = 40)
+{
+    const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    std::vector<std::vector<double>> points;
+    for (int b = 0; b < 3; ++b)
+        for (std::size_t i = 0; i < per_blob; ++i)
+            points.push_back({centers[b][0] + rng.normal(0.0, 0.5),
+                              centers[b][1] + rng.normal(0.0, 0.5)});
+    return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs)
+{
+    Rng rng(1);
+    const auto points = threeBlobs(rng);
+    const KMeansResult result = kMeans(points, 3, rng);
+
+    // Each blob maps to exactly one cluster.
+    for (int b = 0; b < 3; ++b) {
+        std::set<std::size_t> labels;
+        for (std::size_t i = 0; i < 40; ++i)
+            labels.insert(result.assignment[b * 40 + i]);
+        EXPECT_EQ(labels.size(), 1u) << "blob " << b;
+    }
+    // And the three clusters are distinct.
+    std::set<std::size_t> all(result.assignment.begin(),
+                              result.assignment.end());
+    EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(KMeansTest, CentroidsNearBlobCenters)
+{
+    Rng rng(2);
+    const auto points = threeBlobs(rng);
+    const KMeansResult result = kMeans(points, 3, rng);
+    int matched = 0;
+    for (const auto &center :
+         {std::pair{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}) {
+        for (const auto &centroid : result.centroids) {
+            const double d =
+                std::hypot(centroid[0] - center.first,
+                           centroid[1] - center.second);
+            if (d < 0.5)
+                ++matched;
+        }
+    }
+    EXPECT_EQ(matched, 3);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters)
+{
+    Rng rng(3);
+    const auto points = threeBlobs(rng);
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t k : {1u, 2u, 3u, 6u}) {
+        Rng local(99);
+        const double inertia = kMeans(points, k, local).inertia;
+        EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+        prev = inertia;
+    }
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia)
+{
+    Rng rng(4);
+    std::vector<std::vector<double>> points = {
+        {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {5.0, 5.0}};
+    const KMeansResult result = kMeans(points, 4, rng);
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ExemplarsAreInputPoints)
+{
+    Rng rng(5);
+    const auto points = threeBlobs(rng);
+    const KMeansResult result = kMeans(points, 3, rng);
+    ASSERT_EQ(result.exemplars.size(), 3u);
+    for (std::size_t e : result.exemplars)
+        EXPECT_LT(e, points.size());
+}
+
+TEST(KMeansTest, SingleCluster)
+{
+    Rng rng(6);
+    const auto points = threeBlobs(rng);
+    const KMeansResult result = kMeans(points, 1, rng);
+    for (std::size_t a : result.assignment)
+        EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeansDeathTest, BadK)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+    EXPECT_DEATH(kMeans(points, 3, rng), "out of range");
+    EXPECT_DEATH(kMeans({}, 1, rng), "empty");
+}
+
+/** Distance matrix for points on a line: 0, 1, 2, 10, 11, 12. */
+std::vector<double>
+lineDistances(std::vector<double> &positions)
+{
+    positions = {0.0, 1.0, 2.0, 10.0, 11.0, 12.0};
+    const std::size_t n = positions.size();
+    std::vector<double> d(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            d[i * n + j] = std::fabs(positions[i] - positions[j]);
+    return d;
+}
+
+TEST(KMedoidsTest, TwoGroupsOnALine)
+{
+    std::vector<double> positions;
+    const auto d = lineDistances(positions);
+    const KMedoidsResult result = kMedoids(d, positions.size(), 2);
+    ASSERT_EQ(result.medoids.size(), 2u);
+    // The optimal medoids are the group middles: indices 1 and 4.
+    EXPECT_EQ(result.medoids[0], 1u);
+    EXPECT_EQ(result.medoids[1], 4u);
+    EXPECT_NEAR(result.cost, 4.0, 1e-12);
+    // Assignment splits the line in half.
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(result.assignment[i], 0u);
+    for (std::size_t i = 3; i < 6; ++i)
+        EXPECT_EQ(result.assignment[i], 1u);
+}
+
+TEST(KMedoidsTest, SingleMedoidIsGeometricMedian)
+{
+    std::vector<double> positions;
+    const auto d = lineDistances(positions);
+    const KMedoidsResult result = kMedoids(d, positions.size(), 1);
+    // Any of the middle points minimises total distance; cost 30 at
+    // index 2 (|0-2|+|1-2|+0+8+9+10 = 30) equals index 3's cost.
+    const double cost2 = 2 + 1 + 0 + 8 + 9 + 10;
+    EXPECT_NEAR(result.cost, cost2, 1e-12);
+}
+
+TEST(KMedoidsTest, KEqualsNZeroCost)
+{
+    std::vector<double> positions;
+    const auto d = lineDistances(positions);
+    const KMedoidsResult result = kMedoids(d, positions.size(), 6);
+    EXPECT_NEAR(result.cost, 0.0, 1e-12);
+    std::set<std::size_t> unique(result.medoids.begin(),
+                                 result.medoids.end());
+    EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(KMedoidsTest, CostMonotoneInK)
+{
+    std::vector<double> positions;
+    const auto d = lineDistances(positions);
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 1; k <= 6; ++k) {
+        const double cost = kMedoids(d, positions.size(), k).cost;
+        EXPECT_LE(cost, prev + 1e-12) << "k=" << k;
+        prev = cost;
+    }
+}
+
+TEST(KMedoidsDeathTest, BadMatrix)
+{
+    EXPECT_DEATH(kMedoids(std::vector<double>(5, 0.0), 2, 1),
+                 "size mismatch");
+}
+
+} // namespace
+} // namespace wct

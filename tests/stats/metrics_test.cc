@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the prediction accuracy metrics of Section VI-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/metrics.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(MetricsTest, PerfectPrediction)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0, 4.0};
+    const auto m = computeAccuracy(actual, actual);
+    EXPECT_NEAR(m.correlation, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.meanAbsoluteError, 0.0);
+    EXPECT_DOUBLE_EQ(m.rootMeanSquaredError, 0.0);
+    EXPECT_DOUBLE_EQ(m.relativeAbsoluteError, 0.0);
+    EXPECT_DOUBLE_EQ(m.rootRelativeSquaredError, 0.0);
+    EXPECT_TRUE(m.acceptable());
+}
+
+TEST(MetricsTest, ConstantOffset)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> pred;
+    for (double a : actual)
+        pred.push_back(a + 0.1);
+    const auto m = computeAccuracy(pred, actual);
+    // Correlation is shift-invariant; MAE sees the offset.
+    EXPECT_NEAR(m.correlation, 1.0, 1e-12);
+    EXPECT_NEAR(m.meanAbsoluteError, 0.1, 1e-12);
+    EXPECT_NEAR(m.rootMeanSquaredError, 0.1, 1e-12);
+    EXPECT_TRUE(m.acceptable());
+}
+
+TEST(MetricsTest, MeanPredictorHasUnitRelativeErrors)
+{
+    const std::vector<double> actual = {1.0, 3.0, 5.0, 7.0};
+    const std::vector<double> pred(4, 4.0); // the mean of actual
+    const auto m = computeAccuracy(pred, actual);
+    EXPECT_NEAR(m.relativeAbsoluteError, 1.0, 1e-12);
+    EXPECT_NEAR(m.rootRelativeSquaredError, 1.0, 1e-12);
+    EXPECT_FALSE(m.acceptable());
+}
+
+TEST(MetricsTest, AntiCorrelatedPrediction)
+{
+    const std::vector<double> actual = {1.0, 2.0, 3.0};
+    const std::vector<double> pred = {3.0, 2.0, 1.0};
+    const auto m = computeAccuracy(pred, actual);
+    EXPECT_NEAR(m.correlation, -1.0, 1e-12);
+    EXPECT_FALSE(m.acceptable());
+}
+
+TEST(MetricsTest, MaeVsRmseOutlierSensitivity)
+{
+    const std::vector<double> actual(10, 0.0);
+    std::vector<double> pred(10, 0.0);
+    pred[0] = 10.0; // single large error
+    EXPECT_NEAR(meanAbsoluteError(pred, actual), 1.0, 1e-12);
+    EXPECT_NEAR(rootMeanSquaredError(pred, actual),
+                std::sqrt(10.0), 1e-12);
+}
+
+TEST(MetricsTest, PaperThresholds)
+{
+    AccuracyMetrics good;
+    good.correlation = 0.9214;
+    good.meanAbsoluteError = 0.0988;
+    EXPECT_TRUE(good.acceptable());
+
+    AccuracyMetrics bad;
+    bad.correlation = 0.4337;
+    bad.meanAbsoluteError = 0.3721;
+    EXPECT_FALSE(bad.acceptable());
+
+    // Boundary behaviour is strict.
+    AccuracyMetrics edge;
+    edge.correlation = 0.85;
+    edge.meanAbsoluteError = 0.10;
+    EXPECT_FALSE(edge.acceptable());
+    edge.correlation = 0.86;
+    edge.meanAbsoluteError = 0.15;
+    EXPECT_FALSE(edge.acceptable());
+    edge.meanAbsoluteError = 0.149;
+    EXPECT_TRUE(edge.acceptable());
+}
+
+TEST(MetricsTest, CustomThresholds)
+{
+    AccuracyMetrics m;
+    m.correlation = 0.7;
+    m.meanAbsoluteError = 0.2;
+    EXPECT_FALSE(m.acceptable());
+    EXPECT_TRUE(m.acceptable(0.6, 0.3));
+}
+
+TEST(MetricsTest, NoisyButGoodPrediction)
+{
+    Rng rng(7);
+    std::vector<double> actual, pred;
+    for (int i = 0; i < 10000; ++i) {
+        const double a = rng.uniform(0.5, 2.5);
+        actual.push_back(a);
+        pred.push_back(a + rng.normal(0.0, 0.05));
+    }
+    const auto m = computeAccuracy(pred, actual);
+    EXPECT_GT(m.correlation, 0.99);
+    EXPECT_NEAR(m.meanAbsoluteError, 0.05 * std::sqrt(2.0 / M_PI),
+                0.003);
+    EXPECT_TRUE(m.acceptable());
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the Jacobi eigensolver and PCA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/pca.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(JacobiTest, DiagonalMatrix)
+{
+    // Eigenvalues of a diagonal matrix are its entries (sorted).
+    const std::vector<double> m = {3.0, 0.0, 0.0,
+                                   0.0, 7.0, 0.0,
+                                   0.0, 0.0, 1.0};
+    std::vector<double> values;
+    std::vector<std::vector<double>> vectors;
+    jacobiEigenSymmetric(m, 3, values, vectors);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_NEAR(values[0], 7.0, 1e-12);
+    EXPECT_NEAR(values[1], 3.0, 1e-12);
+    EXPECT_NEAR(values[2], 1.0, 1e-12);
+    // Leading eigenvector is e2.
+    EXPECT_NEAR(std::fabs(vectors[0][1]), 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo)
+{
+    // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with vectors
+    // (1,1)/sqrt(2) and (1,-1)/sqrt(2).
+    const std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+    std::vector<double> values;
+    std::vector<std::vector<double>> vectors;
+    jacobiEigenSymmetric(m, 2, values, vectors);
+    EXPECT_NEAR(values[0], 3.0, 1e-12);
+    EXPECT_NEAR(values[1], 1.0, 1e-12);
+    EXPECT_NEAR(std::fabs(vectors[0][0]), 1.0 / std::sqrt(2.0),
+                1e-10);
+    EXPECT_NEAR(std::fabs(vectors[0][1]), 1.0 / std::sqrt(2.0),
+                1e-10);
+}
+
+TEST(JacobiTest, EigenEquationHolds)
+{
+    // Random symmetric matrix: check A v = lambda v for each pair.
+    Rng rng(3);
+    constexpr std::size_t n = 6;
+    std::vector<double> m(n * n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+            const double x = rng.normal();
+            m[i * n + j] = x;
+            m[j * n + i] = x;
+        }
+    std::vector<double> values;
+    std::vector<std::vector<double>> vectors;
+    jacobiEigenSymmetric(m, n, values, vectors);
+    for (std::size_t e = 0; e < n; ++e) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double av = 0.0;
+            for (std::size_t j = 0; j < n; ++j)
+                av += m[i * n + j] * vectors[e][j];
+            EXPECT_NEAR(av, values[e] * vectors[e][i], 1e-9)
+                << "pair " << e << " row " << i;
+        }
+        // Unit norm.
+        double norm = 0.0;
+        for (double x : vectors[e])
+            norm += x * x;
+        EXPECT_NEAR(norm, 1.0, 1e-10);
+    }
+    // Eigenvalues descending, trace preserved.
+    double trace = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace += m[i * n + i];
+        sum += values[i];
+        if (i > 0)
+            EXPECT_GE(values[i - 1], values[i] - 1e-12);
+    }
+    EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+/** Data concentrated along a planted direction. */
+Dataset
+plantedData(std::size_t n, std::uint64_t seed)
+{
+    Dataset d({"a", "b", "c"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Strong variance along (1, 2, 0), weak elsewhere.
+        const double t = rng.normal(0.0, 3.0);
+        d.addRow({t + rng.normal(0.0, 0.1),
+                  2.0 * t + rng.normal(0.0, 0.1),
+                  rng.normal(0.0, 0.1)});
+    }
+    return d;
+}
+
+TEST(PcaTest, FindsPlantedDirection)
+{
+    const Dataset d = plantedData(3000, 4);
+    const PcaResult pca = computePca(d, {}, /*standardize=*/false);
+    ASSERT_EQ(pca.dimension(), 3u);
+    // Leading component aligns with (1, 2, 0)/sqrt(5).
+    const auto &pc1 = pca.components[0];
+    const double sign = pc1[0] >= 0.0 ? 1.0 : -1.0;
+    EXPECT_NEAR(sign * pc1[0], 1.0 / std::sqrt(5.0), 0.01);
+    EXPECT_NEAR(sign * pc1[1], 2.0 / std::sqrt(5.0), 0.01);
+    EXPECT_NEAR(std::fabs(pc1[2]), 0.0, 0.02);
+    EXPECT_GT(pca.varianceExplained(1), 0.99);
+}
+
+TEST(PcaTest, VarianceExplainedMonotone)
+{
+    const Dataset d = plantedData(1000, 5);
+    const PcaResult pca = computePca(d);
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= pca.dimension(); ++k) {
+        const double v = pca.varianceExplained(k);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-9);
+    EXPECT_EQ(pca.componentsForVariance(prev), pca.dimension());
+}
+
+TEST(PcaTest, StandardizationEqualisesScales)
+{
+    // Two independent variables with wildly different scales; with
+    // standardisation each PC explains ~half the variance.
+    Dataset d({"big", "small"});
+    Rng rng(6);
+    for (int i = 0; i < 4000; ++i)
+        d.addRow({rng.normal(0.0, 1000.0), rng.normal(0.0, 0.001)});
+    const PcaResult raw = computePca(d, {}, false);
+    EXPECT_GT(raw.varianceExplained(1), 0.999);
+    const PcaResult standardized = computePca(d, {}, true);
+    EXPECT_NEAR(standardized.varianceExplained(1), 0.5, 0.05);
+}
+
+TEST(PcaTest, ExcludeColumns)
+{
+    const Dataset d = plantedData(500, 7);
+    const PcaResult pca = computePca(d, {"c"});
+    EXPECT_EQ(pca.dimension(), 2u);
+    EXPECT_EQ(pca.columns,
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PcaTest, TransformShapeAndCentering)
+{
+    const Dataset d = plantedData(2000, 8);
+    const PcaResult pca = computePca(d);
+    const Dataset scores = pca.transform(d, 2);
+    EXPECT_EQ(scores.numRows(), d.numRows());
+    EXPECT_EQ(scores.columnNames(),
+              (std::vector<std::string>{"PC1", "PC2"}));
+    // Scores are centred.
+    EXPECT_NEAR(scores.summarize(0).mean, 0.0, 1e-9);
+    EXPECT_NEAR(scores.summarize(1).mean, 0.0, 1e-9);
+    // PC1 variance >= PC2 variance.
+    EXPECT_GE(scores.summarize(0).stddev,
+              scores.summarize(1).stddev);
+}
+
+TEST(PcaTest, ScoresAreUncorrelated)
+{
+    const Dataset d = plantedData(3000, 9);
+    const PcaResult pca = computePca(d);
+    const Dataset scores = pca.transform(d, 3);
+    const auto pc1 = scores.column(0);
+    const auto pc2 = scores.column(1);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < pc1.size(); ++i)
+        dot += pc1[i] * pc2[i];
+    const double corr = dot /
+        (scores.summarize(0).stddev * scores.summarize(1).stddev *
+         static_cast<double>(pc1.size()));
+    EXPECT_NEAR(corr, 0.0, 0.02);
+}
+
+TEST(PcaTest, ConstantColumnHandled)
+{
+    Dataset d({"x", "k"});
+    Rng rng(10);
+    for (int i = 0; i < 200; ++i)
+        d.addRow({rng.normal(), 5.0});
+    const PcaResult pca = computePca(d);
+    // One informative dimension.
+    EXPECT_NEAR(pca.varianceExplained(1), 1.0, 1e-9);
+    EXPECT_NEAR(pca.eigenvalues[1], 0.0, 1e-9);
+}
+
+TEST(PcaDeathTest, TooFewRows)
+{
+    Dataset d({"x"});
+    d.addRow({1.0});
+    EXPECT_EXIT(computePca(d), ::testing::ExitedWithCode(1),
+                "at least two rows");
+}
+
+} // namespace
+} // namespace wct

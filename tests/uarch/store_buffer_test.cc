@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the store buffer's load-block detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/store_buffer.hh"
+
+namespace wct
+{
+namespace
+{
+
+Inst
+makeStore(std::uint64_t addr, std::uint8_t size,
+          std::uint8_t extra_flags = 0)
+{
+    Inst inst;
+    inst.cls = InstClass::Store;
+    inst.addr = addr;
+    inst.size = size;
+    inst.flags = extra_flags;
+    return inst;
+}
+
+Inst
+makeLoad(std::uint64_t addr, std::uint8_t size)
+{
+    Inst inst;
+    inst.cls = InstClass::Load;
+    inst.addr = addr;
+    inst.size = size;
+    return inst;
+}
+
+StoreBufferConfig
+config()
+{
+    StoreBufferConfig c;
+    c.entries = 8;
+    c.lifetime = 16;
+    c.staResolveAge = 4;
+    c.stdResolveAge = 10;
+    return c;
+}
+
+TEST(StoreBufferTest, NoStoresNoBlock)
+{
+    StoreBuffer sb(config());
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 5), LoadBlock::None);
+}
+
+TEST(StoreBufferTest, FullCoverForwards)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 8), 0);
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 2),
+              LoadBlock::Forwarded);
+    // A narrower load inside the store also forwards.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1004, 4), 2),
+              LoadBlock::Forwarded);
+}
+
+TEST(StoreBufferTest, PartialOverlapBlocks)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 4), 0);
+    // Load spans beyond the store: cannot forward.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 2),
+              LoadBlock::Overlap);
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x0FFC, 8), 2),
+              LoadBlock::Overlap);
+}
+
+TEST(StoreBufferTest, FourKAliasBlocks)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1234, 4), 0);
+    // Same page offset 0x234, different page.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x5234, 4), 2),
+              LoadBlock::Overlap);
+    // Different offset: no interaction.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x5238, 4), 2), LoadBlock::None);
+}
+
+TEST(StoreBufferTest, SlowAddressBlocksMatchingOffsets)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1230, 4, kFlagSlowAddress), 0);
+    // Within the STA resolution window and offsets collide.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1230, 4), 2), LoadBlock::Sta);
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x9234, 4), 2), LoadBlock::Sta);
+    // Clearly different offset bits: the disambiguator lets it pass.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1650, 4), 2), LoadBlock::None);
+}
+
+TEST(StoreBufferTest, SlowAddressResolvesWithAge)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1230, 4, kFlagSlowAddress), 0);
+    // After staResolveAge the address is known: normal forwarding.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1230, 4), 6),
+              LoadBlock::Forwarded);
+}
+
+TEST(StoreBufferTest, SlowDataBlocksForwarding)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 8, kFlagSlowData), 0);
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 2), LoadBlock::Std);
+    // Data becomes ready after stdResolveAge.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 12),
+              LoadBlock::Forwarded);
+}
+
+TEST(StoreBufferTest, RetiredStoresAreInvisible)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 4), 0);
+    // Past the lifetime, the partial overlap is gone.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 17), LoadBlock::None);
+}
+
+TEST(StoreBufferTest, YoungestConflictWins)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 4), 0);        // partial source
+    sb.recordStore(makeStore(0x1000, 8), 1);        // full cover
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 2),
+              LoadBlock::Forwarded);
+}
+
+TEST(StoreBufferTest, RingCapacityDropsOldest)
+{
+    StoreBuffer sb(config()); // 8 entries
+    sb.recordStore(makeStore(0x1000, 4), 0);
+    // Offsets chosen to avoid 4 KB aliasing with the probe load.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        sb.recordStore(makeStore(0x8010 + i * 64, 4), 1 + i);
+    // The first store was pushed out of the ring.
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 9), LoadBlock::None);
+}
+
+TEST(StoreBufferTest, ResetClears)
+{
+    StoreBuffer sb(config());
+    sb.recordStore(makeStore(0x1000, 8), 0);
+    sb.reset();
+    EXPECT_EQ(sb.checkLoad(makeLoad(0x1000, 8), 1), LoadBlock::None);
+}
+
+TEST(StoreBufferDeathTest, WrongClassPanics)
+{
+    StoreBuffer sb(config());
+    EXPECT_DEATH(sb.recordStore(makeLoad(0x1000, 8), 0), "non-store");
+    EXPECT_DEATH(sb.checkLoad(makeStore(0x1000, 8), 0), "non-load");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the DTLB and page-walk model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/tlb.hh"
+
+namespace wct
+{
+namespace
+{
+
+TlbConfig
+smallTlb()
+{
+    TlbConfig config;
+    config.entries = 16;
+    config.ways = 4;
+    config.pdeEntries = 4;
+    return config;
+}
+
+TEST(TlbTest, FirstTouchMissesAndWalks)
+{
+    TlbModel tlb(smallTlb());
+    const auto r = tlb.access(0x1000);
+    EXPECT_TRUE(r.miss);
+    EXPECT_TRUE(r.walk);
+    EXPECT_GT(r.walkLatency, 0.0);
+}
+
+TEST(TlbTest, SamePageHits)
+{
+    TlbModel tlb(smallTlb());
+    tlb.access(0x1000);
+    const auto r = tlb.access(0x1FFF); // same 4 KB page
+    EXPECT_FALSE(r.miss);
+    EXPECT_FALSE(r.walk);
+    EXPECT_DOUBLE_EQ(r.walkLatency, 0.0);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.accesses(), 2u);
+}
+
+TEST(TlbTest, DistinctPagesMissSeparately)
+{
+    TlbModel tlb(smallTlb());
+    EXPECT_TRUE(tlb.access(0x0000).miss);
+    EXPECT_TRUE(tlb.access(0x1000).miss);
+    EXPECT_TRUE(tlb.access(0x2000).miss);
+    EXPECT_FALSE(tlb.access(0x0000).miss);
+}
+
+TEST(TlbTest, PdeCacheShortensNearbyWalks)
+{
+    TlbModel tlb(smallTlb());
+    // First walk in a 2 MB region: long.
+    const auto first = tlb.access(0x0000);
+    EXPECT_DOUBLE_EQ(first.walkLatency, tlb.config().walkCycles);
+    // Second walk in the same 2 MB region: short.
+    const auto second = tlb.access(0x1000);
+    EXPECT_DOUBLE_EQ(second.walkLatency,
+                     tlb.config().shortWalkCycles);
+    // A walk in a distant region: long again.
+    const auto distant = tlb.access(0x40000000);
+    EXPECT_DOUBLE_EQ(distant.walkLatency, tlb.config().walkCycles);
+}
+
+TEST(TlbTest, CapacityEviction)
+{
+    // 16 entries, 4-way, 4 sets: walking 33 pages then returning to
+    // the first must miss again.
+    TlbModel tlb(smallTlb());
+    for (std::uint64_t p = 0; p < 33; ++p)
+        tlb.access(p * 4096);
+    EXPECT_TRUE(tlb.access(0).miss);
+}
+
+TEST(TlbTest, WorkingSetWithinCapacityStaysResident)
+{
+    TlbModel tlb(smallTlb());
+    for (int sweep = 0; sweep < 3; ++sweep)
+        for (std::uint64_t p = 0; p < 16; ++p)
+            tlb.access(p * 4096);
+    EXPECT_EQ(tlb.misses(), 16u);
+    EXPECT_NEAR(tlb.missRate(), 16.0 / 48.0, 1e-12);
+}
+
+TEST(TlbTest, ResetForgetsTranslations)
+{
+    TlbModel tlb(smallTlb());
+    tlb.access(0x5000);
+    tlb.reset();
+    EXPECT_EQ(tlb.accesses(), 0u);
+    EXPECT_TRUE(tlb.access(0x5000).miss);
+}
+
+TEST(TlbDeathTest, BadGeometryPanics)
+{
+    TlbConfig config;
+    config.entries = 10;
+    config.ways = 4;
+    EXPECT_DEATH(TlbModel{config}, "divisible");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests for the logging/error discipline: fatal exits with status 1,
+ * panic aborts, warn continues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(LoggingDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(wct_fatal("bad input ", 42),
+                ::testing::ExitedWithCode(1), "bad input 42");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(wct_panic("invariant ", "violated"),
+                 "invariant violated");
+}
+
+TEST(LoggingDeathTest, AssertPanicsOnFalse)
+{
+    EXPECT_DEATH(wct_assert(1 == 2, "math is broken"),
+                 "assertion '1 == 2' failed: math is broken");
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    wct_assert(1 == 1, "never printed");
+    SUCCEED();
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    wct_warn("suspicious but survivable: ", 3.14);
+    wct_inform("status message");
+    SUCCEED();
+}
+
+TEST(LoggingTest, FormatArgsStreamsAllTypes)
+{
+    EXPECT_EQ(detail::formatArgs("x=", 1, " y=", 2.5, " z=", "s"),
+              "x=1 y=2.5 z=s");
+    EXPECT_EQ(detail::formatArgs(), "");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(Splitmix64Test, KnownSequence)
+{
+    // Reference values for seed 0 from the splitmix64 reference code.
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ull);
+    EXPECT_EQ(splitmix64(state), 0x06c45d188009454full);
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkIndependentOfParentConsumption)
+{
+    Rng parent(7);
+    Rng child1 = parent.fork(3);
+    // Forking must not advance or depend on later parent draws.
+    Rng parent2(7);
+    Rng child2 = parent2.fork(3);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(child1(), child2());
+}
+
+TEST(RngTest, ForkSaltsProduceDistinctStreams)
+{
+    Rng parent(7);
+    Rng a = parent.fork(0);
+    Rng b = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound)
+{
+    Rng rng(17);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i) {
+        const auto v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    // Chi-squared-ish sanity: every bucket within 10% of expectation.
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(RngTest, NormalMomentsMatch)
+{
+    Rng rng(19);
+    constexpr int n = 200000;
+    double sum = 0.0;
+    double sumsq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumsq += x * x;
+    }
+    const double m = sum / n;
+    const double var = sumsq / n - m * m;
+    EXPECT_NEAR(m, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled)
+{
+    Rng rng(23);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeCases)
+{
+    Rng rng(29);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(31);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(37);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, GeometricMean)
+{
+    Rng rng(41);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.25));
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, GeometricAlwaysPositive)
+{
+    Rng rng(43);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GE(rng.geometric(0.9), 1u);
+}
+
+TEST(RngTest, WeightedChoiceDistribution)
+{
+    Rng rng(47);
+    const std::vector<double> weights = {1.0, 2.0, 7.0};
+    std::vector<int> counts(3, 0);
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedChoice(weights)];
+    EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / double(n), 0.7, 0.01);
+}
+
+TEST(RngTest, WeightedChoiceZeroWeightNeverPicked)
+{
+    Rng rng(53);
+    const std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(rng.weightedChoice(weights), 1u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowIndices)
+{
+    Rng rng(59);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[rng.zipf(8, 1.2)];
+    EXPECT_GT(counts[0], counts[3]);
+    EXPECT_GT(counts[3], counts[7]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform)
+{
+    Rng rng(61);
+    std::vector<int> counts(4, 0);
+    constexpr int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.zipf(4, 0.0)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(67);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes)
+{
+    Rng rng(71);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);
+}
+
+} // namespace
+} // namespace wct

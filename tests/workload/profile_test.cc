@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for benchmark profiles, validation, and the suite
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/suites.hh"
+
+namespace wct
+{
+namespace
+{
+
+BenchmarkProfile
+minimalProfile()
+{
+    BenchmarkProfile b;
+    b.name = "test.bench";
+    b.phases.push_back(PhaseProfile{});
+    return b;
+}
+
+TEST(ProfileValidationTest, DefaultPhaseIsValid)
+{
+    validateProfile(minimalProfile());
+}
+
+TEST(ProfileValidationTest, RejectsEmptyName)
+{
+    auto b = minimalProfile();
+    b.name.clear();
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "without a name");
+}
+
+TEST(ProfileValidationTest, RejectsNoPhases)
+{
+    auto b = minimalProfile();
+    b.phases.clear();
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "no phases");
+}
+
+TEST(ProfileValidationTest, RejectsOverfullMix)
+{
+    auto b = minimalProfile();
+    b.phases[0].loadFrac = 0.6;
+    b.phases[0].storeFrac = 0.6;
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "mix sums");
+}
+
+TEST(ProfileValidationTest, RejectsOutOfRangeFraction)
+{
+    auto b = minimalProfile();
+    b.phases[0].hotFrac = 1.5;
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "hotFrac");
+}
+
+TEST(ProfileValidationTest, RejectsHotLargerThanFootprint)
+{
+    auto b = minimalProfile();
+    b.phases[0].dataFootprint = 1024;
+    b.phases[0].hotBytes = 2048;
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "hotBytes");
+}
+
+TEST(ProfileValidationTest, RejectsBadAccessSize)
+{
+    auto b = minimalProfile();
+    b.phases[0].accessSize = 6;
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "access size");
+}
+
+TEST(ProfileValidationTest, RejectsZeroPhaseWeights)
+{
+    auto b = minimalProfile();
+    b.phases[0].weight = 0.0;
+    EXPECT_EXIT(validateProfile(b), ::testing::ExitedWithCode(1),
+                "weights sum to zero");
+}
+
+TEST(SuiteTest, Cpu2006HasTwentyNineBenchmarks)
+{
+    const SuiteProfile &suite = specCpu2006();
+    EXPECT_EQ(suite.name, "SPEC CPU2006");
+    EXPECT_EQ(suite.benchmarks.size(), 29u);
+}
+
+TEST(SuiteTest, Omp2001HasElevenBenchmarks)
+{
+    const SuiteProfile &suite = specOmp2001();
+    EXPECT_EQ(suite.name, "SPEC OMP2001");
+    EXPECT_EQ(suite.benchmarks.size(), 11u);
+}
+
+TEST(SuiteTest, AllBenchmarkNamesUnique)
+{
+    for (const SuiteProfile *suite :
+         {&specCpu2006(), &specOmp2001()}) {
+        std::set<std::string> names;
+        for (const auto &b : suite->benchmarks)
+            EXPECT_TRUE(names.insert(b.name).second)
+                << "duplicate " << b.name;
+    }
+}
+
+TEST(SuiteTest, Cpu2006IntegerFloatSplit)
+{
+    int integer = 0;
+    for (const auto &b : specCpu2006().benchmarks)
+        integer += b.integer;
+    // 12 integer and 17 floating point benchmarks, as released.
+    EXPECT_EQ(integer, 12);
+}
+
+TEST(SuiteTest, PaperNamedBenchmarksPresent)
+{
+    const SuiteProfile &cpu = specCpu2006();
+    for (const char *name :
+         {"429.mcf", "456.hmmer", "444.namd", "435.gromacs",
+          "454.calculix", "447.dealII", "482.sphinx3", "471.omnetpp",
+          "470.lbm", "436.cactusADM", "459.GemsFDTD", "473.astar",
+          "464.h264ref"}) {
+        EXPECT_NO_FATAL_FAILURE(cpu.benchmark(name)) << name;
+    }
+    const SuiteProfile &omp = specOmp2001();
+    for (const char *name :
+         {"310.wupwise_m", "312.swim_m", "314.mgrid_m", "316.applu_m",
+          "318.galgel_m", "320.equake_m", "324.apsi_m", "326.gafort_m",
+          "328.fma3d_m", "330.art_m", "332.ammp_m"}) {
+        EXPECT_NO_FATAL_FAILURE(omp.benchmark(name)) << name;
+    }
+}
+
+TEST(SuiteTest, LookupUnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(specCpu2006().benchmark("999.nope"),
+                ::testing::ExitedWithCode(1), "no benchmark");
+}
+
+TEST(SuiteTest, SuiteByNameAliases)
+{
+    EXPECT_EQ(&suiteByName("cpu2006"), &specCpu2006());
+    EXPECT_EQ(&suiteByName("SPEC CPU2006"), &specCpu2006());
+    EXPECT_EQ(&suiteByName("omp2001"), &specOmp2001());
+    EXPECT_EXIT(suiteByName("spec95"), ::testing::ExitedWithCode(1),
+                "unknown suite");
+}
+
+TEST(SuiteTest, AllWeightsPositive)
+{
+    for (const SuiteProfile *suite :
+         {&specCpu2006(), &specOmp2001()}) {
+        for (const auto &b : suite->benchmarks)
+            EXPECT_GT(b.instructionWeight, 0.0) << b.name;
+    }
+}
+
+TEST(SuiteTest, CalibrationIntentMarkers)
+{
+    // Spot-check that the calibration intent survives edits: mcf
+    // chases pointers into a huge footprint; sphinx3 is the split
+    // benchmark; lbm and cactusADM are SIMD-dense; fma3d_m and
+    // galgel_m carry the overlap+store signature.
+    const auto &mcf = specCpu2006().benchmark("429.mcf");
+    EXPECT_GT(mcf.phases[0].pointerChaseFrac, 0.3);
+    EXPECT_GT(mcf.phases[0].dataFootprint, 100ull << 20);
+
+    const auto &sphinx = specCpu2006().benchmark("482.sphinx3");
+    EXPECT_GT(sphinx.phases[0].splitFrac, 0.05);
+
+    for (const char *name : {"470.lbm", "436.cactusADM"}) {
+        const auto &b = specCpu2006().benchmark(name);
+        EXPECT_GT(b.phases[0].simdFrac, 0.5) << name;
+    }
+
+    for (const char *name : {"328.fma3d_m", "318.galgel_m"}) {
+        const auto &b = specOmp2001().benchmark(name);
+        EXPECT_GT(b.phases[0].overlapFrac, 0.08) << name;
+        EXPECT_GT(b.phases[0].storeFrac, 0.12) << name;
+    }
+}
+
+} // namespace
+} // namespace wct

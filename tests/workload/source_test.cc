@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the workload source: determinism, mix recovery, flag
+ * rates, address structure, and phase switching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "workload/source.hh"
+#include "workload/suites.hh"
+
+namespace wct
+{
+namespace
+{
+
+BenchmarkProfile
+simpleBench()
+{
+    BenchmarkProfile b;
+    b.name = "unit.bench";
+    PhaseProfile p;
+    p.name = "only";
+    p.loadFrac = 0.3;
+    p.storeFrac = 0.1;
+    p.branchFrac = 0.2;
+    p.mulFrac = 0.05;
+    p.divFrac = 0.02;
+    p.simdFrac = 0.08;
+    b.phases = {p};
+    return b;
+}
+
+TEST(SourceTest, DeterministicForSameSeed)
+{
+    WorkloadSource a(simpleBench(), 99);
+    WorkloadSource b(simpleBench(), 99);
+    for (int i = 0; i < 5000; ++i) {
+        const Inst x = a.next();
+        const Inst y = b.next();
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        ASSERT_EQ(x.flags, y.flags);
+    }
+}
+
+TEST(SourceTest, DifferentSeedsDiffer)
+{
+    WorkloadSource a(simpleBench(), 1);
+    WorkloadSource b(simpleBench(), 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().addr == b.next().addr;
+    EXPECT_LT(same, 900);
+}
+
+TEST(SourceTest, MixFractionsRecovered)
+{
+    WorkloadSource src(simpleBench(), 7);
+    std::map<InstClass, int> counts;
+    constexpr int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[src.next().cls];
+    EXPECT_NEAR(counts[InstClass::Load] / double(n), 0.30, 0.01);
+    EXPECT_NEAR(counts[InstClass::Store] / double(n), 0.10, 0.01);
+    EXPECT_NEAR(counts[InstClass::Branch] / double(n), 0.20, 0.01);
+    EXPECT_NEAR(counts[InstClass::Mul] / double(n), 0.05, 0.005);
+    EXPECT_NEAR(counts[InstClass::Div] / double(n), 0.02, 0.005);
+    EXPECT_NEAR(counts[InstClass::Simd] / double(n), 0.08, 0.01);
+    EXPECT_NEAR(counts[InstClass::Alu] / double(n), 0.25, 0.01);
+}
+
+TEST(SourceTest, MemoryOpsHaveAddressesOthersDoNot)
+{
+    WorkloadSource src(simpleBench(), 8);
+    for (int i = 0; i < 20000; ++i) {
+        const Inst inst = src.next();
+        if (inst.isMemory()) {
+            EXPECT_NE(inst.addr, 0u);
+            EXPECT_GT(inst.size, 0);
+        } else {
+            EXPECT_EQ(inst.addr, 0u);
+        }
+    }
+}
+
+TEST(SourceTest, AddressesStayWithinFootprintRegion)
+{
+    auto b = simpleBench();
+    b.phases[0].dataFootprint = 1 << 20;
+    b.phases[0].streamFrac = 0.4;
+    b.phases[0].overlapFrac = 0.0;
+    b.phases[0].aliasFrac = 0.0;
+    b.phases[0].misalignFrac = 0.0;
+    b.phases[0].splitFrac = 0.0;
+    WorkloadSource src(b, 9);
+    for (int i = 0; i < 50000; ++i) {
+        const Inst inst = src.next();
+        if (!inst.isMemory())
+            continue;
+        // All addresses land in the benchmark's data segment, within
+        // footprint of a phase-local base.
+        EXPECT_GE(inst.addr, 0x100000000ull);
+        EXPECT_LT(inst.addr, 0x100000000ull + (1ull << 30) + (1 << 20));
+    }
+}
+
+TEST(SourceTest, PointerChaseFlagRate)
+{
+    auto b = simpleBench();
+    b.phases[0].pointerChaseFrac = 0.5;
+    b.phases[0].streamFrac = 0.0;
+    WorkloadSource src(b, 10);
+    int loads = 0, chases = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Inst inst = src.next();
+        if (inst.cls == InstClass::Load) {
+            ++loads;
+            chases += inst.dependent();
+        }
+    }
+    EXPECT_NEAR(chases / double(loads), 0.5, 0.02);
+}
+
+TEST(SourceTest, SlowStoreFlagRates)
+{
+    auto b = simpleBench();
+    b.phases[0].slowStoreAddrFrac = 0.3;
+    b.phases[0].slowStoreDataFrac = 0.6;
+    WorkloadSource src(b, 11);
+    int stores = 0, slow_addr = 0, slow_data = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const Inst inst = src.next();
+        if (inst.cls == InstClass::Store) {
+            ++stores;
+            slow_addr += inst.slowAddress();
+            slow_data += inst.slowData();
+        }
+    }
+    EXPECT_NEAR(slow_addr / double(stores), 0.3, 0.02);
+    EXPECT_NEAR(slow_data / double(stores), 0.6, 0.02);
+}
+
+TEST(SourceTest, OverlapLoadsTargetRecentStores)
+{
+    auto b = simpleBench();
+    b.phases[0].overlapFrac = 1.0; // every load overlaps
+    WorkloadSource src(b, 12);
+    std::uint64_t last_store = 0;
+    int checked = 0;
+    for (int i = 0; i < 5000 && checked < 500; ++i) {
+        const Inst inst = src.next();
+        if (inst.cls == InstClass::Store) {
+            last_store = inst.addr;
+        } else if (inst.cls == InstClass::Load && last_store != 0) {
+            // Overlap loads alias the latest store one page away.
+            EXPECT_TRUE(inst.addr == last_store - 4096 ||
+                        inst.addr == last_store + 4096);
+            EXPECT_EQ(inst.addr & 0xFFF, last_store & 0xFFF);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 100);
+}
+
+TEST(SourceTest, AliasLoadsShareStoreOffset)
+{
+    auto b = simpleBench();
+    b.phases[0].overlapFrac = 0.0;
+    b.phases[0].aliasFrac = 1.0;
+    WorkloadSource src(b, 13);
+    std::uint64_t last_store = 0;
+    int checked = 0;
+    for (int i = 0; i < 5000 && checked < 500; ++i) {
+        const Inst inst = src.next();
+        if (inst.cls == InstClass::Store) {
+            last_store = inst.addr;
+        } else if (inst.cls == InstClass::Load && last_store != 0) {
+            EXPECT_EQ(inst.addr & 0xFFF, last_store & 0xFFF);
+            EXPECT_NE(inst.addr, last_store);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 100);
+}
+
+TEST(SourceTest, SplitFracPlacesLineCrossers)
+{
+    auto b = simpleBench();
+    b.phases[0].splitFrac = 1.0;
+    WorkloadSource src(b, 14);
+    for (int i = 0; i < 10000; ++i) {
+        const Inst inst = src.next();
+        if (!inst.isMemory())
+            continue;
+        const std::uint64_t first_line = inst.addr / 64;
+        const std::uint64_t last_line = (inst.addr + inst.size - 1) / 64;
+        EXPECT_NE(first_line, last_line);
+    }
+}
+
+TEST(SourceTest, StreamAddressesAreSequential)
+{
+    auto b = simpleBench();
+    b.phases[0].streamFrac = 1.0;
+    b.phases[0].loadFrac = 1.0;
+    b.phases[0].storeFrac = 0.0;
+    b.phases[0].branchFrac = 0.0;
+    b.phases[0].mulFrac = 0.0;
+    b.phases[0].divFrac = 0.0;
+    b.phases[0].simdFrac = 0.0;
+    b.phases[0].overlapFrac = 0.0;
+    b.phases[0].aliasFrac = 0.0;
+    WorkloadSource src(b, 15);
+    std::uint64_t prev = src.next().addr;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t addr = src.next().addr;
+        EXPECT_EQ(addr, prev + 8);
+        prev = addr;
+    }
+}
+
+TEST(SourceTest, PhaseSwitchingVisitsAllPhases)
+{
+    BenchmarkProfile b = simpleBench();
+    b.phaseRunLength = 100;
+    PhaseProfile second = b.phases[0];
+    second.name = "second";
+    second.weight = 1.0;
+    b.phases.push_back(second);
+    WorkloadSource src(b, 16);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        src.next();
+        seen.insert(src.currentPhase());
+    }
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(SourceTest, PhaseWeightsRespected)
+{
+    BenchmarkProfile b = simpleBench();
+    b.phaseRunLength = 50;
+    PhaseProfile second = b.phases[0];
+    second.name = "second";
+    b.phases.push_back(second);
+    b.phases[0].weight = 3.0;
+    b.phases[1].weight = 1.0;
+    WorkloadSource src(b, 17);
+    std::map<std::size_t, int> counts;
+    constexpr int n = 300000;
+    for (int i = 0; i < n; ++i) {
+        src.next();
+        ++counts[src.currentPhase()];
+    }
+    EXPECT_NEAR(counts[0] / double(n), 0.75, 0.05);
+}
+
+TEST(SourceTest, GeneratedCounterAdvances)
+{
+    WorkloadSource src(simpleBench(), 18);
+    EXPECT_EQ(src.generated(), 0u);
+    for (int i = 0; i < 10; ++i)
+        src.next();
+    EXPECT_EQ(src.generated(), 10u);
+}
+
+TEST(SourceTest, BranchTakenRateReasonable)
+{
+    auto b = simpleBench();
+    b.phases[0].branchEntropy = 0.0;
+    WorkloadSource src(b, 19);
+    int branches = 0, taken = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const Inst inst = src.next();
+        if (inst.cls == InstClass::Branch) {
+            ++branches;
+            taken += inst.taken();
+        }
+    }
+    // Static sites are biased toward taken (loop back-edges).
+    const double rate = taken / double(branches);
+    EXPECT_GT(rate, 0.6);
+    EXPECT_LT(rate, 0.99);
+}
+
+// Sweep all built-in benchmarks through a smoke generation run.
+class SuiteSourceSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSourceSweep, GeneratesValidStream)
+{
+    const SuiteProfile &suite = GetParam() == "cpu"
+        ? specCpu2006() : specOmp2001();
+    for (const auto &bench : suite.benchmarks) {
+        WorkloadSource src(bench, 42);
+        for (int i = 0; i < 5000; ++i) {
+            const Inst inst = src.next();
+            if (inst.isMemory()) {
+                ASSERT_NE(inst.addr, 0u) << bench.name;
+                ASSERT_GT(inst.size, 0) << bench.name;
+            }
+            ASSERT_NE(inst.pc, 0u) << bench.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, SuiteSourceSweep,
+                         ::testing::Values("cpu", "omp"));
+
+} // namespace
+} // namespace wct
