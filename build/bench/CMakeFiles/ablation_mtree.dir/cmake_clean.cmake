@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mtree.dir/ablation_mtree.cc.o"
+  "CMakeFiles/ablation_mtree.dir/ablation_mtree.cc.o.d"
+  "ablation_mtree"
+  "ablation_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

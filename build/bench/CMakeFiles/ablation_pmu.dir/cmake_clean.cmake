@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pmu.dir/ablation_pmu.cc.o"
+  "CMakeFiles/ablation_pmu.dir/ablation_pmu.cc.o.d"
+  "ablation_pmu"
+  "ablation_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

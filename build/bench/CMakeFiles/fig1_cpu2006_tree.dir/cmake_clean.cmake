@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cpu2006_tree.dir/fig1_cpu2006_tree.cc.o"
+  "CMakeFiles/fig1_cpu2006_tree.dir/fig1_cpu2006_tree.cc.o.d"
+  "fig1_cpu2006_tree"
+  "fig1_cpu2006_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cpu2006_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_omp2001_tree.dir/fig2_omp2001_tree.cc.o"
+  "CMakeFiles/fig2_omp2001_tree.dir/fig2_omp2001_tree.cc.o.d"
+  "fig2_omp2001_tree"
+  "fig2_omp2001_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_omp2001_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_omp2001_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mtree.dir/perf_mtree.cc.o"
+  "CMakeFiles/perf_mtree.dir/perf_mtree.cc.o.d"
+  "perf_mtree"
+  "perf_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

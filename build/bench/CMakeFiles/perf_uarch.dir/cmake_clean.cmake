@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_uarch.dir/perf_uarch.cc.o"
+  "CMakeFiles/perf_uarch.dir/perf_uarch.cc.o.d"
+  "perf_uarch"
+  "perf_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/phase_analysis.cc" "bench/CMakeFiles/phase_analysis.dir/phase_analysis.cc.o" "gcc" "bench/CMakeFiles/phase_analysis.dir/phase_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wct_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtree/CMakeFiles/wct_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wct_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/wct_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/wct_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wct_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_analysis.dir/phase_analysis.cc.o"
+  "CMakeFiles/phase_analysis.dir/phase_analysis.cc.o.d"
+  "phase_analysis"
+  "phase_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

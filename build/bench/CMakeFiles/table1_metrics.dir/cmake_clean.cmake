@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_metrics.dir/table1_metrics.cc.o"
+  "CMakeFiles/table1_metrics.dir/table1_metrics.cc.o.d"
+  "table1_metrics"
+  "table1_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

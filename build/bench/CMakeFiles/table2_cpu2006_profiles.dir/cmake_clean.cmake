@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cpu2006_profiles.dir/table2_cpu2006_profiles.cc.o"
+  "CMakeFiles/table2_cpu2006_profiles.dir/table2_cpu2006_profiles.cc.o.d"
+  "table2_cpu2006_profiles"
+  "table2_cpu2006_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cpu2006_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_omp2001_profiles.dir/table4_omp2001_profiles.cc.o"
+  "CMakeFiles/table4_omp2001_profiles.dir/table4_omp2001_profiles.cc.o.d"
+  "table4_omp2001_profiles"
+  "table4_omp2001_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_omp2001_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

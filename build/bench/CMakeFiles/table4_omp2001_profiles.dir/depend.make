@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_omp2001_profiles.
+# This may be replaced when dependencies are built.

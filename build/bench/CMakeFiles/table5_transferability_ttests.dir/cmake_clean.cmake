@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_transferability_ttests.dir/table5_transferability_ttests.cc.o"
+  "CMakeFiles/table5_transferability_ttests.dir/table5_transferability_ttests.cc.o.d"
+  "table5_transferability_ttests"
+  "table5_transferability_ttests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_transferability_ttests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

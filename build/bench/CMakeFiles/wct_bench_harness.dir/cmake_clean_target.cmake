@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwct_bench_harness.a"
+)

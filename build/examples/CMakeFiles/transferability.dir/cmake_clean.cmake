@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transferability.dir/transferability.cpp.o"
+  "CMakeFiles/transferability.dir/transferability.cpp.o.d"
+  "transferability"
+  "transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct.dir/main.cc.o"
+  "CMakeFiles/wct.dir/main.cc.o.d"
+  "wct"
+  "wct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

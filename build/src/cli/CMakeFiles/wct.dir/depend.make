@@ -1,0 +1,2 @@
+# Empty dependencies file for wct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_cli.dir/cli.cc.o"
+  "CMakeFiles/wct_cli.dir/cli.cc.o.d"
+  "libwct_cli.a"
+  "libwct_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

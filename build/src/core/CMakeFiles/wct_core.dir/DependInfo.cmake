@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collect.cc" "src/core/CMakeFiles/wct_core.dir/collect.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/collect.cc.o.d"
+  "/root/repo/src/core/phase_report.cc" "src/core/CMakeFiles/wct_core.dir/phase_report.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/phase_report.cc.o.d"
+  "/root/repo/src/core/profile_table.cc" "src/core/CMakeFiles/wct_core.dir/profile_table.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/profile_table.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/wct_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/subset.cc" "src/core/CMakeFiles/wct_core.dir/subset.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/subset.cc.o.d"
+  "/root/repo/src/core/suite_model.cc" "src/core/CMakeFiles/wct_core.dir/suite_model.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/suite_model.cc.o.d"
+  "/root/repo/src/core/transferability.cc" "src/core/CMakeFiles/wct_core.dir/transferability.cc.o" "gcc" "src/core/CMakeFiles/wct_core.dir/transferability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mtree/CMakeFiles/wct_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wct_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/wct_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/wct_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wct_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

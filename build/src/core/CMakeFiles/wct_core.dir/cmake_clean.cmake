@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_core.dir/collect.cc.o"
+  "CMakeFiles/wct_core.dir/collect.cc.o.d"
+  "CMakeFiles/wct_core.dir/phase_report.cc.o"
+  "CMakeFiles/wct_core.dir/phase_report.cc.o.d"
+  "CMakeFiles/wct_core.dir/profile_table.cc.o"
+  "CMakeFiles/wct_core.dir/profile_table.cc.o.d"
+  "CMakeFiles/wct_core.dir/similarity.cc.o"
+  "CMakeFiles/wct_core.dir/similarity.cc.o.d"
+  "CMakeFiles/wct_core.dir/subset.cc.o"
+  "CMakeFiles/wct_core.dir/subset.cc.o.d"
+  "CMakeFiles/wct_core.dir/suite_model.cc.o"
+  "CMakeFiles/wct_core.dir/suite_model.cc.o.d"
+  "CMakeFiles/wct_core.dir/transferability.cc.o"
+  "CMakeFiles/wct_core.dir/transferability.cc.o.d"
+  "libwct_core.a"
+  "libwct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

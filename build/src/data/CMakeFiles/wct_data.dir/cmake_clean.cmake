@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_data.dir/csv.cc.o"
+  "CMakeFiles/wct_data.dir/csv.cc.o.d"
+  "CMakeFiles/wct_data.dir/dataset.cc.o"
+  "CMakeFiles/wct_data.dir/dataset.cc.o.d"
+  "CMakeFiles/wct_data.dir/filter.cc.o"
+  "CMakeFiles/wct_data.dir/filter.cc.o.d"
+  "CMakeFiles/wct_data.dir/split.cc.o"
+  "CMakeFiles/wct_data.dir/split.cc.o.d"
+  "libwct_data.a"
+  "libwct_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtree/baselines.cc" "src/mtree/CMakeFiles/wct_mtree.dir/baselines.cc.o" "gcc" "src/mtree/CMakeFiles/wct_mtree.dir/baselines.cc.o.d"
+  "/root/repo/src/mtree/linear_model.cc" "src/mtree/CMakeFiles/wct_mtree.dir/linear_model.cc.o" "gcc" "src/mtree/CMakeFiles/wct_mtree.dir/linear_model.cc.o.d"
+  "/root/repo/src/mtree/model_tree.cc" "src/mtree/CMakeFiles/wct_mtree.dir/model_tree.cc.o" "gcc" "src/mtree/CMakeFiles/wct_mtree.dir/model_tree.cc.o.d"
+  "/root/repo/src/mtree/regressor.cc" "src/mtree/CMakeFiles/wct_mtree.dir/regressor.cc.o" "gcc" "src/mtree/CMakeFiles/wct_mtree.dir/regressor.cc.o.d"
+  "/root/repo/src/mtree/serialize.cc" "src/mtree/CMakeFiles/wct_mtree.dir/serialize.cc.o" "gcc" "src/mtree/CMakeFiles/wct_mtree.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/wct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wct_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

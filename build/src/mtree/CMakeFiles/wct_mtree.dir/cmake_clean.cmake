@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_mtree.dir/baselines.cc.o"
+  "CMakeFiles/wct_mtree.dir/baselines.cc.o.d"
+  "CMakeFiles/wct_mtree.dir/linear_model.cc.o"
+  "CMakeFiles/wct_mtree.dir/linear_model.cc.o.d"
+  "CMakeFiles/wct_mtree.dir/model_tree.cc.o"
+  "CMakeFiles/wct_mtree.dir/model_tree.cc.o.d"
+  "CMakeFiles/wct_mtree.dir/regressor.cc.o"
+  "CMakeFiles/wct_mtree.dir/regressor.cc.o.d"
+  "CMakeFiles/wct_mtree.dir/serialize.cc.o"
+  "CMakeFiles/wct_mtree.dir/serialize.cc.o.d"
+  "libwct_mtree.a"
+  "libwct_mtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_mtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

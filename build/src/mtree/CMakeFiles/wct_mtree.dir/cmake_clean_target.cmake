@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwct_mtree.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_pmu.dir/collector.cc.o"
+  "CMakeFiles/wct_pmu.dir/collector.cc.o.d"
+  "CMakeFiles/wct_pmu.dir/events.cc.o"
+  "CMakeFiles/wct_pmu.dir/events.cc.o.d"
+  "libwct_pmu.a"
+  "libwct_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

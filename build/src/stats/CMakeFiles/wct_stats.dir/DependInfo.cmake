@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/wct_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/cluster.cc" "src/stats/CMakeFiles/wct_stats.dir/cluster.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/cluster.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/wct_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/wct_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/wct_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/metrics.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "src/stats/CMakeFiles/wct_stats.dir/ols.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/ols.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/stats/CMakeFiles/wct_stats.dir/pca.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/pca.cc.o.d"
+  "/root/repo/src/stats/tests.cc" "src/stats/CMakeFiles/wct_stats.dir/tests.cc.o" "gcc" "src/stats/CMakeFiles/wct_stats.dir/tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/wct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/wct_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/wct_stats.dir/cluster.cc.o"
+  "CMakeFiles/wct_stats.dir/cluster.cc.o.d"
+  "CMakeFiles/wct_stats.dir/descriptive.cc.o"
+  "CMakeFiles/wct_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/wct_stats.dir/distributions.cc.o"
+  "CMakeFiles/wct_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/wct_stats.dir/metrics.cc.o"
+  "CMakeFiles/wct_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/wct_stats.dir/ols.cc.o"
+  "CMakeFiles/wct_stats.dir/ols.cc.o.d"
+  "CMakeFiles/wct_stats.dir/pca.cc.o"
+  "CMakeFiles/wct_stats.dir/pca.cc.o.d"
+  "CMakeFiles/wct_stats.dir/tests.cc.o"
+  "CMakeFiles/wct_stats.dir/tests.cc.o.d"
+  "libwct_stats.a"
+  "libwct_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_uarch.dir/branch.cc.o"
+  "CMakeFiles/wct_uarch.dir/branch.cc.o.d"
+  "CMakeFiles/wct_uarch.dir/cache.cc.o"
+  "CMakeFiles/wct_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/wct_uarch.dir/core.cc.o"
+  "CMakeFiles/wct_uarch.dir/core.cc.o.d"
+  "CMakeFiles/wct_uarch.dir/store_buffer.cc.o"
+  "CMakeFiles/wct_uarch.dir/store_buffer.cc.o.d"
+  "CMakeFiles/wct_uarch.dir/tlb.cc.o"
+  "CMakeFiles/wct_uarch.dir/tlb.cc.o.d"
+  "libwct_uarch.a"
+  "libwct_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

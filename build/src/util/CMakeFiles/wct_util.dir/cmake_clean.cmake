@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_util.dir/logging.cc.o"
+  "CMakeFiles/wct_util.dir/logging.cc.o.d"
+  "CMakeFiles/wct_util.dir/rng.cc.o"
+  "CMakeFiles/wct_util.dir/rng.cc.o.d"
+  "CMakeFiles/wct_util.dir/string_utils.cc.o"
+  "CMakeFiles/wct_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/wct_util.dir/text_table.cc.o"
+  "CMakeFiles/wct_util.dir/text_table.cc.o.d"
+  "libwct_util.a"
+  "libwct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

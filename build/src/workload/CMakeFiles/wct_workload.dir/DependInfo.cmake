@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cpu2006.cc" "src/workload/CMakeFiles/wct_workload.dir/cpu2006.cc.o" "gcc" "src/workload/CMakeFiles/wct_workload.dir/cpu2006.cc.o.d"
+  "/root/repo/src/workload/omp2001.cc" "src/workload/CMakeFiles/wct_workload.dir/omp2001.cc.o" "gcc" "src/workload/CMakeFiles/wct_workload.dir/omp2001.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/wct_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/wct_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/source.cc" "src/workload/CMakeFiles/wct_workload.dir/source.cc.o" "gcc" "src/workload/CMakeFiles/wct_workload.dir/source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/wct_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wct_workload.dir/cpu2006.cc.o"
+  "CMakeFiles/wct_workload.dir/cpu2006.cc.o.d"
+  "CMakeFiles/wct_workload.dir/omp2001.cc.o"
+  "CMakeFiles/wct_workload.dir/omp2001.cc.o.d"
+  "CMakeFiles/wct_workload.dir/profile.cc.o"
+  "CMakeFiles/wct_workload.dir/profile.cc.o.d"
+  "CMakeFiles/wct_workload.dir/source.cc.o"
+  "CMakeFiles/wct_workload.dir/source.cc.o.d"
+  "libwct_workload.a"
+  "libwct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_test.dir/core/collect_test.cc.o"
+  "CMakeFiles/collect_test.dir/core/collect_test.cc.o.d"
+  "collect_test"
+  "collect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

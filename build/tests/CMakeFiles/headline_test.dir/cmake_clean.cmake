@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_test.dir/integration/headline_test.cc.o"
+  "CMakeFiles/headline_test.dir/integration/headline_test.cc.o.d"
+  "headline_test"
+  "headline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

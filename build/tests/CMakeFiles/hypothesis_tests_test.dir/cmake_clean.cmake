@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypothesis_tests_test.dir/stats/tests_test.cc.o"
+  "CMakeFiles/hypothesis_tests_test.dir/stats/tests_test.cc.o.d"
+  "hypothesis_tests_test"
+  "hypothesis_tests_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypothesis_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

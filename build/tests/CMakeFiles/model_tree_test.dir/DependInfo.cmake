@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mtree/model_tree_test.cc" "tests/CMakeFiles/model_tree_test.dir/mtree/model_tree_test.cc.o" "gcc" "tests/CMakeFiles/model_tree_test.dir/mtree/model_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/wct_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtree/CMakeFiles/wct_mtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wct_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/wct_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/wct_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wct_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wct_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

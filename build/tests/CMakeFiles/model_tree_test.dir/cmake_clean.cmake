@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tree_test.dir/mtree/model_tree_test.cc.o"
+  "CMakeFiles/model_tree_test.dir/mtree/model_tree_test.cc.o.d"
+  "model_tree_test"
+  "model_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_linear_model_test.dir/mtree/linear_model_test.cc.o"
+  "CMakeFiles/mtree_linear_model_test.dir/mtree/linear_model_test.cc.o.d"
+  "mtree_linear_model_test"
+  "mtree_linear_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_linear_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_report_test.dir/core/phase_report_test.cc.o"
+  "CMakeFiles/phase_report_test.dir/core/phase_report_test.cc.o.d"
+  "phase_report_test"
+  "phase_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

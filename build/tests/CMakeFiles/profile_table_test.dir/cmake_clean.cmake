@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_table_test.dir/core/profile_table_test.cc.o"
+  "CMakeFiles/profile_table_test.dir/core/profile_table_test.cc.o.d"
+  "profile_table_test"
+  "profile_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_test.dir/pmu/rotation_test.cc.o"
+  "CMakeFiles/rotation_test.dir/pmu/rotation_test.cc.o.d"
+  "rotation_test"
+  "rotation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

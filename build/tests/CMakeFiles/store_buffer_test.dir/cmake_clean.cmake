@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_buffer_test.dir/uarch/store_buffer_test.cc.o"
+  "CMakeFiles/store_buffer_test.dir/uarch/store_buffer_test.cc.o.d"
+  "store_buffer_test"
+  "store_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_utils_test.dir/util/string_utils_test.cc.o"
+  "CMakeFiles/string_utils_test.dir/util/string_utils_test.cc.o.d"
+  "string_utils_test"
+  "string_utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_test.dir/core/subset_test.cc.o"
+  "CMakeFiles/subset_test.dir/core/subset_test.cc.o.d"
+  "subset_test"
+  "subset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_source_test.dir/workload/source_test.cc.o"
+  "CMakeFiles/workload_source_test.dir/workload/source_test.cc.o.d"
+  "workload_source_test"
+  "workload_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
