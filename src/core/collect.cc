@@ -12,7 +12,13 @@ namespace wct
 Dataset
 SuiteData::pooled() const
 {
-    Dataset all(metricColumnNames());
+    // Derive the schema from the collected samples rather than
+    // assuming the PMU metric layout: suites assembled from other
+    // sources (e.g. synthetic test data) pool the same way, and
+    // append() still asserts every benchmark agrees.
+    Dataset all(benchmarks.empty()
+                    ? metricColumnNames()
+                    : benchmarks.front().samples.columnNames());
     for (const BenchmarkData &bench : benchmarks)
         all.append(bench.samples);
     return all;

@@ -31,7 +31,11 @@ struct LinearModel
     std::vector<std::size_t> attributes; ///< dataset column indices
     std::vector<double> coefficients;    ///< parallel to attributes
 
-    /** Evaluate on a full dataset row. */
+    /**
+     * Evaluate on a full dataset row. The row must cover every
+     * attribute index; the sanitizer CI preset (-DWCT_SANITIZE=ON)
+     * catches violations in the otherwise unchecked hot loop.
+     */
     double
     predict(std::span<const double> row) const
     {
@@ -53,6 +57,12 @@ struct LinearModel
  * Accumulated second moments of a sample subset: enough to fit any
  * attribute-subset OLS model and compute its residual sum of squares
  * without revisiting the rows.
+ *
+ * Degenerate-input contract (pinned by the property suite): fitting
+ * with zero accumulated rows panics ("fit on empty accumulator");
+ * non-finite observations poison the moments, make the Cholesky
+ * factorization fail at every ridge escalation, and end in a fatal
+ * "normal equations unsolvable" error rather than silent garbage.
  */
 class GramAccumulator
 {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "mtree/split_search.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
@@ -77,68 +78,28 @@ class ModelTree::Builder
     };
 
     /**
-     * Best SDR split for one attribute: sort rows by the attribute,
-     * then scan boundaries between distinct values with prefix sums
-     * of the target.
+     * Best SDR split for one attribute, delegated to the shared
+     * split-search kernel (mtree/split_search.hh). Attributes are
+     * scanned in ascending index order and the incumbent is replaced
+     * only on strict improvement, so cross-attribute SDR ties break
+     * toward the lowest attribute index.
      */
     void
     bestSplitForAttribute(std::span<const std::size_t> rows,
                           std::size_t attr, double node_sd,
                           Split &best) const
     {
-        const std::size_t n = rows.size();
         scratch_.clear();
-        scratch_.reserve(n);
+        scratch_.reserve(rows.size());
         for (std::size_t r : rows)
             scratch_.push_back({data_.at(r, attr),
                                 data_.at(r, target_)});
-        std::sort(scratch_.begin(), scratch_.end(),
-                  [](const ValueTarget &a, const ValueTarget &b) {
-                      return a.value < b.value;
-                  });
-        if (scratch_.front().value == scratch_.back().value)
-            return; // constant attribute
-
-        double total = 0.0;
-        double total_sq = 0.0;
-        for (const ValueTarget &vt : scratch_) {
-            total += vt.target;
-            total_sq += vt.target * vt.target;
-        }
-
-        double left_sum = 0.0;
-        double left_sq = 0.0;
-        const double fn = static_cast<double>(n);
-        for (std::size_t i = 0; i + 1 < n; ++i) {
-            left_sum += scratch_[i].target;
-            left_sq += scratch_[i].target * scratch_[i].target;
-            if (scratch_[i].value == scratch_[i + 1].value)
-                continue; // not a boundary
-            const std::size_t nl = i + 1;
-            const std::size_t nr = n - nl;
-            if (nl < minLeaf_ || nr < minLeaf_)
-                continue;
-
-            const double fl = static_cast<double>(nl);
-            const double fr = static_cast<double>(nr);
-            const double var_l =
-                std::max(0.0, left_sq / fl -
-                                  (left_sum / fl) * (left_sum / fl));
-            const double right_sum = total - left_sum;
-            const double right_sq = total_sq - left_sq;
-            const double var_r =
-                std::max(0.0,
-                         right_sq / fr -
-                             (right_sum / fr) * (right_sum / fr));
-            const double sdr = node_sd -
-                (fl / fn) * std::sqrt(var_l) -
-                (fr / fn) * std::sqrt(var_r);
-            if (sdr > best.sdr) {
-                best.sdr = sdr;
-                best.attr = attr;
-                best.value = 0.5 * (scratch_[i].value +
-                                    scratch_[i + 1].value);
-            }
+        const SplitCandidate cand =
+            findBestSdrSplit(scratch_, node_sd, minLeaf_);
+        if (cand.valid && cand.sdr > best.sdr) {
+            best.sdr = cand.sdr;
+            best.attr = attr;
+            best.value = cand.value;
         }
     }
 
@@ -284,19 +245,13 @@ class ModelTree::Builder
         }
     }
 
-    struct ValueTarget
-    {
-        double value;
-        double target;
-    };
-
     const Dataset &data_;
     std::size_t target_;
     ModelTreeConfig config_;
     std::vector<std::size_t> predictors_;
     std::size_t minLeaf_ = 4;
     double globalSd_ = 0.0;
-    mutable std::vector<ValueTarget> scratch_;
+    mutable std::vector<SplitObservation> scratch_;
 };
 
 ModelTree

@@ -1,0 +1,77 @@
+#include "mtree/split_search.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+SplitCandidate
+findBestSdrSplit(std::vector<SplitObservation> &observations,
+                 double node_sd, std::size_t min_leaf)
+{
+    wct_assert(min_leaf >= 1, "min_leaf must be at least 1");
+
+    SplitCandidate best;
+    const std::size_t n = observations.size();
+    if (n < 2)
+        return best;
+
+    std::sort(observations.begin(), observations.end(),
+              [](const SplitObservation &a, const SplitObservation &b) {
+                  return a.value < b.value;
+              });
+    if (observations.front().value == observations.back().value)
+        return best; // constant attribute
+
+    double total = 0.0;
+    double total_sq = 0.0;
+    for (const SplitObservation &obs : observations) {
+        total += obs.target;
+        total_sq += obs.target * obs.target;
+    }
+
+    // One pass over the boundaries with prefix sums; the side
+    // variances come from E[y²] - E[y]² with a clamp against
+    // cancellation. Replacement only on strict improvement keeps the
+    // lowest-value boundary among SDR ties.
+    double best_sdr = -1.0;
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    const double fn = static_cast<double>(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += observations[i].target;
+        left_sq += observations[i].target * observations[i].target;
+        if (observations[i].value == observations[i + 1].value)
+            continue; // not a boundary
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < min_leaf || nr < min_leaf)
+            continue;
+
+        const double fl = static_cast<double>(nl);
+        const double fr = static_cast<double>(nr);
+        const double var_l = std::max(
+            0.0, left_sq / fl - (left_sum / fl) * (left_sum / fl));
+        const double right_sum = total - left_sum;
+        const double right_sq = total_sq - left_sq;
+        const double var_r = std::max(
+            0.0,
+            right_sq / fr - (right_sum / fr) * (right_sum / fr));
+        const double sdr = node_sd - (fl / fn) * std::sqrt(var_l) -
+            (fr / fn) * std::sqrt(var_r);
+        if (sdr > best_sdr) {
+            best_sdr = sdr;
+            best.valid = true;
+            best.sdr = sdr;
+            best.leftCount = nl;
+            best.value = 0.5 * (observations[i].value +
+                                observations[i + 1].value);
+        }
+    }
+    return best;
+}
+
+} // namespace wct

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SDR split search over one attribute — the innermost loop of M5'
+ * tree induction, exposed as a standalone function so the
+ * differential-oracle tests (tests/support/oracles.hh) can exercise
+ * the optimized prefix-sum implementation against a naive O(n²)
+ * reference on arbitrary inputs.
+ *
+ * Determinism contract (relied on by serialization goldens and the
+ * property suite): given the same observations in the same order the
+ * search is bit-reproducible, and ties in SDR are broken toward the
+ * boundary with the lowest split value. Callers scanning several
+ * attributes break cross-attribute ties toward the lowest attribute
+ * index by iterating attributes in ascending order and replacing the
+ * incumbent only on strict improvement.
+ */
+
+#ifndef WCT_MTREE_SPLIT_SEARCH_HH
+#define WCT_MTREE_SPLIT_SEARCH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wct
+{
+
+/** One (attribute value, target) observation for split search. */
+struct SplitObservation
+{
+    double value = 0.0;
+    double target = 0.0;
+};
+
+/** Outcome of a single-attribute SDR split search. */
+struct SplitCandidate
+{
+    /** False when no admissible boundary exists (constant attribute
+     * or every boundary violates the minimum-leaf constraint). */
+    bool valid = false;
+
+    /** Split threshold: the midpoint between the two adjacent
+     * distinct attribute values around the chosen boundary. Rows with
+     * value <= threshold go left. */
+    double value = 0.0;
+
+    /**
+     * Standard deviation reduction of the chosen boundary:
+     *   SDR = sd(node) - nl/n * sd(left) - nr/n * sd(right)
+     * where the side deviations are population standard deviations
+     * (the M5 convention this codebase uses throughout).
+     */
+    double sdr = 0.0;
+
+    /** Number of observations on the <= side of the boundary. */
+    std::size_t leftCount = 0;
+};
+
+/**
+ * Find the best SDR boundary of one attribute.
+ *
+ * Sorts `observations` by value in place (stable order for equal
+ * values is irrelevant: only value boundaries matter), then scans
+ * every boundary between distinct values with prefix sums of the
+ * target and its square. Boundaries leaving fewer than `min_leaf`
+ * observations on either side are skipped.
+ *
+ * @param observations Scratch buffer of observations; sorted in place.
+ * @param node_sd      Standard deviation of the target over the node
+ *                     (the caller's convention; it only shifts SDR by
+ *                     a constant and never changes the argmax).
+ * @param min_leaf     Minimum observations per side (>= 1).
+ */
+SplitCandidate findBestSdrSplit(std::vector<SplitObservation> &observations,
+                                double node_sd, std::size_t min_leaf);
+
+} // namespace wct
+
+#endif // WCT_MTREE_SPLIT_SEARCH_HH

@@ -63,6 +63,8 @@ quantile(std::span<const double> xs, double q)
 {
     wct_assert(!xs.empty(), "quantile of empty sequence");
     wct_assert(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    for (double x : xs)
+        wct_assert(!std::isnan(x), "quantile of sequence with NaN");
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
     const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -96,7 +98,8 @@ pearsonCorrelation(std::span<const double> xs, std::span<const double> ys)
     const double sy = sampleStddev(ys);
     if (sx == 0.0 || sy == 0.0)
         return 0.0;
-    return cov / (sx * sy);
+    // Rounding on near-collinear data can push |r| past 1.
+    return std::clamp(cov / (sx * sy), -1.0, 1.0);
 }
 
 void

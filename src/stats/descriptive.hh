@@ -17,7 +17,22 @@
 namespace wct
 {
 
-/** Arithmetic mean; panics on empty input. */
+/*
+ * NaN and empty-input contract (pinned by the property suite in
+ * tests/prop/descriptive_prop_test.cc):
+ *
+ *  - Empty input is a caller bug for estimators with no meaningful
+ *    value (mean, quantile, median, RunningStats::min/max): they
+ *    panic. Variance-style estimators return 0 for degenerate sizes
+ *    so single-sample nodes never divide by zero.
+ *  - NaN observations propagate through the moment-based estimators
+ *    (mean, variance, covariance) following IEEE semantics, but the
+ *    order-statistic estimators (median, quantile) panic: sorting a
+ *    range with NaN violates strict weak ordering and would silently
+ *    return garbage otherwise.
+ */
+
+/** Arithmetic mean; panics on empty input. NaN inputs yield NaN. */
 double mean(std::span<const double> xs);
 
 /** Unbiased sample variance (divides by n - 1); zero for n < 2. */
@@ -26,15 +41,16 @@ double sampleVariance(std::span<const double> xs);
 /** Square root of sampleVariance. */
 double sampleStddev(std::span<const double> xs);
 
-/** Population variance (divides by n). */
+/** Population variance (divides by n); zero for empty input. */
 double populationVariance(std::span<const double> xs);
 
-/** Median (copies and partially sorts). */
+/** Median (copies and sorts); panics on empty or NaN input. */
 double median(std::span<const double> xs);
 
 /**
  * Quantile with linear interpolation between order statistics,
- * q in [0, 1].
+ * q in [0, 1]. Panics on empty input, q outside [0, 1], or NaN
+ * observations (which have no rank).
  */
 double quantile(std::span<const double> xs, double q);
 
@@ -44,7 +60,10 @@ double sampleCovariance(std::span<const double> xs,
 
 /**
  * Pearson correlation coefficient; returns 0 when either side has
- * zero variance (degenerate, by convention).
+ * zero variance (degenerate, by convention). The result is clamped
+ * to [-1, 1]: the cov/(sx*sy) form can exceed the mathematical range
+ * by rounding on near-collinear data, which would otherwise leak
+ * into threshold comparisons (e.g. the C > 0.85 acceptance rule).
  */
 double pearsonCorrelation(std::span<const double> xs,
                           std::span<const double> ys);
@@ -52,6 +71,11 @@ double pearsonCorrelation(std::span<const double> xs,
 /**
  * Single-pass accumulator (Welford) for streaming mean/variance,
  * used by the interval collector and by tree training.
+ *
+ * Differentially tested against the two-pass textbook estimators
+ * over randomized inputs (tests/prop/descriptive_prop_test.cc). A
+ * NaN observation permanently poisons mean and variance (IEEE
+ * propagation); min/max panic on an empty accumulator.
  */
 class RunningStats
 {

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests of SimilarityMatrix (Table III machinery) on a synthetic
+ * three-benchmark suite engineered so the expected distances are
+ * known: two benchmarks live in disjoint tree leaves, the third
+ * straddles both.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/similarity.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+/** Rows with A < 0 follow one linear regime, A > 0 another. */
+Dataset
+makeSamples(Rng &rng, std::size_t rows, double a_lo, double a_hi)
+{
+    Dataset data({"A", "B", "CPI"});
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double a = rng.uniform(a_lo, a_hi);
+        const double b = rng.uniform(-1.0, 1.0);
+        const double cpi = (a <= 0.0 ? 1.0 + 0.1 * b : 3.0 + 0.5 * b) +
+            rng.normal(0.0, 0.02);
+        data.addRow({a, b, cpi});
+    }
+    return data;
+}
+
+struct Fixture
+{
+    SuiteData suite;
+    ModelTree tree;
+
+    Fixture()
+    {
+        Rng rng(0x51f1);
+        suite.suiteName = "synthetic";
+        suite.benchmarks.push_back(
+            {"low", 1.0, makeSamples(rng, 120, -2.0, -0.01)});
+        suite.benchmarks.push_back(
+            {"high", 1.0, makeSamples(rng, 120, 0.01, 2.0)});
+        suite.benchmarks.push_back(
+            {"mixed", 1.0, makeSamples(rng, 120, -2.0, 2.0)});
+
+        ModelTreeConfig config;
+        config.minLeafInstances = 10;
+        config.minLeafFraction = 0.1;
+        tree = ModelTree::train(suite.pooled(), "CPI", config);
+    }
+};
+
+const Fixture &
+fixture()
+{
+    static const Fixture f;
+    return f;
+}
+
+std::size_t
+indexOf(const SimilarityMatrix &matrix, const std::string &name)
+{
+    for (std::size_t i = 0; i < matrix.names().size(); ++i)
+        if (matrix.names()[i] == name)
+            return i;
+    ADD_FAILURE() << "missing benchmark " << name;
+    return 0;
+}
+
+TEST(SimilarityMatrixTest, DiagonalIsZeroAndMatrixSymmetric)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    const SimilarityMatrix matrix(table);
+    ASSERT_EQ(matrix.names().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(matrix.at(i, i), 0.0);
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(matrix.at(i, j), matrix.at(j, i));
+            EXPECT_GE(matrix.at(i, j), 0.0);
+            EXPECT_LE(matrix.at(i, j), 100.0 + 1e-9);
+        }
+    }
+}
+
+TEST(SimilarityMatrixTest, DisjointBenchmarksAreMostDissimilar)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    const SimilarityMatrix matrix(table);
+    const std::size_t low = indexOf(matrix, "low");
+    const std::size_t high = indexOf(matrix, "high");
+    const std::size_t mixed = indexOf(matrix, "mixed");
+
+    // "low" and "high" occupy disjoint leaves: ~100% apart. "mixed"
+    // shares roughly half its profile with each.
+    EXPECT_GT(matrix.at(low, high), 95.0);
+    EXPECT_LT(matrix.at(low, mixed), 75.0);
+    EXPECT_LT(matrix.at(high, mixed), 75.0);
+
+    const auto far = matrix.mostDissimilarPair();
+    EXPECT_EQ(std::minmax(low, high),
+              std::minmax(far.first, far.second));
+    const auto near = matrix.mostSimilarPair();
+    EXPECT_TRUE(near.first == mixed || near.second == mixed);
+}
+
+TEST(SimilarityMatrixTest, SuiteDistancesAreBounded)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    const SimilarityMatrix matrix(table);
+    const std::size_t low = indexOf(matrix, "low");
+    const std::size_t high = indexOf(matrix, "high");
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_GE(matrix.distanceToSuite(i), 0.0);
+        EXPECT_LE(matrix.distanceToSuite(i), 100.0 + 1e-9);
+    }
+    // The one-sided benchmarks sit farther from the pooled profile
+    // than the benchmark that mirrors it.
+    const std::size_t mixed = indexOf(matrix, "mixed");
+    EXPECT_LT(matrix.distanceToSuite(mixed),
+              matrix.distanceToSuite(low));
+    EXPECT_LT(matrix.distanceToSuite(mixed),
+              matrix.distanceToSuite(high));
+}
+
+TEST(SimilarityMatrixTest, SubsetSelectsAndPreservesDistances)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    const SimilarityMatrix full(table);
+    const SimilarityMatrix pair(table, {"low", "high"});
+    ASSERT_EQ(pair.names().size(), 2u);
+    const double full_distance =
+        full.at(indexOf(full, "low"), indexOf(full, "high"));
+    const double pair_distance =
+        pair.at(indexOf(pair, "low"), indexOf(pair, "high"));
+    EXPECT_DOUBLE_EQ(full_distance, pair_distance);
+}
+
+TEST(SimilarityMatrixTest, RenderMentionsEveryBenchmark)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    const SimilarityMatrix matrix(table);
+    const std::string text = matrix.render();
+    EXPECT_NE(text.find("low"), std::string::npos);
+    EXPECT_NE(text.find("high"), std::string::npos);
+    EXPECT_NE(text.find("mixed"), std::string::npos);
+    EXPECT_NE(text.find("Suite"), std::string::npos);
+}
+
+TEST(SimilarityMatrixDeathTest, SingleBenchmarkIsRejected)
+{
+    const ProfileTable table(fixture().suite, fixture().tree);
+    EXPECT_DEATH(SimilarityMatrix(table, {"low"}), "");
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests of buildSuiteModel: the Section VI protocol of training
+ * on one random fraction and testing on a disjoint fraction of equal
+ * size, checked on a synthetic suite with a known CPI structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/suite_model.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+/** A synthetic suite whose rows carry a unique Id column. */
+SuiteData
+makeSuite()
+{
+    Rng rng(0x5017e);
+    SuiteData suite;
+    suite.suiteName = "synthetic";
+    double id = 0.0;
+    for (const char *name : {"alpha", "beta"}) {
+        BenchmarkData bench;
+        bench.name = name;
+        bench.samples = Dataset({"Id", "A", "B", "CPI"});
+        for (std::size_t r = 0; r < 200; ++r) {
+            const double a = rng.uniform(-2.0, 2.0);
+            const double b = rng.uniform(-1.0, 1.0);
+            const double cpi = (a <= 0.0 ? 1.0 : 2.5) + 0.2 * b +
+                rng.normal(0.0, 0.05);
+            bench.samples.addRow({id, a, b, cpi});
+            id += 1.0;
+        }
+        suite.benchmarks.push_back(std::move(bench));
+    }
+    return suite;
+}
+
+SuiteModelConfig
+smallConfig()
+{
+    SuiteModelConfig config;
+    config.trainFraction = 0.25;
+    config.tree.minLeafInstances = 8;
+    return config;
+}
+
+TEST(SuiteModelTest, FractionsHaveDocumentedSizesAndAreDisjoint)
+{
+    const SuiteData suite = makeSuite();
+    const SuiteModel model = buildSuiteModel(suite, smallConfig());
+
+    const std::size_t n = suite.totalSamples();
+    const auto expected =
+        static_cast<std::size_t>(std::lround(0.25 * double(n)));
+    EXPECT_EQ(model.train.numRows(), expected);
+    EXPECT_EQ(model.test.numRows(), expected);
+
+    std::set<double> train_ids;
+    const std::size_t id_col = model.train.columnIndex("Id");
+    for (std::size_t r = 0; r < model.train.numRows(); ++r)
+        train_ids.insert(model.train.at(r, id_col));
+    EXPECT_EQ(train_ids.size(), model.train.numRows())
+        << "duplicate rows in the training fraction";
+    for (std::size_t r = 0; r < model.test.numRows(); ++r)
+        EXPECT_EQ(train_ids.count(model.test.at(r, id_col)), 0u)
+            << "test row " << r << " also appears in training";
+}
+
+TEST(SuiteModelTest, MeanCpiSummarizesThePooledSamples)
+{
+    const SuiteData suite = makeSuite();
+    const SuiteModel model = buildSuiteModel(suite, smallConfig());
+    const Dataset pooled = suite.pooled();
+    double total = 0.0;
+    const std::size_t cpi_col = pooled.columnIndex("CPI");
+    for (std::size_t r = 0; r < pooled.numRows(); ++r)
+        total += pooled.at(r, cpi_col);
+    EXPECT_NEAR(model.meanCpi,
+                total / static_cast<double>(pooled.numRows()), 1e-9);
+    EXPECT_EQ(model.suiteName, "synthetic");
+}
+
+TEST(SuiteModelTest, TreePredictsTheTargetOnHeldOutRows)
+{
+    const SuiteData suite = makeSuite();
+    const SuiteModel model = buildSuiteModel(suite, smallConfig());
+    EXPECT_EQ(model.tree.targetName(), "CPI");
+    EXPECT_GE(model.tree.numLeaves(), 2u);
+
+    // The planted structure is strong, so the tree must beat a
+    // mean-only predictor on the held-out fraction by a wide margin.
+    const std::size_t cpi_col = model.test.columnIndex("CPI");
+    double tree_abs = 0.0;
+    double mean_abs = 0.0;
+    for (std::size_t r = 0; r < model.test.numRows(); ++r) {
+        const double actual = model.test.at(r, cpi_col);
+        tree_abs +=
+            std::abs(model.tree.predict(model.test.row(r)) - actual);
+        mean_abs += std::abs(model.meanCpi - actual);
+    }
+    EXPECT_LT(tree_abs, 0.5 * mean_abs);
+}
+
+TEST(SuiteModelTest, SameSeedReproducesTheSameSplit)
+{
+    const SuiteData suite = makeSuite();
+    const SuiteModel first = buildSuiteModel(suite, smallConfig());
+    const SuiteModel second = buildSuiteModel(suite, smallConfig());
+    ASSERT_EQ(first.train.numRows(), second.train.numRows());
+    const std::size_t id_col = first.train.columnIndex("Id");
+    for (std::size_t r = 0; r < first.train.numRows(); ++r)
+        ASSERT_EQ(first.train.at(r, id_col),
+                  second.train.at(r, id_col));
+
+    SuiteModelConfig reseeded = smallConfig();
+    reseeded.seed = 0x1234;
+    const SuiteModel third = buildSuiteModel(suite, reseeded);
+    bool any_difference =
+        first.train.numRows() != third.train.numRows();
+    for (std::size_t r = 0;
+         !any_difference && r < first.train.numRows(); ++r)
+        any_difference = first.train.at(r, id_col) !=
+            third.train.at(r, id_col);
+    EXPECT_TRUE(any_difference)
+        << "different seeds produced identical splits";
+}
+
+TEST(SuiteModelDeathTest, RejectsTrainFractionAboveOneHalf)
+{
+    const SuiteData suite = makeSuite();
+    SuiteModelConfig config = smallConfig();
+    config.trainFraction = 0.6;
+    EXPECT_DEATH(buildSuiteModel(suite, config), "train fraction");
+}
+
+} // namespace
+} // namespace wct

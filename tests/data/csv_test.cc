@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests of the CSV import/export: round-trips through streams
+ * and files, whitespace/blank-line handling, and the fatal-error
+ * contract on malformed input (user error, exit code 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "data/csv.hh"
+
+namespace wct
+{
+namespace
+{
+
+Dataset
+sampleData()
+{
+    Dataset data({"CPI", "L1DMiss", "BrMiss"});
+    data.addRow({0.96, 0.0123, 0.004});
+    data.addRow({1.27, 0.0, -3.5});
+    data.addRow({2.0, 1e-6, 123456.75});
+    return data;
+}
+
+TEST(CsvTest, StreamRoundTripPreservesSchemaAndValues)
+{
+    const Dataset data = sampleData();
+    std::stringstream buffer;
+    writeCsv(data, buffer);
+    const Dataset reloaded = readCsv(buffer);
+
+    ASSERT_EQ(reloaded.columnNames(), data.columnNames());
+    ASSERT_EQ(reloaded.numRows(), data.numRows());
+    for (std::size_t r = 0; r < data.numRows(); ++r)
+        for (std::size_t c = 0; c < data.numColumns(); ++c)
+            // Cells are written with 12 significant digits.
+            EXPECT_NEAR(reloaded.at(r, c), data.at(r, c),
+                        1e-9 * std::max(1.0, std::abs(data.at(r, c))))
+                << "cell (" << r << ", " << c << ")";
+}
+
+TEST(CsvTest, FileRoundTripPreservesData)
+{
+    const Dataset data = sampleData();
+    const std::string path =
+        testing::TempDir() + "wct_csv_test_roundtrip.csv";
+    writeCsvFile(data, path);
+    const Dataset reloaded = readCsvFile(path);
+    ASSERT_EQ(reloaded.columnNames(), data.columnNames());
+    ASSERT_EQ(reloaded.numRows(), data.numRows());
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReaderAcceptsPaddingAndBlankLines)
+{
+    std::stringstream in(
+        "CPI , L1DMiss\n"
+        " 1.5 , 0.25 \n"
+        "\n"
+        "2.5,0.5\n");
+    const Dataset data = readCsv(in);
+    ASSERT_EQ(data.numRows(), 2u);
+    EXPECT_EQ(data.columnNames()[0], "CPI");
+    EXPECT_EQ(data.columnNames()[1], "L1DMiss");
+    EXPECT_DOUBLE_EQ(data.at(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(data.at(1, 1), 0.5);
+}
+
+TEST(CsvTest, HeaderOnlyInputGivesEmptyDataset)
+{
+    std::stringstream in("CPI,L1DMiss\n");
+    const Dataset data = readCsv(in);
+    EXPECT_EQ(data.numColumns(), 2u);
+    EXPECT_EQ(data.numRows(), 0u);
+}
+
+TEST(CsvDeathTest, EmptyInputIsFatal)
+{
+    std::stringstream in("");
+    EXPECT_EXIT(readCsv(in), testing::ExitedWithCode(1),
+                "missing header");
+}
+
+TEST(CsvDeathTest, WrongFieldCountIsFatal)
+{
+    std::stringstream in(
+        "CPI,L1DMiss\n"
+        "1.5,0.25\n"
+        "2.5,0.5,0.1\n");
+    EXPECT_EXIT(readCsv(in), testing::ExitedWithCode(1),
+                "line 3 has 3 fields, expected 2");
+}
+
+TEST(CsvDeathTest, NonNumericCellIsFatal)
+{
+    std::stringstream in(
+        "CPI,L1DMiss\n"
+        "1.5,fast\n");
+    EXPECT_EXIT(readCsv(in), testing::ExitedWithCode(1),
+                "is not a number");
+}
+
+TEST(CsvDeathTest, TrailingGarbageInCellIsFatal)
+{
+    std::stringstream in(
+        "CPI,L1DMiss\n"
+        "1.5,0.25x\n");
+    EXPECT_EXIT(readCsv(in), testing::ExitedWithCode(1),
+                "is not a number");
+}
+
+TEST(CsvDeathTest, UnreadablePathIsFatal)
+{
+    EXPECT_EXIT(readCsvFile("/nonexistent/wct.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace wct

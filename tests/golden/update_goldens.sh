@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate the golden files under tests/golden/ from the current
+# build, then show what changed. Run from the repository root:
+#
+#     tests/golden/update_goldens.sh [build-dir]
+#
+# Review the git diff before committing: every hunk is a deliberate
+# behaviour change you are signing off on.
+set -eu
+
+build_dir="${1:-build}"
+
+cmake --build "$build_dir" -j --target golden_test
+WCT_UPDATE_GOLDEN=1 ctest --test-dir "$build_dir" -R '^golden_test$' \
+    --output-on-failure
+git -P diff --stat -- tests/golden || true

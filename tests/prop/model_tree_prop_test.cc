@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Metamorphic and structural properties of M5' model-tree training
+ * over randomized datasets: column-permutation invariance, label
+ * scaling equivariance, piecewise linearity inside a leaf, serialize
+ * round-trips, and training determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "mtree/model_tree.hh"
+#include "mtree/serialize.hh"
+#include "tests/support/prop.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+
+/** Small-leaf config so modest random datasets still grow trees. */
+ModelTreeConfig
+smallTreeConfig()
+{
+    ModelTreeConfig config;
+    config.minLeafInstances = 6;
+    return config;
+}
+
+prop::DatasetGenConfig
+defaultShape()
+{
+    prop::DatasetGenConfig shape;
+    shape.minRows = 30;
+    shape.maxRows = 160;
+    shape.noise = 0.1;
+    return shape;
+}
+
+double
+targetRange(const Dataset &data)
+{
+    const std::vector<double> y = data.column("y");
+    const auto [lo, hi] = std::minmax_element(y.begin(), y.end());
+    return std::max(1.0, *hi - *lo);
+}
+
+TEST(ModelTreeProp, LeavesPartitionTheTrainingSet)
+{
+    const Config config = Config::fromEnv(0x7e4f, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const ModelTree tree =
+                ModelTree::train(data, "y", smallTreeConfig());
+            std::size_t count_total = 0;
+            double fraction_total = 0.0;
+            for (const LeafInfo &leaf : tree.leaves()) {
+                count_total += leaf.count;
+                fraction_total += leaf.fraction;
+            }
+            if (count_total != data.numRows())
+                return "leaf counts sum to " +
+                    std::to_string(count_total) + " of " +
+                    std::to_string(data.numRows()) + " rows";
+            if (std::abs(fraction_total - 1.0) > 1e-9)
+                return "leaf fractions sum to " +
+                    prop::showDouble(fraction_total);
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                if (tree.classify(data.row(r)) >= tree.numLeaves())
+                    return "classify out of range on row " +
+                        std::to_string(r);
+                if (!std::isfinite(tree.predict(data.row(r))))
+                    return "non-finite prediction on row " +
+                        std::to_string(r);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(ModelTreeProp, SerializeRoundTripPreservesPredictions)
+{
+    const Config config = Config::fromEnv(0x53f1, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const ModelTree tree =
+                ModelTree::train(data, "y", smallTreeConfig());
+            std::stringstream buffer;
+            tree.save(buffer);
+            const ModelTree loaded = ModelTree::load(buffer);
+            if (loaded.numLeaves() != tree.numLeaves())
+                return "leaf count changed across round-trip";
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                const double before = tree.predict(data.row(r));
+                const double after = loaded.predict(data.row(r));
+                // %.17g serialization round-trips doubles exactly.
+                if (std::abs(before - after) >
+                    1e-12 * std::max(1.0, std::abs(before)))
+                    return "row " + std::to_string(r) +
+                        " prediction " + prop::showDouble(before) +
+                        " became " + prop::showDouble(after);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(ModelTreeProp, TrainingIsDeterministic)
+{
+    const Config config = Config::fromEnv(0xde7e, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const ModelTree first =
+                ModelTree::train(data, "y", smallTreeConfig());
+            const ModelTree second =
+                ModelTree::train(data, "y", smallTreeConfig());
+            if (first.describe() != second.describe())
+                return "two trainings on identical data disagree";
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(ModelTreeProp, PredictorPermutationLeavesPredictionsInvariant)
+{
+    // Reordering predictor columns relabels attributes but must not
+    // change what the tree computes. Model simplification is disabled
+    // because its greedy elimination compares nearly equal errors
+    // whose rounding depends on attribute order.
+    const Config config = Config::fromEnv(0x9e2a, 100);
+    prop::DatasetGenConfig shape = defaultShape();
+    shape.minPredictors = 2;
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shape),
+        [](const Dataset &data) -> std::optional<std::string> {
+            ModelTreeConfig tree_config = smallTreeConfig();
+            tree_config.simplifyModels = false;
+            tree_config.smooth = false;
+            const ModelTree base =
+                ModelTree::train(data, "y", tree_config);
+
+            // Reverse the predictors; keep the target in place.
+            std::vector<std::string> order(
+                data.columnNames().begin(),
+                data.columnNames().end() - 1);
+            std::reverse(order.begin(), order.end());
+            order.push_back("y");
+            const Dataset permuted = data.selectColumns(order);
+            const ModelTree moved =
+                ModelTree::train(permuted, "y", tree_config);
+
+            if (base.numLeaves() != moved.numLeaves())
+                return "leaf count changed under permutation: " +
+                    std::to_string(base.numLeaves()) + " vs " +
+                    std::to_string(moved.numLeaves());
+            const double tol = 1e-6 * targetRange(data);
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                const double want = base.predict(data.row(r));
+                const double got = moved.predict(permuted.row(r));
+                if (std::abs(want - got) > tol)
+                    return "row " + std::to_string(r) +
+                        " prediction " + prop::showDouble(want) +
+                        " vs permuted " + prop::showDouble(got);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(ModelTreeProp, LabelScalingIsEquivariant)
+{
+    // Training on a*y (a > 0) must scale every prediction by a: SDR,
+    // OLS, and pruning errors all scale uniformly. Requires
+    // clampPredictions off (the clamp range scales, but its margin
+    // arithmetic need not commute exactly) and no simplification
+    // (near-tie eliminations flip under scaled rounding).
+    const Config config = Config::fromEnv(0x5ca1, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            ModelTreeConfig tree_config = smallTreeConfig();
+            tree_config.clampPredictions = false;
+            tree_config.simplifyModels = false;
+            tree_config.smooth = false;
+            const double a = 3.0;
+
+            Dataset scaled = data;
+            const std::size_t target_col = data.numColumns() - 1;
+            for (std::size_t r = 0; r < scaled.numRows(); ++r)
+                scaled.at(r, target_col) *= a;
+
+            const ModelTree base =
+                ModelTree::train(data, "y", tree_config);
+            const ModelTree stretched =
+                ModelTree::train(scaled, "y", tree_config);
+
+            if (base.numLeaves() != stretched.numLeaves())
+                return "leaf count changed under scaling: " +
+                    std::to_string(base.numLeaves()) + " vs " +
+                    std::to_string(stretched.numLeaves());
+            const double tol = 1e-6 * a * targetRange(data);
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                const double want = a * base.predict(data.row(r));
+                const double got = stretched.predict(data.row(r));
+                if (std::abs(want - got) > tol)
+                    return "row " + std::to_string(r) + ": a*f(x) " +
+                        prop::showDouble(want) + " vs f_scaled(x) " +
+                        prop::showDouble(got);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(ModelTreeProp, PredictionsAreAffineWithinALeaf)
+{
+    // A (smoothed) leaf carries one linear model, so prediction must
+    // be affine on any segment that stays inside the leaf:
+    // f((u+v)/2) = (f(u)+f(v))/2.
+    const Config config = Config::fromEnv(0xaf1e, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            ModelTreeConfig tree_config = smallTreeConfig();
+            tree_config.clampPredictions = false;
+            const ModelTree tree =
+                ModelTree::train(data, "y", tree_config);
+            const std::size_t p = data.numColumns() - 1;
+            std::size_t checked = 0;
+            for (std::size_t r = 0;
+                 r < data.numRows() && checked < 8; ++r) {
+                std::vector<double> u(data.row(r).begin(),
+                                      data.row(r).end());
+                std::vector<double> v = u;
+                std::vector<double> mid = u;
+                for (std::size_t c = 0; c < p; ++c) {
+                    v[c] += 1e-4;
+                    mid[c] += 0.5e-4;
+                }
+                const std::size_t leaf = tree.classify(u);
+                if (tree.classify(v) != leaf ||
+                    tree.classify(mid) != leaf)
+                    continue; // straddles a split boundary
+                ++checked;
+                const double expect =
+                    0.5 * (tree.predict(u) + tree.predict(v));
+                const double got = tree.predict(mid);
+                if (std::abs(got - expect) >
+                    1e-9 * std::max(1.0, std::abs(expect)))
+                    return "midpoint " + prop::showDouble(got) +
+                        " vs chord " + prop::showDouble(expect) +
+                        " at row " + std::to_string(r);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Differential properties of the Cholesky/normal-equation OLS solver
+ * (stats/ols) against closed-form Cramer's-rule oracles, plus the
+ * intercept/residual identities every least-squares fit must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/ols.hh"
+#include "tests/support/oracles.hh"
+#include "tests/support/prop.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+
+prop::DatasetGenConfig
+shapeWithPredictors(std::size_t predictors)
+{
+    prop::DatasetGenConfig shape;
+    shape.minRows = 8;
+    shape.maxRows = 120;
+    shape.minPredictors = predictors;
+    shape.maxPredictors = predictors;
+    shape.noise = 0.5;
+    return shape;
+}
+
+bool
+close(double a, double b, double rel)
+{
+    return std::abs(a - b) <=
+        rel * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+TEST(OlsProp, OnePredictorMatchesClosedForm)
+{
+    const Config config = Config::fromEnv(0x0151, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shapeWithPredictors(1)),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const std::vector<double> x = data.column("x0");
+            const std::vector<double> y = data.column("y");
+            const auto want = oracle::ols1(x, y);
+            if (!want)
+                return std::nullopt; // constant predictor
+            // Explicit ridge 0: on well-conditioned data the solver
+            // must not need stabilisation, so the comparison is
+            // against the exact least-squares solution.
+            const OlsFit got = fitOlsColumns({x}, y, 0.0);
+            if (!close(got.intercept, want->b0, 1e-6))
+                return "intercept " + prop::showDouble(got.intercept) +
+                    " vs oracle " + prop::showDouble(want->b0);
+            if (got.coefficients.size() != 1 ||
+                !close(got.coefficients[0], want->b1, 1e-6))
+                return "slope " +
+                    prop::showDouble(got.coefficients[0]) +
+                    " vs oracle " + prop::showDouble(want->b1);
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(OlsProp, TwoPredictorsMatchClosedForm)
+{
+    const Config config = Config::fromEnv(0x0152, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shapeWithPredictors(2)),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const std::vector<double> x1 = data.column("x0");
+            const std::vector<double> x2 = data.column("x1");
+            const std::vector<double> y = data.column("y");
+            const auto want = oracle::ols2(x1, x2, y);
+            if (!want)
+                return std::nullopt; // near-singular system
+            const OlsFit got = fitOlsColumns({x1, x2}, y, 0.0);
+            if (!close(got.intercept, want->b0, 1e-6))
+                return "intercept " + prop::showDouble(got.intercept) +
+                    " vs oracle " + prop::showDouble(want->b0);
+            if (!close(got.coefficients[0], want->b1, 1e-6) ||
+                !close(got.coefficients[1], want->b2, 1e-6))
+                return "coefficients (" +
+                    prop::showDouble(got.coefficients[0]) + ", " +
+                    prop::showDouble(got.coefficients[1]) +
+                    ") vs oracle (" + prop::showDouble(want->b1) +
+                    ", " + prop::showDouble(want->b2) + ")";
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(OlsProp, FitPassesThroughCentroidWithZeroResidualSum)
+{
+    // With an intercept, least squares forces sum(residuals) = 0 and
+    // therefore predict(mean(x)) = mean(y).
+    const Config config = Config::fromEnv(0xce7d, 100);
+    prop::DatasetGenConfig shape;
+    shape.minRows = 8;
+    shape.maxRows = 120;
+    shape.minPredictors = 1;
+    shape.maxPredictors = 4;
+    shape.noise = 0.5;
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shape),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const std::size_t p = data.numColumns() - 1;
+            std::vector<std::vector<double>> columns;
+            for (std::size_t c = 0; c < p; ++c)
+                columns.push_back(data.column(c));
+            const std::vector<double> y = data.column("y");
+            const OlsFit fit = fitOlsColumns(columns, y, 0.0);
+
+            if (fit.residualSumSquares < 0.0)
+                return "negative RSS " +
+                    prop::showDouble(fit.residualSumSquares);
+            if (fit.rSquared > 1.0 + 1e-9)
+                return "R^2 " + prop::showDouble(fit.rSquared);
+
+            std::vector<double> centroid(p);
+            for (std::size_t c = 0; c < p; ++c)
+                centroid[c] = oracle::meanTwoPass(columns[c]);
+            const double at_centroid = fit.predict(centroid);
+            const double y_mean = oracle::meanTwoPass(y);
+            if (!close(at_centroid, y_mean, 1e-6))
+                return "predict(centroid) " +
+                    prop::showDouble(at_centroid) + " vs mean(y) " +
+                    prop::showDouble(y_mean);
+
+            double residual_sum = 0.0;
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                std::vector<double> row(p);
+                for (std::size_t c = 0; c < p; ++c)
+                    row[c] = data.at(r, c);
+                residual_sum += y[r] - fit.predict(row);
+            }
+            if (std::abs(residual_sum) >
+                1e-6 * static_cast<double>(data.numRows()))
+                return "residual sum " +
+                    prop::showDouble(residual_sum);
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(OlsProp, PredictionInvariantUnderPredictorOrder)
+{
+    // Swapping the two predictor columns permutes the coefficients
+    // but must leave fitted values unchanged (metamorphic).
+    const Config config = Config::fromEnv(0x0dd0, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shapeWithPredictors(2)),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const std::vector<double> x1 = data.column("x0");
+            const std::vector<double> x2 = data.column("x1");
+            const std::vector<double> y = data.column("y");
+            const OlsFit forward = fitOlsColumns({x1, x2}, y, 0.0);
+            const OlsFit swapped = fitOlsColumns({x2, x1}, y, 0.0);
+            for (std::size_t r = 0; r < y.size(); ++r) {
+                const double a =
+                    forward.predict(std::vector<double>{x1[r], x2[r]});
+                const double b =
+                    swapped.predict(std::vector<double>{x2[r], x1[r]});
+                if (!close(a, b, 1e-6))
+                    return "row " + std::to_string(r) +
+                        " prediction " + prop::showDouble(a) +
+                        " vs swapped " + prop::showDouble(b);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+} // namespace
+} // namespace wct

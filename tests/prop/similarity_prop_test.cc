@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Metric properties of the L1 profile distance (Equation 4): the
+ * differential check against the brute-force oracle plus the
+ * symmetry, identity, range, and triangle-inequality laws a distance
+ * must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/profile_table.hh"
+#include "tests/support/oracles.hh"
+#include "tests/support/prop.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+using prop::Gen;
+
+constexpr std::size_t kLeaves = 8;
+
+BenchmarkProfileRow
+makeRow(const std::vector<double> &percent)
+{
+    BenchmarkProfileRow row;
+    row.name = "bench";
+    row.percent = percent;
+    return row;
+}
+
+/** A triple of leaf distributions over the same leaf set. */
+Gen<std::array<std::vector<double>, 3>>
+profileTriples()
+{
+    const Gen<std::vector<double>> one = prop::leafDistribution(kLeaves);
+    Gen<std::array<std::vector<double>, 3>> gen;
+    gen.generate = [one](Rng &rng) {
+        return std::array<std::vector<double>, 3>{
+            one.generate(rng), one.generate(rng), one.generate(rng)};
+    };
+    gen.show = [](const std::array<std::vector<double>, 3> &triple) {
+        return "a=" + prop::showVector(triple[0]) +
+            "\n    b=" + prop::showVector(triple[1]) +
+            "\n    c=" + prop::showVector(triple[2]);
+    };
+    return gen;
+}
+
+TEST(SimilarityProp, DistanceMatchesBruteForceOracle)
+{
+    const Config config = Config::fromEnv(0xd157, 100);
+    const CheckResult result =
+        prop::check<std::array<std::vector<double>, 3>>(
+            config, profileTriples(),
+            [](const std::array<std::vector<double>, 3> &triple)
+                -> std::optional<std::string> {
+                const double got = ProfileTable::distance(
+                    makeRow(triple[0]), makeRow(triple[1]));
+                const double want =
+                    oracle::l1ProfileDistance(triple[0], triple[1]);
+                if (std::abs(got - want) > 1e-9)
+                    return "distance " + prop::showDouble(got) +
+                        " vs oracle " + prop::showDouble(want);
+                return std::nullopt;
+            });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(SimilarityProp, DistanceIsAMetricOnProfiles)
+{
+    const Config config = Config::fromEnv(0x3371, 100);
+    const CheckResult result =
+        prop::check<std::array<std::vector<double>, 3>>(
+            config, profileTriples(),
+            [](const std::array<std::vector<double>, 3> &triple)
+                -> std::optional<std::string> {
+                const auto row_a = makeRow(triple[0]);
+                const auto row_b = makeRow(triple[1]);
+                const auto row_c = makeRow(triple[2]);
+                const double ab = ProfileTable::distance(row_a, row_b);
+                const double ba = ProfileTable::distance(row_b, row_a);
+                const double bc = ProfileTable::distance(row_b, row_c);
+                const double ac = ProfileTable::distance(row_a, row_c);
+
+                if (ab != ba)
+                    return "asymmetric: " + prop::showDouble(ab) +
+                        " vs " + prop::showDouble(ba);
+                if (ProfileTable::distance(row_a, row_a) != 0.0)
+                    return "self-distance nonzero";
+                // Profiles sum to 100, so the half-L1 distance lives
+                // in [0, 100].
+                if (ab < 0.0 || ab > 100.0 + 1e-9)
+                    return "out of range: " + prop::showDouble(ab);
+                if (ac > ab + bc + 1e-9)
+                    return "triangle violated: d(a,c)=" +
+                        prop::showDouble(ac) + " > " +
+                        prop::showDouble(ab) + " + " +
+                        prop::showDouble(bc);
+                return std::nullopt;
+            });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(SimilarityProp, DisjointProfilesAreMaximallyDistant)
+{
+    // Mass on disjoint leaf sets gives the paper's 100% dissimilarity.
+    std::vector<double> left(kLeaves, 0.0);
+    std::vector<double> right(kLeaves, 0.0);
+    left[0] = 60.0;
+    left[1] = 40.0;
+    right[6] = 25.0;
+    right[7] = 75.0;
+    EXPECT_NEAR(
+        ProfileTable::distance(makeRow(left), makeRow(right)), 100.0,
+        1e-12);
+}
+
+} // namespace
+} // namespace wct

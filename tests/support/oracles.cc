@@ -1,0 +1,212 @@
+#include "tests/support/oracles.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wct
+{
+namespace oracle
+{
+
+namespace
+{
+
+/** Population standard deviation by direct two-pass computation. */
+double
+populationSd(std::span<const SplitObservation> side)
+{
+    if (side.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const SplitObservation &obs : side)
+        sum += obs.target;
+    const double mean = sum / static_cast<double>(side.size());
+    double ss = 0.0;
+    for (const SplitObservation &obs : side)
+        ss += (obs.target - mean) * (obs.target - mean);
+    return std::sqrt(ss / static_cast<double>(side.size()));
+}
+
+} // namespace
+
+SplitCandidate
+bestSdrSplitExhaustive(std::vector<SplitObservation> observations,
+                       double node_sd, std::size_t min_leaf)
+{
+    SplitCandidate best;
+    const std::size_t n = observations.size();
+    if (n < 2)
+        return best;
+    std::sort(observations.begin(), observations.end(),
+              [](const SplitObservation &a, const SplitObservation &b) {
+                  return a.value < b.value;
+              });
+
+    double best_sdr = -1.0;
+    const double fn = static_cast<double>(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (observations[i].value == observations[i + 1].value)
+            continue;
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < min_leaf || nr < min_leaf)
+            continue;
+        const std::span<const SplitObservation> all(observations);
+        const double sd_left = populationSd(all.subspan(0, nl));
+        const double sd_right = populationSd(all.subspan(nl));
+        const double sdr = node_sd -
+            (static_cast<double>(nl) / fn) * sd_left -
+            (static_cast<double>(nr) / fn) * sd_right;
+        if (sdr > best_sdr) {
+            best_sdr = sdr;
+            best.valid = true;
+            best.sdr = sdr;
+            best.leftCount = nl;
+            best.value = 0.5 * (observations[i].value +
+                                observations[i + 1].value);
+        }
+    }
+    return best;
+}
+
+double
+meanTwoPass(std::span<const double> xs)
+{
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleVarianceTwoPass(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mean = meanTwoPass(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+std::optional<Ols1Fit>
+ols1(std::span<const double> x, std::span<const double> y)
+{
+    const double mx = meanTwoPass(x);
+    const double my = meanTwoPass(y);
+    double sxx = 0.0;
+    double sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxx += (x[i] - mx) * (x[i] - mx);
+        sxy += (x[i] - mx) * (y[i] - my);
+    }
+    if (sxx == 0.0)
+        return std::nullopt;
+    Ols1Fit fit;
+    fit.b1 = sxy / sxx;
+    fit.b0 = my - fit.b1 * mx;
+    return fit;
+}
+
+std::optional<Ols2Fit>
+ols2(std::span<const double> x1, std::span<const double> x2,
+     std::span<const double> y)
+{
+    const double m1 = meanTwoPass(x1);
+    const double m2 = meanTwoPass(x2);
+    const double my = meanTwoPass(y);
+    double s11 = 0.0;
+    double s22 = 0.0;
+    double s12 = 0.0;
+    double s1y = 0.0;
+    double s2y = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double d1 = x1[i] - m1;
+        const double d2 = x2[i] - m2;
+        const double dy = y[i] - my;
+        s11 += d1 * d1;
+        s22 += d2 * d2;
+        s12 += d1 * d2;
+        s1y += d1 * dy;
+        s2y += d2 * dy;
+    }
+    // Cramer's rule on the centered 2x2 normal system; reject when
+    // the determinant is tiny relative to its terms (collinear
+    // predictors, where the ridge-stabilised solver and any exact
+    // method legitimately diverge).
+    const double det = s11 * s22 - s12 * s12;
+    if (std::fabs(det) <= 1e-10 * std::max(s11 * s22, s12 * s12))
+        return std::nullopt;
+    Ols2Fit fit;
+    fit.b1 = (s1y * s22 - s2y * s12) / det;
+    fit.b2 = (s2y * s11 - s1y * s12) / det;
+    fit.b0 = my - fit.b1 * m1 - fit.b2 * m2;
+    return fit;
+}
+
+double
+l1ProfileDistance(std::span<const double> a, std::span<const double> b)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += std::fabs(a[i] - b[i]);
+    return 0.5 * total;
+}
+
+double
+studentTTwoSidedPBySimpson(double t, double df)
+{
+    const double limit = std::fabs(t);
+    if (limit == 0.0)
+        return 1.0;
+    // Density f(x) = C (1 + x²/df)^{-(df+1)/2} with
+    // log C = lgamma((df+1)/2) - lgamma(df/2) - log(df·pi)/2.
+    const double log_c = std::lgamma((df + 1.0) / 2.0) -
+        std::lgamma(df / 2.0) -
+        0.5 * std::log(df * 3.14159265358979323846);
+    const auto density = [&](double x) {
+        return std::exp(log_c -
+                        0.5 * (df + 1.0) * std::log1p(x * x / df));
+    };
+    // Beyond ~60 deviations every double rounds the tail to zero.
+    const double upper = std::min(limit, 60.0 * std::sqrt(df));
+    const std::size_t panels = 40000; // even
+    const double h = upper / static_cast<double>(panels);
+    double integral = density(0.0) + density(upper);
+    for (std::size_t k = 1; k < panels; ++k)
+        integral += density(h * static_cast<double>(k)) *
+            (k % 2 == 1 ? 4.0 : 2.0);
+    integral *= h / 3.0;
+    return std::clamp(1.0 - 2.0 * integral, 0.0, 1.0);
+}
+
+WelchResult
+welch(std::span<const double> xs, std::span<const double> ys)
+{
+    const double n1 = static_cast<double>(xs.size());
+    const double n2 = static_cast<double>(ys.size());
+    const double v1 = sampleVarianceTwoPass(xs) / n1;
+    const double v2 = sampleVarianceTwoPass(ys) / n2;
+
+    WelchResult result;
+    const double se = std::sqrt(v1 + v2);
+    if (se == 0.0) {
+        const bool same = meanTwoPass(xs) == meanTwoPass(ys);
+        result.statistic =
+            same ? 0.0 : std::numeric_limits<double>::infinity();
+        result.df = n1 + n2 - 2.0;
+        result.pValue = same ? 1.0 : 0.0;
+        return result;
+    }
+    result.statistic = (meanTwoPass(xs) - meanTwoPass(ys)) / se;
+    result.df = (v1 + v2) * (v1 + v2) /
+        (v1 * v1 / (n1 - 1.0) + v2 * v2 / (n2 - 1.0));
+    result.pValue =
+        studentTTwoSidedPBySimpson(result.statistic, result.df);
+    return result;
+}
+
+} // namespace oracle
+} // namespace wct

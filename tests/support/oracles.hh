@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Naive reference oracles for differential testing.
+ *
+ * Every function here is an intentionally simple, obviously-correct
+ * (textbook) implementation of something the library computes with a
+ * cleverer algorithm: the prefix-sum SDR split search, the
+ * Cholesky/Gram OLS solver, the L1 profile distance, and Welch's
+ * t-test with its incomplete-beta p-value. The property tests in
+ * tests/prop/ drive both implementations over randomized inputs and
+ * require agreement within floating-point tolerance; any divergence
+ * is a bug in one of the two (and with this much asymmetry in
+ * complexity, almost always in the optimized one).
+ *
+ * These oracles deliberately avoid the production code paths: no
+ * prefix sums, no Gram matrices, no incomplete beta — the p-value
+ * comes from direct Simpson integration of the t density using only
+ * std::lgamma.
+ */
+
+#ifndef WCT_TESTS_SUPPORT_ORACLES_HH
+#define WCT_TESTS_SUPPORT_ORACLES_HH
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mtree/split_search.hh"
+
+namespace wct
+{
+namespace oracle
+{
+
+/**
+ * Exhaustive O(n²) SDR split search: sort, then for every admissible
+ * boundary recompute both side deviations from scratch with two-pass
+ * mean/variance. Mirrors the tie-breaking contract of
+ * findBestSdrSplit (strict improvement keeps the lowest boundary).
+ */
+SplitCandidate bestSdrSplitExhaustive(
+    std::vector<SplitObservation> observations, double node_sd,
+    std::size_t min_leaf);
+
+/** Two-pass arithmetic mean (undefined on empty input). */
+double meanTwoPass(std::span<const double> xs);
+
+/** Two-pass unbiased sample variance; 0 for n < 2. */
+double sampleVarianceTwoPass(std::span<const double> xs);
+
+/** Closed-form simple regression y = b0 + b1 x (Cramer's rule). */
+struct Ols1Fit
+{
+    double b0 = 0.0;
+    double b1 = 0.0;
+};
+
+/** Returns nullopt when x is constant (singular system). */
+std::optional<Ols1Fit> ols1(std::span<const double> x,
+                            std::span<const double> y);
+
+/** Closed-form two-feature regression y = b0 + b1 x1 + b2 x2. */
+struct Ols2Fit
+{
+    double b0 = 0.0;
+    double b1 = 0.0;
+    double b2 = 0.0;
+};
+
+/** Returns nullopt when the 3x3 normal system is near singular. */
+std::optional<Ols2Fit> ols2(std::span<const double> x1,
+                            std::span<const double> x2,
+                            std::span<const double> y);
+
+/** Brute-force L1 profile distance 0.5 * sum |a_i - b_i|. */
+double l1ProfileDistance(std::span<const double> a,
+                         std::span<const double> b);
+
+/** Textbook Welch t-test computed with two-pass moments. */
+struct WelchResult
+{
+    double statistic = 0.0;
+    double df = 0.0;
+    double pValue = 1.0;
+};
+
+WelchResult welch(std::span<const double> xs,
+                  std::span<const double> ys);
+
+/**
+ * Two-sided Student-t p-value by Simpson integration of the density
+ * (normalization via std::lgamma) — an implementation sharing no
+ * code or algorithm with stats/distributions.
+ */
+double studentTTwoSidedPBySimpson(double t, double df);
+
+} // namespace oracle
+} // namespace wct
+
+#endif // WCT_TESTS_SUPPORT_ORACLES_HH

@@ -1,0 +1,492 @@
+#include "tests/support/prop.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace wct
+{
+namespace prop
+{
+
+namespace
+{
+
+/** Parse a decimal or 0x-hex environment variable. */
+std::optional<std::uint64_t>
+envUint(const char *name)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0')
+        return std::nullopt;
+    return value;
+}
+
+} // namespace
+
+Config
+Config::fromEnv(std::uint64_t default_seed, std::size_t default_trials)
+{
+    Config config;
+    config.seed = default_seed;
+    config.trials = default_trials;
+    if (const auto trials = envUint("WCT_PROP_TRIALS"))
+        config.trials = static_cast<std::size_t>(*trials);
+    if (const auto seed = envUint("WCT_PROP_SEED"))
+        config.seed = *seed;
+    return config;
+}
+
+std::string
+CheckResult::describe(const Config &config) const
+{
+    if (ok)
+        return "property held";
+    std::ostringstream out;
+    out << "property failed on trial " << failingTrial << " of "
+        << config.trials << " (rerun with WCT_PROP_SEED=0x" << std::hex
+        << config.seed << std::dec << ")\n  " << message
+        << "\n  counterexample (after " << shrinkSteps
+        << " shrink steps): " << counterexample;
+    return out.str();
+}
+
+std::string
+showDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string
+showVector(const std::vector<double> &values)
+{
+    std::string out = "[" + std::to_string(values.size()) + "]{";
+    const std::size_t shown = std::min<std::size_t>(values.size(), 32);
+    for (std::size_t i = 0; i < shown; ++i) {
+        if (i > 0)
+            out += ", ";
+        out += showDouble(values[i]);
+    }
+    if (shown < values.size())
+        out += ", ...";
+    return out + "}";
+}
+
+std::string
+showDataset(const Dataset &data)
+{
+    std::string out = "Dataset " + std::to_string(data.numRows()) +
+        " x " + std::to_string(data.numColumns()) + " (";
+    for (std::size_t c = 0; c < data.numColumns(); ++c) {
+        if (c > 0)
+            out += ",";
+        out += data.columnNames()[c];
+    }
+    out += ")\n";
+    const std::size_t shown = std::min<std::size_t>(data.numRows(), 10);
+    for (std::size_t r = 0; r < shown; ++r) {
+        out += "    ";
+        const auto row = data.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                out += ", ";
+            out += showDouble(row[c]);
+        }
+        out += "\n";
+    }
+    if (shown < data.numRows())
+        out += "    ... " + std::to_string(data.numRows() - shown) +
+            " more rows\n";
+    return out;
+}
+
+Gen<double>
+uniformDouble(double lo, double hi)
+{
+    Gen<double> gen;
+    gen.generate = [lo, hi](Rng &rng) { return rng.uniform(lo, hi); };
+    gen.shrink = [lo](const double &value) {
+        std::vector<double> candidates;
+        const double anchor = (lo <= 0.0) ? 0.0 : lo;
+        if (value != anchor) {
+            candidates.push_back(anchor);
+            candidates.push_back(anchor + (value - anchor) / 2.0);
+        }
+        return candidates;
+    };
+    gen.show = [](const double &value) { return showDouble(value); };
+    return gen;
+}
+
+Gen<double>
+interestingDouble(double scale)
+{
+    Gen<double> gen;
+    gen.generate = [scale](Rng &rng) -> double {
+        switch (rng.uniformInt(8)) {
+        case 0:
+            return 0.0;
+        case 1:
+            return rng.bernoulli(0.5) ? 1.0 : -1.0;
+        case 2:
+            return rng.uniform(-1e-9, 1e-9); // cancellation fodder
+        case 3:
+            return rng.uniform(-scale, scale);
+        default:
+            return rng.uniform(-8.0, 8.0);
+        }
+    };
+    gen.shrink = [](const double &value) {
+        std::vector<double> candidates;
+        if (value != 0.0) {
+            candidates.push_back(0.0);
+            candidates.push_back(value / 2.0);
+            candidates.push_back(std::trunc(value));
+        }
+        // Deduplicate while keeping order.
+        std::vector<double> unique;
+        for (double c : candidates) {
+            if (c != value &&
+                std::find(unique.begin(), unique.end(), c) ==
+                    unique.end())
+                unique.push_back(c);
+        }
+        return unique;
+    };
+    gen.show = [](const double &value) { return showDouble(value); };
+    return gen;
+}
+
+Gen<std::vector<double>>
+vectorOf(const Gen<double> &element, std::size_t min_n,
+         std::size_t max_n)
+{
+    Gen<std::vector<double>> gen;
+    gen.generate = [element, min_n, max_n](Rng &rng) {
+        const std::size_t n =
+            min_n + rng.uniformInt(max_n - min_n + 1);
+        std::vector<double> values;
+        values.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            values.push_back(element.generate(rng));
+        return values;
+    };
+    gen.shrink = [element,
+                  min_n](const std::vector<double> &values) {
+        std::vector<std::vector<double>> candidates;
+        const std::size_t n = values.size();
+        // Remove the front/back half, then single elements.
+        if (n / 2 >= min_n && n >= 2) {
+            candidates.emplace_back(values.begin() + n / 2,
+                                    values.end());
+            candidates.emplace_back(values.begin(),
+                                    values.begin() + (n + 1) / 2);
+        }
+        if (n > min_n && n <= 24) {
+            for (std::size_t i = 0; i < n; ++i) {
+                std::vector<double> fewer = values;
+                fewer.erase(fewer.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                candidates.push_back(std::move(fewer));
+            }
+        }
+        // Shrink individual elements (first candidate each).
+        if (element.shrink && n <= 24) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto elem_candidates =
+                    element.shrink(values[i]);
+                if (!elem_candidates.empty()) {
+                    std::vector<double> simpler = values;
+                    simpler[i] = elem_candidates.front();
+                    candidates.push_back(std::move(simpler));
+                }
+            }
+        }
+        return candidates;
+    };
+    gen.show = [](const std::vector<double> &values) {
+        return showVector(values);
+    };
+    return gen;
+}
+
+Gen<std::vector<double>>
+eventRateVector(std::size_t dim)
+{
+    Gen<std::vector<double>> gen;
+    gen.generate = [dim](Rng &rng) {
+        std::vector<double> rates(dim, 0.0);
+        for (std::size_t i = 0; i < dim; ++i) {
+            if (rng.bernoulli(0.4))
+                continue; // silent event
+            if (rng.bernoulli(0.1)) {
+                rates[i] = rng.uniform(0.9, 1.0); // pathological spike
+            } else {
+                // Typical per-instruction densities are small.
+                rates[i] = rng.exponential(25.0);
+                rates[i] = std::min(rates[i], 1.0);
+            }
+        }
+        return rates;
+    };
+    gen.shrink = [](const std::vector<double> &rates) {
+        std::vector<std::vector<double>> candidates;
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            if (rates[i] != 0.0) {
+                std::vector<double> quieter = rates;
+                quieter[i] = 0.0;
+                candidates.push_back(std::move(quieter));
+            }
+        }
+        return candidates;
+    };
+    gen.show = [](const std::vector<double> &rates) {
+        return showVector(rates);
+    };
+    return gen;
+}
+
+Gen<std::vector<double>>
+leafDistribution(std::size_t k)
+{
+    Gen<std::vector<double>> gen;
+    gen.generate = [k](Rng &rng) {
+        std::vector<double> percent(k, 0.0);
+        // A few dominant leaves, like real Table II rows.
+        const std::size_t active =
+            1 + rng.uniformInt(std::min<std::size_t>(k, 5));
+        double total = 0.0;
+        for (std::size_t i = 0; i < active; ++i) {
+            const std::size_t leaf = rng.uniformInt(k);
+            percent[leaf] += rng.uniform(0.05, 1.0);
+        }
+        for (double p : percent)
+            total += p;
+        for (double &p : percent)
+            p *= 100.0 / total;
+        return percent;
+    };
+    gen.shrink = [](const std::vector<double> &percent) {
+        std::vector<std::vector<double>> candidates;
+        // The simplest valid profile: all mass on the first leaf.
+        std::vector<double> point(percent.size(), 0.0);
+        point[0] = 100.0;
+        if (percent != point)
+            candidates.push_back(std::move(point));
+        return candidates;
+    };
+    gen.show = [](const std::vector<double> &percent) {
+        return showVector(percent);
+    };
+    return gen;
+}
+
+Gen<Dataset>
+datasets(const DatasetGenConfig &config)
+{
+    Gen<Dataset> gen;
+    gen.generate = [config](Rng &rng) {
+        const std::size_t p = config.minPredictors +
+            rng.uniformInt(config.maxPredictors -
+                           config.minPredictors + 1);
+        const std::size_t n = config.minRows +
+            rng.uniformInt(config.maxRows - config.minRows + 1);
+
+        std::vector<std::string> names;
+        for (std::size_t c = 0; c < p; ++c)
+            names.push_back("x" + std::to_string(c));
+        names.push_back("y");
+        Dataset data(names);
+
+        // Planted structure: a split on one predictor with distinct
+        // linear models per side, so trees have something to find.
+        const std::size_t split_attr = rng.uniformInt(p);
+        const double split_at = rng.uniform(config.lo, config.hi);
+        std::vector<double> coef_left(p);
+        std::vector<double> coef_right(p);
+        for (std::size_t c = 0; c < p; ++c) {
+            coef_left[c] = rng.uniform(-2.0, 2.0);
+            coef_right[c] = rng.uniform(-2.0, 2.0);
+        }
+        const double bias_left = rng.uniform(-4.0, 4.0);
+        const double bias_right = rng.uniform(-4.0, 4.0);
+
+        std::vector<double> row(p + 1);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < p; ++c)
+                row[c] = rng.uniform(config.lo, config.hi);
+            double y;
+            if (config.plantedStructure) {
+                const bool left = row[split_attr] <= split_at;
+                const auto &coef = left ? coef_left : coef_right;
+                y = left ? bias_left : bias_right;
+                for (std::size_t c = 0; c < p; ++c)
+                    y += coef[c] * row[c];
+            } else {
+                y = rng.uniform(config.lo, config.hi);
+            }
+            if (config.noise > 0.0)
+                y += rng.normal(0.0, config.noise);
+            row[p] = y;
+            data.addRow(row);
+        }
+        return data;
+    };
+    gen.shrink = [](const Dataset &data) {
+        std::vector<Dataset> candidates;
+        const std::size_t n = data.numRows();
+        const std::size_t p = data.numColumns() - 1;
+        // Halve the rows (front and back halves).
+        if (n >= 4) {
+            std::vector<std::size_t> front;
+            std::vector<std::size_t> back;
+            for (std::size_t r = 0; r < n; ++r)
+                (r < n / 2 ? front : back).push_back(r);
+            candidates.push_back(data.selectRows(front));
+            candidates.push_back(data.selectRows(back));
+        }
+        // Drop single rows once small.
+        if (n > 2 && n <= 16) {
+            for (std::size_t skip = 0; skip < n; ++skip) {
+                std::vector<std::size_t> kept;
+                for (std::size_t r = 0; r < n; ++r)
+                    if (r != skip)
+                        kept.push_back(r);
+                candidates.push_back(data.selectRows(kept));
+            }
+        }
+        // Drop a predictor column (keep at least one + target).
+        if (p > 1) {
+            for (std::size_t skip = 0; skip < p; ++skip) {
+                std::vector<std::string> kept;
+                for (std::size_t c = 0; c < data.numColumns(); ++c)
+                    if (c != skip)
+                        kept.push_back(data.columnNames()[c]);
+                candidates.push_back(data.selectColumns(kept));
+            }
+        }
+        return candidates;
+    };
+    gen.show = [](const Dataset &data) { return showDataset(data); };
+    return gen;
+}
+
+Gen<PhaseProfile>
+phaseProfiles()
+{
+    Gen<PhaseProfile> gen;
+    gen.generate = [](Rng &rng) {
+        PhaseProfile phase;
+        phase.name = "gen-phase";
+        phase.weight = rng.uniform(0.1, 4.0);
+
+        // Draw a mix that always sums below one: partition a random
+        // budget across the instruction classes.
+        const double budget = rng.uniform(0.2, 0.9);
+        double remaining = budget;
+        auto take = [&](double max_share) {
+            const double share =
+                rng.uniform(0.0, std::min(max_share, remaining));
+            remaining -= share;
+            return share;
+        };
+        phase.loadFrac = take(0.45);
+        phase.storeFrac = take(0.25);
+        phase.branchFrac = take(0.3);
+        phase.mulFrac = take(0.1);
+        phase.divFrac = take(0.05);
+        phase.simdFrac = take(0.4);
+
+        phase.dataFootprint = std::uint64_t(1)
+            << (12 + rng.uniformInt(14)); // 4 KB .. 32 MB
+        phase.hotBytes = std::max<std::uint64_t>(
+            64, phase.dataFootprint >> rng.uniformInt(8));
+        phase.hotFrac = rng.uniform(0.0, 1.0);
+        phase.streamFrac = rng.uniform(0.0, 1.0);
+        phase.pointerChaseFrac = rng.uniform(0.0, 0.6);
+        phase.accessSize = rng.bernoulli(0.2) ? 16 : 8;
+        phase.misalignFrac = rng.uniform(0.0, 0.3);
+        phase.splitFrac = rng.uniform(0.0, 0.2);
+        phase.aliasFrac = rng.uniform(0.0, 0.3);
+        phase.overlapFrac = rng.uniform(0.0, 0.3);
+        phase.slowStoreAddrFrac = rng.uniform(0.0, 0.3);
+        phase.slowStoreDataFrac = rng.uniform(0.0, 0.3);
+        phase.branchEntropy = rng.uniform(0.0, 1.0);
+        phase.takenBias = rng.uniform(0.0, 1.0);
+        phase.codeFootprint = std::uint64_t(1)
+            << (10 + rng.uniformInt(8)); // 1 KB .. 128 KB
+        phase.hotCodeBytes = std::max<std::uint64_t>(
+            64, phase.codeFootprint >> rng.uniformInt(4));
+        phase.hotCodeFrac = rng.uniform(0.5, 1.0);
+        phase.fpAssistFrac = rng.uniform(0.0, 0.01);
+        return phase;
+    };
+    gen.show = [](const PhaseProfile &phase) {
+        std::ostringstream out;
+        out << "PhaseProfile{load=" << phase.loadFrac
+            << " store=" << phase.storeFrac
+            << " branch=" << phase.branchFrac
+            << " simd=" << phase.simdFrac
+            << " footprint=" << phase.dataFootprint
+            << " hot=" << phase.hotBytes << "/" << phase.hotFrac
+            << " chase=" << phase.pointerChaseFrac
+            << " entropy=" << phase.branchEntropy << "}";
+        return out.str();
+    };
+    return gen;
+}
+
+Gen<BenchmarkProfile>
+benchmarkProfiles()
+{
+    const Gen<PhaseProfile> phase_gen = phaseProfiles();
+    Gen<BenchmarkProfile> gen;
+    gen.generate = [phase_gen](Rng &rng) {
+        BenchmarkProfile bench;
+        bench.name = "000.generated";
+        bench.language = "synthetic";
+        bench.integer = rng.bernoulli(0.5);
+        bench.instructionWeight = rng.uniform(0.2, 3.0);
+        bench.phaseRunLength = 5000 + rng.uniformInt(30000);
+        const std::size_t phases = 1 + rng.uniformInt(3);
+        for (std::size_t i = 0; i < phases; ++i) {
+            PhaseProfile phase = phase_gen.generate(rng);
+            phase.name = "phase" + std::to_string(i);
+            bench.phases.push_back(std::move(phase));
+        }
+        return bench;
+    };
+    gen.shrink = [](const BenchmarkProfile &bench) {
+        std::vector<BenchmarkProfile> candidates;
+        if (bench.phases.size() > 1) {
+            for (std::size_t skip = 0; skip < bench.phases.size();
+                 ++skip) {
+                BenchmarkProfile fewer = bench;
+                fewer.phases.erase(
+                    fewer.phases.begin() +
+                    static_cast<std::ptrdiff_t>(skip));
+                candidates.push_back(std::move(fewer));
+            }
+        }
+        return candidates;
+    };
+    gen.show = [phase_gen](const BenchmarkProfile &bench) {
+        std::string out = bench.name + " (" +
+            std::to_string(bench.phases.size()) + " phases)";
+        for (const PhaseProfile &phase : bench.phases)
+            out += "\n    " + phase_gen.show(phase);
+        return out;
+    };
+    return gen;
+}
+
+} // namespace prop
+} // namespace wct

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Minimal property-based testing framework for the differential
+ * oracle suite (see docs/testing.md).
+ *
+ * A property is checked over many randomized inputs drawn from a
+ * typed generator; on failure the input is greedily shrunk to a
+ * small counterexample before reporting. The design is deliberately
+ * tiny — a Gen<T> is three std::functions (generate, shrink, show) —
+ * so tests can compose domain generators (datasets, PMU event-rate
+ * vectors, phase profiles) without a combinator library.
+ *
+ * Trial counts and the root seed honour the WCT_PROP_TRIALS and
+ * WCT_PROP_SEED environment variables, which is how the nightly
+ * sanitizer job (ctest -L prop) runs the same binaries at 10-50x the
+ * default trial count.
+ */
+
+#ifndef WCT_TESTS_SUPPORT_PROP_HH
+#define WCT_TESTS_SUPPORT_PROP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace wct
+{
+namespace prop
+{
+
+/** Knobs of one property check. */
+struct Config
+{
+    /** Randomized inputs to try (each drawn from a fresh stream). */
+    std::size_t trials = 100;
+
+    /** Root seed; trial t uses the forked stream fork(t). */
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+    /** Cap on accepted shrink steps before reporting as-is. */
+    std::size_t maxShrinkSteps = 200;
+
+    /**
+     * Defaults overridden by the environment: WCT_PROP_TRIALS and
+     * WCT_PROP_SEED (decimal or 0x-hex). Every property test builds
+     * its Config through this so one variable rescales the whole
+     * suite.
+     */
+    static Config fromEnv(std::uint64_t default_seed,
+                          std::size_t default_trials = 100);
+};
+
+/**
+ * A typed generator: produce a value from an Rng, optionally propose
+ * strictly simpler variants of a failing value, and render a value
+ * for the failure report. shrink and show may be left empty.
+ */
+template <typename T>
+struct Gen
+{
+    std::function<T(Rng &)> generate;
+    std::function<std::vector<T>(const T &)> shrink;
+    std::function<std::string(const T &)> show;
+};
+
+/** Outcome of a property check, renderable as a gtest message. */
+struct CheckResult
+{
+    bool ok = true;
+    std::size_t trialsRun = 0;
+    std::size_t failingTrial = 0;
+    std::size_t shrinkSteps = 0;
+    std::string message;        ///< property's failure description
+    std::string counterexample; ///< show() of the minimal input
+
+    /** Multi-line failure report with the reproduction recipe. */
+    std::string describe(const Config &config) const;
+};
+
+/**
+ * Check `property` over `config.trials` generated inputs. The
+ * property returns std::nullopt on success or a failure description.
+ * On the first failure the input is shrunk: every candidate from
+ * gen.shrink is tried in order and the first still-failing candidate
+ * becomes the new counterexample, until no candidate fails or the
+ * step cap is hit.
+ */
+template <typename T>
+CheckResult
+check(const Config &config, const Gen<T> &gen,
+      const std::function<std::optional<std::string>(const T &)>
+          &property)
+{
+    CheckResult result;
+    Rng root(config.seed);
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+        Rng rng = root.fork(trial);
+        T value = gen.generate(rng);
+        std::optional<std::string> failure = property(value);
+        ++result.trialsRun;
+        if (!failure)
+            continue;
+
+        result.ok = false;
+        result.failingTrial = trial;
+        if (gen.shrink) {
+            bool improved = true;
+            while (improved &&
+                   result.shrinkSteps < config.maxShrinkSteps) {
+                improved = false;
+                for (T &candidate : gen.shrink(value)) {
+                    std::optional<std::string> cand_failure =
+                        property(candidate);
+                    if (cand_failure) {
+                        value = std::move(candidate);
+                        failure = std::move(cand_failure);
+                        ++result.shrinkSteps;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        result.message = *failure;
+        result.counterexample =
+            gen.show ? gen.show(value) : "<no show function>";
+        return result;
+    }
+    return result;
+}
+
+// ---- Scalar and vector generators. ----
+
+/** Uniform double in [lo, hi); shrinks toward 0 (or lo). */
+Gen<double> uniformDouble(double lo, double hi);
+
+/**
+ * Adversarial double mixture: uniform values plus mass on 0, ±1,
+ * denormal-adjacent tiny values, and large magnitudes. Always
+ * finite. Shrinks toward 0.
+ */
+Gen<double> interestingDouble(double scale = 1e6);
+
+/** Vector of n in [min_n, max_n] elements; shrinks by removing
+ * chunks/elements and by shrinking single elements. */
+Gen<std::vector<double>> vectorOf(const Gen<double> &element,
+                                  std::size_t min_n,
+                                  std::size_t max_n);
+
+// ---- Domain generators. ----
+
+/**
+ * PMU event-rate vector of fixed dimension: per-instruction event
+ * densities in [0, 1] with zero inflation (most events are silent in
+ * most intervals) and occasional pathological spikes near 1. Shrinks
+ * by zeroing components.
+ */
+Gen<std::vector<double>> eventRateVector(std::size_t dim);
+
+/**
+ * Leaf-distribution profile: `k` nonnegative percentages summing to
+ * 100, usually sparse (a few dominant leaves), matching the rows of
+ * the paper's Table II. Shrinks by concentrating all mass on the
+ * first component (the simplest valid profile).
+ */
+Gen<std::vector<double>> leafDistribution(std::size_t k);
+
+/** Knobs for the random-dataset generator. */
+struct DatasetGenConfig
+{
+    std::size_t minRows = 24;
+    std::size_t maxRows = 240;
+    std::size_t minPredictors = 1;
+    std::size_t maxPredictors = 4;
+    double lo = -8.0;
+    double hi = 8.0;
+
+    /**
+     * Target structure: with a planted piecewise-linear target the
+     * generated data exercises real tree induction; without it the
+     * target is an independent uniform draw (pure noise).
+     */
+    bool plantedStructure = true;
+
+    /** Gaussian noise sd added to the target. */
+    double noise = 0.05;
+};
+
+/**
+ * Random modeling dataset: predictor columns "x0".."x{p-1}" plus a
+ * target column "y" (last). Shrinks by halving the row count, then
+ * dropping single rows and predictor columns (never below one
+ * predictor or two rows).
+ */
+Gen<Dataset> datasets(const DatasetGenConfig &config = {});
+
+/**
+ * Random *valid* phase profile: every fraction within the ranges
+ * validateProfile() enforces, instruction mix summing below one, and
+ * consistent footprints, so generated profiles can be fed straight
+ * into the workload source and collector.
+ */
+Gen<PhaseProfile> phaseProfiles();
+
+/**
+ * Random single-phase-to-three-phase benchmark profile built from
+ * phaseProfiles(); always passes validateProfile(). Shrinks by
+ * dropping phases down to one.
+ */
+Gen<BenchmarkProfile> benchmarkProfiles();
+
+// ---- Show helpers shared by custom generators. ----
+
+/** Exact round-trippable rendering of a double (%.17g). */
+std::string showDouble(double value);
+
+/** Rendering of a vector of doubles, capped at 32 elements. */
+std::string showVector(const std::vector<double> &values);
+
+/** Schema, dimensions, and the first rows of a dataset. */
+std::string showDataset(const Dataset &data);
+
+} // namespace prop
+} // namespace wct
+
+/** Assert a property-check result inside a gtest test body. */
+#define WCT_EXPECT_PROP(result, config) \
+    EXPECT_TRUE((result).ok) << (result).describe(config)
+
+#endif // WCT_TESTS_SUPPORT_PROP_HH

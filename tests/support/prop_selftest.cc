@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Self-tests of the property-based testing framework: the check loop,
+ * shrinking, environment configuration, and the validity of the
+ * domain generators every other property test relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "tests/support/prop.hh"
+#include "workload/profile.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+using prop::Gen;
+
+TEST(PropFramework, PassingPropertyRunsAllTrials)
+{
+    Config config;
+    config.trials = 37;
+    const CheckResult result = prop::check<double>(
+        config, prop::uniformDouble(0.0, 1.0),
+        [](const double &) { return std::nullopt; });
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.trialsRun, 37u);
+}
+
+TEST(PropFramework, ShrinksScalarTowardThreshold)
+{
+    // Property: value < 10. uniformDouble shrinks by anchoring at 0
+    // and halving toward the anchor, so the minimal counterexample
+    // must land in [10, 20): halving it once more would satisfy the
+    // property.
+    Config config;
+    config.trials = 50;
+    const CheckResult result = prop::check<double>(
+        config, prop::uniformDouble(0.0, 100.0),
+        [](const double &value) -> std::optional<std::string> {
+            if (value < 10.0)
+                return std::nullopt;
+            return "value >= 10";
+        });
+    ASSERT_FALSE(result.ok);
+    EXPECT_GT(result.shrinkSteps, 0u);
+    const double minimal = std::strtod(result.counterexample.c_str(),
+                                       nullptr);
+    EXPECT_GE(minimal, 10.0);
+    EXPECT_LT(minimal, 20.0);
+}
+
+TEST(PropFramework, ShrinksVectorToSingleElement)
+{
+    // Property: no element >= 10. Element removal keeps the property
+    // failing as long as one offender remains, so shrinking must end
+    // on a single-element vector.
+    Config config;
+    config.trials = 50;
+    const CheckResult result = prop::check<std::vector<double>>(
+        config, prop::vectorOf(prop::uniformDouble(0.0, 100.0), 1, 40),
+        [](const std::vector<double> &values)
+            -> std::optional<std::string> {
+            for (double v : values)
+                if (v >= 10.0)
+                    return "contains an element >= 10";
+            return std::nullopt;
+        });
+    ASSERT_FALSE(result.ok);
+    EXPECT_EQ(result.counterexample.substr(0, 4), "[1]{")
+        << result.counterexample;
+}
+
+TEST(PropFramework, SameSeedReproducesSameCounterexample)
+{
+    Config config;
+    config.trials = 50;
+    const auto property =
+        [](const double &value) -> std::optional<std::string> {
+        if (value < 50.0)
+            return std::nullopt;
+        return "value >= 50";
+    };
+    const CheckResult first = prop::check<double>(
+        config, prop::uniformDouble(0.0, 100.0), property);
+    const CheckResult second = prop::check<double>(
+        config, prop::uniformDouble(0.0, 100.0), property);
+    ASSERT_FALSE(first.ok);
+    EXPECT_EQ(first.failingTrial, second.failingTrial);
+    EXPECT_EQ(first.counterexample, second.counterexample);
+}
+
+TEST(PropFramework, TrialsDrawFromIndependentStreams)
+{
+    Config config;
+    config.trials = 16;
+    std::set<double> seen;
+    prop::check<double>(
+        config, prop::uniformDouble(0.0, 1.0),
+        [&seen](const double &value) -> std::optional<std::string> {
+            seen.insert(value);
+            return std::nullopt;
+        });
+    EXPECT_GT(seen.size(), 8u);
+}
+
+TEST(PropFramework, ConfigFromEnvOverridesDefaults)
+{
+    ASSERT_EQ(setenv("WCT_PROP_TRIALS", "7", 1), 0);
+    ASSERT_EQ(setenv("WCT_PROP_SEED", "0x123", 1), 0);
+    const Config config = Config::fromEnv(42, 100);
+    EXPECT_EQ(config.trials, 7u);
+    EXPECT_EQ(config.seed, 0x123u);
+    unsetenv("WCT_PROP_TRIALS");
+    unsetenv("WCT_PROP_SEED");
+}
+
+TEST(PropFramework, ConfigFromEnvIgnoresMalformedValues)
+{
+    ASSERT_EQ(setenv("WCT_PROP_TRIALS", "lots", 1), 0);
+    const Config config = Config::fromEnv(42, 100);
+    EXPECT_EQ(config.trials, 100u);
+    EXPECT_EQ(config.seed, 42u);
+    unsetenv("WCT_PROP_TRIALS");
+}
+
+TEST(PropFramework, DescribeMentionsReproductionSeed)
+{
+    Config config;
+    config.trials = 10;
+    config.seed = 0xabcd;
+    const CheckResult result = prop::check<double>(
+        config, prop::uniformDouble(0.0, 1.0),
+        [](const double &) { return std::optional<std::string>("no"); });
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.describe(config).find("WCT_PROP_SEED=0xabcd"),
+              std::string::npos);
+}
+
+// ---- Generator validity: every domain generator must only produce
+// values the library accepts, otherwise property failures would blame
+// the code under test for generator bugs. ----
+
+TEST(PropGenerators, LeafDistributionsSumToOneHundred)
+{
+    const Config config = Config::fromEnv(0x1ead, 100);
+    const CheckResult result = prop::check<std::vector<double>>(
+        config, prop::leafDistribution(12),
+        [](const std::vector<double> &percent)
+            -> std::optional<std::string> {
+            double total = 0.0;
+            for (double p : percent) {
+                if (p < 0.0)
+                    return "negative percentage";
+                total += p;
+            }
+            if (std::abs(total - 100.0) > 1e-9)
+                return "total " + prop::showDouble(total);
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(PropGenerators, EventRatesStayInUnitInterval)
+{
+    const Config config = Config::fromEnv(0x0e0e, 100);
+    const CheckResult result = prop::check<std::vector<double>>(
+        config, prop::eventRateVector(20),
+        [](const std::vector<double> &rates)
+            -> std::optional<std::string> {
+            for (double r : rates)
+                if (r < 0.0 || r > 1.0)
+                    return "rate " + prop::showDouble(r);
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(PropGenerators, DatasetsMatchConfiguredShape)
+{
+    prop::DatasetGenConfig shape;
+    shape.minRows = 10;
+    shape.maxRows = 50;
+    shape.minPredictors = 2;
+    shape.maxPredictors = 3;
+    const Config config = Config::fromEnv(0xda7a, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(shape),
+        [&shape](const Dataset &data) -> std::optional<std::string> {
+            if (data.numRows() < shape.minRows ||
+                data.numRows() > shape.maxRows)
+                return "rows " + std::to_string(data.numRows());
+            const std::size_t p = data.numColumns() - 1;
+            if (p < shape.minPredictors || p > shape.maxPredictors)
+                return "predictors " + std::to_string(p);
+            if (data.columnNames().back() != "y")
+                return "target column is not last";
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(PropGenerators, BenchmarkProfilesAreValid)
+{
+    // validateProfile is fatal on violation, so surviving the loop is
+    // the assertion.
+    const Config config = Config::fromEnv(0xbe7c, 100);
+    const CheckResult result = prop::check<BenchmarkProfile>(
+        config, prop::benchmarkProfiles(),
+        [](const BenchmarkProfile &bench)
+            -> std::optional<std::string> {
+            validateProfile(bench);
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+} // namespace
+} // namespace wct

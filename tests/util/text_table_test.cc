@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests of the plain-text table renderer behind the paper-style
+ * tables: exact layout on a small table, rule placement, width
+ * computation, and the arity assertions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/text_table.hh"
+
+namespace wct
+{
+namespace
+{
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(TextTableTest, RendersExactSmallTable)
+{
+    TextTable table({"Bench", "CPI"});
+    table.addRow({"mcf", "2.21"});
+    table.addRow({"namd", "0.9"});
+    // Columns are padded to the widest cell, separated by two spaces,
+    // with trailing padding trimmed.
+    EXPECT_EQ(table.render(),
+              "Bench  CPI\n"
+              "-----------\n"
+              "mcf    2.21\n"
+              "namd   0.9\n");
+}
+
+TEST(TextTableTest, CellWiderThanHeaderSetsColumnWidth)
+{
+    TextTable table({"N", "V"});
+    table.addRow({"456.hmmer", "1"});
+    const auto rendered = lines(table.render());
+    ASSERT_EQ(rendered.size(), 3u);
+    EXPECT_EQ(rendered[2], "456.hmmer  1");
+    // The header rule spans both padded columns.
+    EXPECT_EQ(rendered[1], std::string(12, '-'));
+}
+
+TEST(TextTableTest, RuleAppearsBeforeTheNextRow)
+{
+    TextTable table({"A"});
+    table.addRow({"1"});
+    table.addRule();
+    table.addRow({"2"});
+    const auto rendered = lines(table.render());
+    ASSERT_EQ(rendered.size(), 5u);
+    EXPECT_EQ(rendered[2], "1");
+    EXPECT_EQ(rendered[3], rendered[1]); // the separating rule
+    EXPECT_EQ(rendered[4], "2");
+}
+
+TEST(TextTableTest, TrailingRuleWithoutRowIsDropped)
+{
+    TextTable table({"A"});
+    table.addRow({"1"});
+    table.addRule();
+    const auto rendered = lines(table.render());
+    EXPECT_EQ(rendered.size(), 3u);
+}
+
+TEST(TextTableTest, CountsRows)
+{
+    TextTable table({"A", "B"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(TextTableDeathTest, ArityMismatchPanics)
+{
+    TextTable table({"A", "B"});
+    EXPECT_DEATH(table.addRow({"only one"}), "arity");
+}
+
+TEST(TextTableDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable(std::vector<std::string>{}), "");
+}
+
+} // namespace
+} // namespace wct
