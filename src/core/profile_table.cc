@@ -6,6 +6,7 @@
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/text_table.hh"
+#include "util/thread_pool.hh"
 
 namespace wct
 {
@@ -33,10 +34,14 @@ ProfileTable::classifyInto(const std::string &name,
 ProfileTable::ProfileTable(const SuiteData &data, const ModelTree &tree)
     : numModels_(tree.numLeaves())
 {
-    rows_.reserve(data.benchmarks.size());
-    for (const BenchmarkData &bench : data.benchmarks)
-        rows_.push_back(
-            classifyInto(bench.name, bench.samples, tree));
+    // Each benchmark's classification is independent and lands in its
+    // own pre-sized slot, so the per-benchmark loop parallelizes with
+    // no effect on the result.
+    rows_.resize(data.benchmarks.size());
+    parallelFor(data.benchmarks.size(), [&](std::size_t i) {
+        const BenchmarkData &bench = data.benchmarks[i];
+        rows_[i] = classifyInto(bench.name, bench.samples, tree);
+    });
 
     suite_ = classifyInto("Suite", data.pooled(), tree);
 

@@ -8,6 +8,7 @@
 #include "stats/descriptive.hh"
 #include "stats/pca.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace wct
 {
@@ -63,18 +64,25 @@ selectGreedyProfile(const ProfileTable &table, const SuiteData &data,
     for (const auto &row : table.rows())
         remaining.push_back(row.name);
 
+    std::vector<double> distances;
     while (selected.size() < k) {
+        // Evaluate every candidate into its own slot, then take the
+        // argmin in ascending order — the same lowest-index tie-break
+        // the sequential scan had, independent of scheduling.
+        distances.assign(remaining.size(), 0.0);
+        parallelFor(remaining.size(), [&](std::size_t i) {
+            auto trial = selected;
+            trial.push_back(remaining[i]);
+            distances[i] =
+                evaluateSubset(table, data, std::move(trial))
+                    .profileDistance;
+        });
         double best_distance =
             std::numeric_limits<double>::infinity();
         std::size_t best = remaining.size();
         for (std::size_t i = 0; i < remaining.size(); ++i) {
-            auto trial = selected;
-            trial.push_back(remaining[i]);
-            const double d =
-                evaluateSubset(table, data, std::move(trial))
-                    .profileDistance;
-            if (d < best_distance) {
-                best_distance = d;
+            if (distances[i] < best_distance) {
+                best_distance = distances[i];
                 best = i;
             }
         }
@@ -93,14 +101,17 @@ selectByMedoids(const ProfileTable &table, const SuiteData &data,
     const std::size_t n = rows.size();
     wct_assert(k >= 1 && k <= n, "subset size ", k, " out of range");
 
+    // Each (i, j) pair is written exactly once, by the task owning
+    // the smaller index, so the row-parallel fill is race-free.
     std::vector<double> distances(n * n, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
+    parallelFor(n, [&](std::size_t i) {
         for (std::size_t j = i + 1; j < n; ++j) {
             const double d =
                 ProfileTable::distance(rows[i], rows[j]);
             distances[i * n + j] = d;
             distances[j * n + i] = d;
         }
+    });
 
     const KMedoidsResult medoids = kMedoids(distances, n, k);
     std::vector<std::string> names;

@@ -137,6 +137,25 @@ Dataset::reserveRows(std::size_t rows)
     values_.reserve(values_.size() + rows * names_.size());
 }
 
+ColumnStore
+Dataset::columnMajor() const
+{
+    return ColumnStore(*this);
+}
+
+ColumnStore::ColumnStore(const Dataset &data)
+    : rows_(data.numRows()), cols_(data.numColumns())
+{
+    values_.resize(rows_ * cols_);
+    // Row-major pass over the source: sequential reads, strided
+    // writes; with cols_ ~ 20 every write stream stays cache-resident.
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::span<const double> row = data.row(r);
+        for (std::size_t c = 0; c < cols_; ++c)
+            values_[c * rows_ + r] = row[c];
+    }
+}
+
 ColumnSummary
 Dataset::summarize(std::size_t col) const
 {

@@ -29,11 +29,16 @@ struct ColumnSummary
     double max = 0.0;
 };
 
+class ColumnStore;
+
 /**
  * Row-major table of doubles with named columns.
  *
- * Rows are stored contiguously so per-sample access during tree
- * training touches one cache line per narrow sample.
+ * Rows are stored contiguously so per-sample access (prediction,
+ * model fitting) touches one cache line per narrow sample. Columnar
+ * scans — the split-search hot loop of tree training — go through the
+ * derived column-major ColumnStore (columnMajor()) instead, which
+ * streams one attribute contiguously.
  */
 class Dataset
 {
@@ -99,9 +104,61 @@ class Dataset
     /** Descriptive summary of one column. */
     ColumnSummary summarize(std::size_t col) const;
 
+    /** Column-major (SoA) copy of the table for columnar scans. */
+    ColumnStore columnMajor() const;
+
   private:
     std::vector<std::string> names_;
     std::vector<double> values_;
+};
+
+/**
+ * Column-major (structure-of-arrays) snapshot of a Dataset.
+ *
+ * Each column is one contiguous array, so a scan over one attribute
+ * across all rows — the inner loop of SDR split search — streams
+ * sequentially instead of striding numColumns() doubles per element.
+ * The store is an immutable copy: it does not observe later addRow
+ * calls on the source dataset. Cells are bit-identical to the source
+ * (plain copies), so algorithms may mix row-major and column-major
+ * access without floating-point divergence.
+ */
+class ColumnStore
+{
+  public:
+    ColumnStore() = default;
+
+    /** Transpose a dataset into columnar storage. */
+    explicit ColumnStore(const Dataset &data);
+
+    std::size_t numRows() const { return rows_; }
+    std::size_t numColumns() const { return cols_; }
+
+    /** Contiguous storage of one column (numRows() doubles). */
+    const double *
+    columnData(std::size_t c) const
+    {
+        return values_.data() + c * rows_;
+    }
+
+    /** Span view of one column. */
+    std::span<const double>
+    column(std::size_t c) const
+    {
+        return {columnData(c), rows_};
+    }
+
+    /** Cell accessor (bit-identical to Dataset::at on the source). */
+    double
+    at(std::size_t row, std::size_t col) const
+    {
+        return values_[col * rows_ + row];
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> values_; ///< column-major, cols_ * rows_
 };
 
 } // namespace wct

@@ -2,18 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "mtree/split_search.hh"
 #include "util/logging.hh"
+#include "util/radix_sort.hh"
 #include "util/string_utils.hh"
+#include "util/thread_pool.hh"
 
 namespace wct
 {
 
+namespace
+{
+
+/**
+ * Minimum node size for spawning the left subtree (and the phase
+ * recursions below it) as a stealable task. Scheduling-only knob:
+ * results are identical at any value.
+ */
+constexpr std::size_t kSubtreeTaskRows = 192;
+
+/** Minimum node size for evaluating attributes as parallel tasks. */
+constexpr std::size_t kAttrTaskRows = 512;
+
+} // namespace
+
 /**
  * Training-time helper holding the dataset and hyper-parameters so
  * the recursive routines do not thread a dozen arguments.
+ *
+ * Three engines share this class (see TreeBuilderKind): the reference
+ * builder re-sorts each attribute at every node; the presorted
+ * builder sorts each attribute once at the root and stably partitions
+ * the per-attribute row orders down the tree (O(A·n) per node); the
+ * parallel builder runs the presorted kernels under the work-stealing
+ * pool — attributes of a big node concurrently, independent subtrees
+ * as tasks, and the fit/prune/smooth phases per subtree. All three
+ * produce bit-identical trees: the split kernels share one sweep
+ * (split_search.cc), every iteration order is pinned (rows ascending;
+ * equal attribute values in row order), and parallel results land in
+ * pre-sized slots reduced in fixed attribute order.
  */
 class ModelTree::Builder
 {
@@ -32,6 +63,14 @@ class ModelTree::Builder
                                      static_cast<double>(
                                          data.numRows())));
         minLeaf_ = std::max<std::size_t>(minLeaf_, 1);
+
+        kind_ = config.builder;
+        if (kind_ == TreeBuilderKind::Auto)
+            kind_ = TreeBuilderKind::Parallel;
+        if (kind_ == TreeBuilderKind::Parallel &&
+            ThreadPool::global().workerCount() == 0)
+            kind_ = TreeBuilderKind::Presorted; // WCT_THREADS=1
+        parallel_ = kind_ == TreeBuilderKind::Parallel;
     }
 
     std::unique_ptr<Node>
@@ -39,8 +78,19 @@ class ModelTree::Builder
     {
         std::vector<std::size_t> rows(data_.numRows());
         std::iota(rows.begin(), rows.end(), std::size_t(0));
-        globalSd_ = targetSd(rows);
-        auto root = buildNode(rows, 0);
+        globalSd_ = targetMoments(rows).sd;
+
+        std::unique_ptr<Node> root;
+        if (kind_ == TreeBuilderKind::Serial) {
+            root = buildNodeSerial(rows, 0);
+        } else {
+            wct_assert(data_.numRows() <=
+                           std::numeric_limits<std::uint32_t>::max(),
+                       "presorted builder indexes rows with 32 bits");
+            columns_ = data_.columnMajor();
+            buildPresorted();
+            root = buildNodePresorted(rows, 0, data_.numRows(), 0);
+        }
         fitModels(root.get());
         if (config_.prune)
             prune(root.get());
@@ -52,22 +102,66 @@ class ModelTree::Builder
     double globalSd() const { return globalSd_; }
 
   private:
-    /** Mean/sd of the target over a row subset. */
-    double
-    targetSd(std::span<const std::size_t> rows) const
+    struct TargetMoments
     {
-        if (rows.size() < 2)
-            return 0.0;
-        double sum = 0.0;
-        for (std::size_t r : rows)
-            sum += data_.at(r, target_);
-        const double mean = sum / static_cast<double>(rows.size());
-        double ss = 0.0;
+        double mean = 0.0;
+        double sd = 0.0; ///< unbiased (n - 1) standard deviation
+    };
+
+    /**
+     * Mean and sd of the target over a row subset in one Welford
+     * pass. Every builder iterates rows in ascending row order and
+     * funnels through this one loop, so the accumulated values are
+     * identical across engines regardless of how the target is
+     * fetched (row-major Dataset or column pointer).
+     */
+    template <typename TargetAt>
+    static TargetMoments
+    welfordMoments(std::span<const std::size_t> rows, TargetAt y_at)
+    {
+        TargetMoments moments;
+        double mean = 0.0;
+        double m2 = 0.0;
+        std::size_t k = 0;
         for (std::size_t r : rows) {
-            const double d = data_.at(r, target_) - mean;
-            ss += d * d;
+            const double y = y_at(r);
+            ++k;
+            const double delta = y - mean;
+            mean += delta / static_cast<double>(k);
+            m2 += delta * (y - mean);
         }
-        return std::sqrt(ss / static_cast<double>(rows.size() - 1));
+        if (k > 0)
+            moments.mean = mean;
+        if (k > 1)
+            moments.sd =
+                std::sqrt(m2 / static_cast<double>(k - 1));
+        return moments;
+    }
+
+    TargetMoments
+    targetMoments(std::span<const std::size_t> rows) const
+    {
+        return welfordMoments(
+            rows, [this](std::size_t r) { return data_.at(r, target_); });
+    }
+
+    /** Initialize a node's count/mean/sd from its row subset. */
+    static void
+    applyMoments(Node &node, std::span<const std::size_t> rows,
+                 const TargetMoments &moments)
+    {
+        node.count = rows.size();
+        node.meanTarget = moments.mean;
+        node.sd = moments.sd;
+    }
+
+    /** The M5 stopping rule (shared verbatim by all engines). */
+    bool
+    canSplit(const Node &node, std::size_t depth) const
+    {
+        return node.count >= 2 * minLeaf_ && node.count >= 4 &&
+            depth < config_.maxDepth &&
+            node.sd >= config_.sdThresholdFraction * globalSd_;
     }
 
     struct Split
@@ -78,24 +172,17 @@ class ModelTree::Builder
     };
 
     /**
-     * Best SDR split for one attribute, delegated to the shared
-     * split-search kernel (mtree/split_search.hh). Attributes are
-     * scanned in ascending index order and the incumbent is replaced
-     * only on strict improvement, so cross-attribute SDR ties break
-     * toward the lowest attribute index.
+     * Fold one attribute's candidate into the incumbent. Attributes
+     * are considered in ascending index order and replaced only on
+     * strict improvement, so cross-attribute SDR ties break toward
+     * the lowest attribute index — in every engine, because the
+     * parallel path stores candidates in per-attribute slots and
+     * reduces them through this same loop.
      */
-    void
-    bestSplitForAttribute(std::span<const std::size_t> rows,
-                          std::size_t attr, double node_sd,
-                          Split &best) const
+    static void
+    consider(const SplitCandidate &cand, std::size_t attr,
+             Split &best)
     {
-        scratch_.clear();
-        scratch_.reserve(rows.size());
-        for (std::size_t r : rows)
-            scratch_.push_back({data_.at(r, attr),
-                                data_.at(r, target_)});
-        const SplitCandidate cand =
-            findBestSdrSplit(scratch_, node_sd, minLeaf_);
         if (cand.valid && cand.sdr > best.sdr) {
             best.sdr = cand.sdr;
             best.attr = attr;
@@ -103,26 +190,41 @@ class ModelTree::Builder
         }
     }
 
+    // ---- Reference engine: per-node sort. ----
+
+    /**
+     * Best SDR split for one attribute, delegated to the shared
+     * split-search kernel (mtree/split_search.hh). The scratch buffer
+     * is owned by the calling node (stack-local), never by the
+     * builder, so concurrent builds of sibling subtrees cannot race.
+     */
+    void
+    bestSplitForAttribute(std::span<const std::size_t> rows,
+                          std::size_t attr, double node_sd,
+                          Split &best,
+                          std::vector<SplitObservation> &scratch) const
+    {
+        scratch.clear();
+        scratch.reserve(rows.size());
+        for (std::size_t r : rows)
+            scratch.push_back({data_.at(r, attr),
+                               data_.at(r, target_)});
+        consider(findBestSdrSplit(scratch, node_sd, minLeaf_), attr,
+                 best);
+    }
+
     std::unique_ptr<Node>
-    buildNode(std::vector<std::size_t> &rows, std::size_t depth)
+    buildNodeSerial(std::vector<std::size_t> &rows, std::size_t depth)
     {
         auto node = std::make_unique<Node>();
-        node->count = rows.size();
-        double sum = 0.0;
-        for (std::size_t r : rows)
-            sum += data_.at(r, target_);
-        node->meanTarget =
-            rows.empty() ? 0.0
-                         : sum / static_cast<double>(rows.size());
-        node->sd = targetSd(rows);
+        applyMoments(*node, rows, targetMoments(rows));
 
-        const bool can_split = rows.size() >= 2 * minLeaf_ &&
-            rows.size() >= 4 && depth < config_.maxDepth &&
-            node->sd >= config_.sdThresholdFraction * globalSd_;
         Split best;
-        if (can_split) {
+        if (canSplit(*node, depth)) {
+            std::vector<SplitObservation> scratch;
             for (std::size_t attr : predictors_)
-                bestSplitForAttribute(rows, attr, node->sd, best);
+                bestSplitForAttribute(rows, attr, node->sd, best,
+                                      scratch);
         }
         if (best.sdr <= 0.0) {
             node->rows = std::move(rows);
@@ -142,28 +244,202 @@ class ModelTree::Builder
                                                   : right_rows)
                 .push_back(r);
         node->rows = std::move(rows);
-        node->left = buildNode(left_rows, depth + 1);
-        node->right = buildNode(right_rows, depth + 1);
+        node->left = buildNodeSerial(left_rows, depth + 1);
+        node->right = buildNodeSerial(right_rows, depth + 1);
         return node;
     }
 
-    /** Fit (and simplify) the model at every node, bottom-up. */
+    // ---- Presorted engine (optionally parallel). ----
+
+    /**
+     * Build the root working sets: for each predictor, the row ids
+     * stably sorted ascending by that column, with the sorted values
+     * and matching targets materialized as contiguous arrays (one
+     * gather at the root buys gather-free streaming sweeps at every
+     * node). Stability makes equal values appear in ascending row
+     * order, matching what the reference engine's stable per-node
+     * sort produces — the anchor of the bit-identical guarantee.
+     */
     void
-    fitModels(Node *node)
+    buildPresorted()
     {
-        if (!node->isLeaf) {
-            fitModels(node->left.get());
-            fitModels(node->right.get());
+        const std::size_t n = data_.numRows();
+        goesLeft_.assign(n, 0);
+        presorted_.resize(predictors_.size());
+        const double *targets = columns_.columnData(target_);
+        const auto sort_one = [this, n, targets](std::size_t p) {
+            // Branchless radix sort on order-preserving key
+            // transforms of the column values (util/radix_sort.hh):
+            // stable, so equal values keep ascending row order — the
+            // exact permutation a stable comparison sort would give —
+            // at a fraction of the mispredict-bound cost. The sorted
+            // values and matching targets are then gathered once into
+            // contiguous arrays.
+            const double *values =
+                columns_.columnData(predictors_[p]);
+            std::vector<KeyRow> entries(n);
+            for (std::size_t i = 0; i < n; ++i)
+                entries[i] = {orderedKeyFromDouble(values[i]),
+                              static_cast<std::uint32_t>(i)};
+            std::vector<KeyRow> scratch;
+            radixSortKeyRows(entries, scratch);
+            PresortedColumn &col = presorted_[p];
+            col.values.resize(n);
+            col.targets.resize(n);
+            col.rows.resize(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint32_t row = entries[i].row;
+                col.values[i] = values[row];
+                col.targets[i] = targets[row];
+                col.rows[i] = row;
+            }
+        };
+        if (parallel_) {
+            parallelFor(predictors_.size(), sort_one);
+        } else {
+            for (std::size_t p = 0; p < predictors_.size(); ++p)
+                sort_one(p);
         }
-        GramAccumulator gram(predictors_, target_);
-        gram.addRows(data_, node->rows);
+    }
+
+    /**
+     * Presorted node build over the working-set range [lo, hi): every
+     * attribute's PresortedColumn holds exactly this node's rows in
+     * that range (in attribute order). Split evaluation is one linear
+     * sweep per attribute; descending partitions each range stably
+     * around the chosen split, so children own [lo, mid) and
+     * [mid, hi) with the invariant intact. Sibling ranges are
+     * disjoint — and sibling row sets too, so concurrent subtree
+     * tasks touch disjoint slices of the shared working sets and
+     * disjoint bytes of the goesLeft_ mask.
+     */
+    std::unique_ptr<Node>
+    buildNodePresorted(std::vector<std::size_t> &rows, std::size_t lo,
+                       std::size_t hi, std::size_t depth)
+    {
+        wct_assert(hi - lo == rows.size(),
+                   "working-set range ", hi - lo, " != node rows ",
+                   rows.size());
+        auto node = std::make_unique<Node>();
+        const double *targets = columns_.columnData(target_);
+        applyMoments(*node, rows,
+                     welfordMoments(rows, [targets](std::size_t r) {
+                         return targets[r];
+                     }));
+
+        Split best;
+        if (canSplit(*node, depth)) {
+            const std::size_t num_p = predictors_.size();
+            const auto eval_one = [&](std::size_t p) {
+                const PresortedColumn &col = presorted_[p];
+                return findBestSdrSplitPresorted(
+                    std::span<const double>(col.values)
+                        .subspan(lo, hi - lo),
+                    std::span<const double>(col.targets)
+                        .subspan(lo, hi - lo),
+                    node->sd, minLeaf_);
+            };
+            if (parallel_ && num_p > 1 &&
+                rows.size() >= kAttrTaskRows) {
+                std::vector<SplitCandidate> candidates(num_p);
+                TaskGroup group;
+                for (std::size_t p = 0; p < num_p; ++p)
+                    group.run([&candidates, &eval_one, p] {
+                        candidates[p] = eval_one(p);
+                    });
+                group.wait();
+                for (std::size_t p = 0; p < num_p; ++p)
+                    consider(candidates[p], predictors_[p], best);
+            } else {
+                for (std::size_t p = 0; p < num_p; ++p)
+                    consider(eval_one(p), predictors_[p], best);
+            }
+        }
+        if (best.sdr <= 0.0) {
+            node->rows = std::move(rows);
+            return node;
+        }
+
+        node->isLeaf = false;
+        node->splitAttr = best.attr;
+        node->splitValue = best.value;
+
+        // Partition the node rows and write the per-row side mask the
+        // attribute partitions read (this node's rows only, so
+        // concurrent sibling subtrees write disjoint mask bytes).
+        const double *split_values = columns_.columnData(best.attr);
+        std::vector<std::size_t> left_rows;
+        std::vector<std::size_t> right_rows;
+        left_rows.reserve(rows.size());
+        right_rows.reserve(rows.size());
+        for (std::size_t r : rows) {
+            const bool left = split_values[r] <= best.value;
+            goesLeft_[r] = left ? 1 : 0;
+            (left ? left_rows : right_rows).push_back(r);
+        }
+        node->rows = std::move(rows);
+
+        const std::size_t mid = lo + left_rows.size();
+        const auto partition_one =
+            [this, lo, hi, expect_left = left_rows.size()](
+                std::size_t p, PresortedColumn &scratch) {
+                const std::size_t nl = stablePartitionPresorted(
+                    presorted_[p], lo, hi, goesLeft_.data(),
+                    scratch);
+                wct_assert(nl == expect_left,
+                           "attribute partition produced ", nl,
+                           " left rows, expected ", expect_left);
+            };
+        if (parallel_ && predictors_.size() > 1 &&
+            hi - lo >= kAttrTaskRows) {
+            TaskGroup group;
+            for (std::size_t p = 0; p < predictors_.size(); ++p)
+                group.run([&partition_one, p] {
+                    PresortedColumn scratch;
+                    partition_one(p, scratch);
+                });
+            group.wait();
+        } else {
+            PresortedColumn scratch;
+            for (std::size_t p = 0; p < predictors_.size(); ++p)
+                partition_one(p, scratch);
+        }
+
+        if (parallel_ && node->count >= kSubtreeTaskRows) {
+            TaskGroup group;
+            group.run([this, &node, &left_rows, lo, mid, depth] {
+                node->left =
+                    buildNodePresorted(left_rows, lo, mid, depth + 1);
+            });
+            node->right =
+                buildNodePresorted(right_rows, mid, hi, depth + 1);
+            group.wait();
+        } else {
+            node->left =
+                buildNodePresorted(left_rows, lo, mid, depth + 1);
+            node->right =
+                buildNodePresorted(right_rows, mid, hi, depth + 1);
+        }
+        return node;
+    }
+
+    // ---- Model fitting, pruning, smoothing (all engines). ----
+
+    /** Fit (and simplify) the model at one node. */
+    void
+    fitNodeModel(Node *node) const
+    {
         if (config_.constantLeaves) {
+            // The constant model needs only the moments the build
+            // already computed; no normal equations to accumulate.
             node->model.intercept = node->meanTarget;
             const double n = static_cast<double>(node->count);
             node->adjustedError =
                 node->sd * std::sqrt(std::max(0.0, (n - 1.0) / n));
             return;
         }
+        GramAccumulator gram(predictors_, target_);
+        gram.addRows(data_, node->rows);
         if (config_.simplifyModels) {
             node->model = gram.fitSimplified(node->adjustedError);
         } else {
@@ -177,17 +453,52 @@ class ModelTree::Builder
     }
 
     /**
+     * Fit models bottom-up. Node fits are mutually independent (each
+     * reads only its own row subset), so subtrees fit as tasks.
+     */
+    void
+    fitModels(Node *node)
+    {
+        if (!node->isLeaf) {
+            if (parallel_ && node->count >= kSubtreeTaskRows) {
+                TaskGroup group;
+                group.run([this, left = node->left.get()] {
+                    fitModels(left);
+                });
+                fitModels(node->right.get());
+                group.wait();
+            } else {
+                fitModels(node->left.get());
+                fitModels(node->right.get());
+            }
+        }
+        fitNodeModel(node);
+    }
+
+    /**
      * Quinlan-style pruning: replace a subtree by its node model when
      * the model's compensated error is no worse than the subtree's
-     * weighted compensated error.
+     * weighted compensated error. Each subtree's verdict depends only
+     * on its own nodes, so the two recursions run as tasks.
      */
     double
     prune(Node *node)
     {
         if (node->isLeaf)
             return node->adjustedError;
-        const double err_left = prune(node->left.get());
-        const double err_right = prune(node->right.get());
+        double err_left = 0.0;
+        double err_right = 0.0;
+        if (parallel_ && node->count >= kSubtreeTaskRows) {
+            TaskGroup group;
+            group.run([this, &err_left, left = node->left.get()] {
+                err_left = prune(left);
+            });
+            err_right = prune(node->right.get());
+            group.wait();
+        } else {
+            err_left = prune(node->left.get());
+            err_right = prune(node->right.get());
+        }
         const double nl = static_cast<double>(node->left->count);
         const double nr = static_cast<double>(node->right->count);
         const double subtree_err =
@@ -205,7 +516,9 @@ class ModelTree::Builder
      * Fold WEKA-style smoothing into the models top-down:
      * smoothed(child) = (n*model(child) + k*smoothed(parent))/(n+k).
      * Linear blends of linear models stay linear, so the printed leaf
-     * equations are the exact prediction functions.
+     * equations are the exact prediction functions. A node's blend is
+     * finished before its children are visited, so the two child
+     * recursions (which read only the parent model) run as tasks.
      */
     void
     smooth(Node *node, const LinearModel *parent)
@@ -240,8 +553,18 @@ class ModelTree::Builder
             node->model = std::move(blended);
         }
         if (!node->isLeaf) {
-            smooth(node->left.get(), &node->model);
-            smooth(node->right.get(), &node->model);
+            if (parallel_ && node->count >= kSubtreeTaskRows) {
+                TaskGroup group;
+                group.run([this, left = node->left.get(),
+                           model = &node->model] {
+                    smooth(left, model);
+                });
+                smooth(node->right.get(), &node->model);
+                group.wait();
+            } else {
+                smooth(node->left.get(), &node->model);
+                smooth(node->right.get(), &node->model);
+            }
         }
     }
 
@@ -251,7 +574,14 @@ class ModelTree::Builder
     std::vector<std::size_t> predictors_;
     std::size_t minLeaf_ = 4;
     double globalSd_ = 0.0;
-    mutable std::vector<SplitObservation> scratch_;
+    TreeBuilderKind kind_ = TreeBuilderKind::Auto;
+    bool parallel_ = false;
+
+    // Presorted-engine state: the column-major snapshot, one sorted
+    // working set per predictor, and the per-row split-side mask.
+    ColumnStore columns_;
+    std::vector<PresortedColumn> presorted_;
+    std::vector<unsigned char> goesLeft_;
 };
 
 ModelTree

@@ -21,9 +21,48 @@
 namespace wct
 {
 
+/**
+ * Which training engine ModelTree::train uses. All engines produce
+ * byte-identical trees (same serialize output) for the same dataset
+ * and config — pinned by the builder-equivalence property test — so
+ * the choice is purely a speed/debugging knob.
+ */
+enum class TreeBuilderKind
+{
+    /**
+     * Presorted; additionally parallel when the global thread pool
+     * has workers (WCT_THREADS > 1). The default.
+     */
+    Auto,
+
+    /**
+     * Reference builder: re-sorts every attribute at every node
+     * (O(A·n log n) per node). Kept as the differential baseline and
+     * for the perf benchmark's speedup denominator.
+     */
+    Serial,
+
+    /**
+     * Presorted single-threaded builder: one stable sort per
+     * attribute at the root, stable partitioning down the tree,
+     * O(A·n) per node.
+     */
+    Presorted,
+
+    /**
+     * Presorted plus work-stealing parallelism over attributes and
+     * independent subtrees (degrades to Presorted when the global
+     * pool has no workers).
+     */
+    Parallel,
+};
+
 /** Training hyper-parameters (WEKA M5P-like defaults). */
 struct ModelTreeConfig
 {
+    /** Training engine (speed-only knob; results are identical). */
+    TreeBuilderKind builder = TreeBuilderKind::Auto;
+
     /** Minimum training instances per leaf (WEKA's -M). */
     std::size_t minLeafInstances = 4;
 

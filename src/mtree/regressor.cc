@@ -1,6 +1,7 @@
 #include "mtree/regressor.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace wct
 {
@@ -17,10 +18,14 @@ std::vector<double>
 Regressor::predictAll(const Dataset &data) const
 {
     checkSchema(data);
-    std::vector<double> out;
-    out.reserve(data.numRows());
-    for (std::size_t r = 0; r < data.numRows(); ++r)
-        out.push_back(predict(data.row(r)));
+    // Predictions are independent per row and written to pre-sized
+    // slots, so chunked parallel evaluation returns the same vector
+    // as the sequential loop.
+    std::vector<double> out(data.numRows());
+    parallelFor(
+        data.numRows(),
+        [&](std::size_t r) { out[r] = predict(data.row(r)); },
+        ThreadPool::global(), /*min_chunk=*/256);
     return out;
 }
 

@@ -8,29 +8,39 @@
 namespace wct
 {
 
+namespace
+{
+
+/**
+ * The boundary sweep shared by both kernels: observations are
+ * presented through accessors in ascending-value order and scanned
+ * once with prefix sums of the target and its square.
+ *
+ * Both public entry points funnel through this one template so they
+ * evaluate the exact same floating-point expression sequence — given
+ * the same observation order the two kernels are bit-identical, which
+ * is what lets the presorted builder reproduce the reference
+ * builder's trees exactly.
+ */
+template <typename ValueAt, typename TargetAt>
 SplitCandidate
-findBestSdrSplit(std::vector<SplitObservation> &observations,
-                 double node_sd, std::size_t min_leaf)
+sweepBoundaries(std::size_t n, ValueAt value_at, TargetAt target_at,
+                double node_sd, std::size_t min_leaf)
 {
     wct_assert(min_leaf >= 1, "min_leaf must be at least 1");
 
     SplitCandidate best;
-    const std::size_t n = observations.size();
     if (n < 2)
         return best;
-
-    std::sort(observations.begin(), observations.end(),
-              [](const SplitObservation &a, const SplitObservation &b) {
-                  return a.value < b.value;
-              });
-    if (observations.front().value == observations.back().value)
+    if (value_at(0) == value_at(n - 1))
         return best; // constant attribute
 
     double total = 0.0;
     double total_sq = 0.0;
-    for (const SplitObservation &obs : observations) {
-        total += obs.target;
-        total_sq += obs.target * obs.target;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double y = target_at(i);
+        total += y;
+        total_sq += y * y;
     }
 
     // One pass over the boundaries with prefix sums; the side
@@ -42,9 +52,10 @@ findBestSdrSplit(std::vector<SplitObservation> &observations,
     double left_sq = 0.0;
     const double fn = static_cast<double>(n);
     for (std::size_t i = 0; i + 1 < n; ++i) {
-        left_sum += observations[i].target;
-        left_sq += observations[i].target * observations[i].target;
-        if (observations[i].value == observations[i + 1].value)
+        const double y = target_at(i);
+        left_sum += y;
+        left_sq += y * y;
+        if (value_at(i) == value_at(i + 1))
             continue; // not a boundary
         const std::size_t nl = i + 1;
         const std::size_t nr = n - nl;
@@ -67,11 +78,92 @@ findBestSdrSplit(std::vector<SplitObservation> &observations,
             best.valid = true;
             best.sdr = sdr;
             best.leftCount = nl;
-            best.value = 0.5 * (observations[i].value +
-                                observations[i + 1].value);
+            best.value = 0.5 * (value_at(i) + value_at(i + 1));
         }
     }
     return best;
+}
+
+} // namespace
+
+SplitCandidate
+findBestSdrSplit(std::vector<SplitObservation> &observations,
+                 double node_sd, std::size_t min_leaf)
+{
+    // Stable sort pins the order of equal attribute values to the
+    // caller's insertion order (= ascending row index in the tree
+    // builder). Prefix sums round according to accumulation order, so
+    // this is what makes the reference kernel agree bit-for-bit with
+    // the presorted kernel, whose root-sorted index arrays are
+    // stably partitioned down the tree.
+    std::stable_sort(
+        observations.begin(), observations.end(),
+        [](const SplitObservation &a, const SplitObservation &b) {
+            return a.value < b.value;
+        });
+    return sweepBoundaries(
+        observations.size(),
+        [&observations](std::size_t i) { return observations[i].value; },
+        [&observations](std::size_t i) {
+            return observations[i].target;
+        },
+        node_sd, min_leaf);
+}
+
+SplitCandidate
+findBestSdrSplitPresorted(std::span<const double> values,
+                          std::span<const double> targets,
+                          double node_sd, std::size_t min_leaf)
+{
+    wct_assert(values.size() == targets.size(),
+               "presorted arrays disagree: ", values.size(), " vs ",
+               targets.size());
+    return sweepBoundaries(
+        values.size(),
+        [values](std::size_t i) { return values[i]; },
+        [targets](std::size_t i) { return targets[i]; },
+        node_sd, min_leaf);
+}
+
+std::size_t
+stablePartitionPresorted(PresortedColumn &column, std::size_t lo,
+                         std::size_t hi, const unsigned char *goes_left,
+                         PresortedColumn &scratch)
+{
+    scratch.values.clear();
+    scratch.targets.clear();
+    scratch.rows.clear();
+    // Capacity for the worst case up front: the push_backs below can
+    // then never reallocate (first use of a fresh scratch would
+    // otherwise pay a geometric growth chain per attribute).
+    scratch.values.reserve(hi - lo);
+    scratch.targets.reserve(hi - lo);
+    scratch.rows.reserve(hi - lo);
+    // Forward pass: left entries compact toward lo in place, right
+    // entries buffer in scratch and are copied back behind them —
+    // both sides keep their relative (sorted, ties-by-row) order.
+    std::size_t out = lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint32_t row = column.rows[i];
+        if (goes_left[row]) {
+            column.values[out] = column.values[i];
+            column.targets[out] = column.targets[i];
+            column.rows[out] = row;
+            ++out;
+        } else {
+            scratch.values.push_back(column.values[i]);
+            scratch.targets.push_back(column.targets[i]);
+            scratch.rows.push_back(row);
+        }
+    }
+    std::copy(scratch.values.begin(), scratch.values.end(),
+              column.values.begin() + static_cast<std::ptrdiff_t>(out));
+    std::copy(scratch.targets.begin(), scratch.targets.end(),
+              column.targets.begin() +
+                  static_cast<std::ptrdiff_t>(out));
+    std::copy(scratch.rows.begin(), scratch.rows.end(),
+              column.rows.begin() + static_cast<std::ptrdiff_t>(out));
+    return out - lo;
 }
 
 } // namespace wct

@@ -19,6 +19,8 @@
 #define WCT_MTREE_SPLIT_SEARCH_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace wct
@@ -58,11 +60,12 @@ struct SplitCandidate
 /**
  * Find the best SDR boundary of one attribute.
  *
- * Sorts `observations` by value in place (stable order for equal
- * values is irrelevant: only value boundaries matter), then scans
- * every boundary between distinct values with prefix sums of the
- * target and its square. Boundaries leaving fewer than `min_leaf`
- * observations on either side are skipped.
+ * Stably sorts `observations` by value in place (equal values keep
+ * the caller's insertion order, so the accumulation order — and with
+ * it every rounded prefix sum — matches the presorted kernel below),
+ * then scans every boundary between distinct values with prefix sums
+ * of the target and its square. Boundaries leaving fewer than
+ * `min_leaf` observations on either side are skipped.
  *
  * @param observations Scratch buffer of observations; sorted in place.
  * @param node_sd      Standard deviation of the target over the node
@@ -72,6 +75,62 @@ struct SplitCandidate
  */
 SplitCandidate findBestSdrSplit(std::vector<SplitObservation> &observations,
                                 double node_sd, std::size_t min_leaf);
+
+/**
+ * One attribute's working set for the presorted tree builder: the
+ * node's attribute values sorted ascending (equal values in ascending
+ * row order), the matching targets, and the matching row ids — three
+ * parallel arrays, kept contiguous so the split sweep streams instead
+ * of gathering. Built once at the root from a ColumnStore and stably
+ * partitioned down the tree (stablePartitionPresorted), which keeps
+ * the sort invariant at every node without re-sorting.
+ */
+struct PresortedColumn
+{
+    std::vector<double> values;
+    std::vector<double> targets;
+    std::vector<std::uint32_t> rows;
+};
+
+/**
+ * Presorted variant of findBestSdrSplit — the O(n) per-node fast
+ * path. `values` / `targets` are one node's slice of a
+ * PresortedColumn: already sorted by value (stably: equal values in
+ * ascending row order). No sorting happens here; the sweep is a
+ * single linear pass over the two arrays.
+ *
+ * Bit-compatibility contract (pinned by the builder-equivalence
+ * property test): on the same logical observations this returns
+ * exactly the result of findBestSdrSplit, because both funnel into
+ * one shared sweep and the orderings agree including ties.
+ */
+SplitCandidate findBestSdrSplitPresorted(std::span<const double> values,
+                                         std::span<const double> targets,
+                                         double node_sd,
+                                         std::size_t min_leaf);
+
+/**
+ * Stable in-place partition of one PresortedColumn range [lo, hi):
+ * entries whose row has `goes_left[row] != 0` move to the front, the
+ * rest to the back, each side keeping its relative order — which is
+ * what preserves the "sorted by attribute, ties by row index"
+ * invariant of every attribute's working set across a tree split (the
+ * CART / XGBoost presorted scheme). The left/right decision is a
+ * per-row byte mask (computed once per node from the split attribute)
+ * rather than a comparison against the split column, so partitioning
+ * A attributes costs A streaming passes and one byte-gather per
+ * element.
+ *
+ * @param column    The attribute working set; [lo, hi) is one node.
+ * @param lo, hi    Node range within the arrays.
+ * @param goes_left Byte per dataset row: non-zero = left child.
+ * @param scratch   Reused temporaries for the right-hand side.
+ * @return Number of entries on the left side.
+ */
+std::size_t stablePartitionPresorted(PresortedColumn &column,
+                                     std::size_t lo, std::size_t hi,
+                                     const unsigned char *goes_left,
+                                     PresortedColumn &scratch);
 
 } // namespace wct
 

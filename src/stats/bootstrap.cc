@@ -1,15 +1,58 @@
 #include "stats/bootstrap.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "stats/descriptive.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace wct
 {
 
 namespace
 {
+
+/**
+ * Replicates evaluated concurrently per block: the index draws stay
+ * on the caller's thread in replicate order (the exact rng call
+ * sequence of a serial loop, so results are bit-identical at any
+ * thread count), while the statistic evaluations — the expensive
+ * part — fan out over pre-drawn index sets. Blocking bounds the
+ * buffered indices to kBlock * n.
+ */
+constexpr std::size_t kReplicateBlock = 64;
+
+template <typename Evaluate>
+std::vector<double>
+replicateBlocks(std::size_t n, std::size_t replicates, Rng &rng,
+                Evaluate evaluate)
+{
+    wct_assert(n <= std::uint32_t(-1),
+               "bootstrap indexes samples with 32 bits");
+    std::vector<double> replicas(replicates);
+    std::vector<std::vector<std::uint32_t>> indices(
+        std::min(kReplicateBlock, replicates));
+    std::size_t done = 0;
+    while (done < replicates) {
+        const std::size_t block =
+            std::min(kReplicateBlock, replicates - done);
+        for (std::size_t b = 0; b < block; ++b) {
+            indices[b].resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                indices[b][i] = static_cast<std::uint32_t>(
+                    rng.uniformInt(n));
+        }
+        parallelFor(
+            block,
+            [&](std::size_t b) {
+                replicas[done + b] = evaluate(indices[b]);
+            },
+            ThreadPool::global(), /*min_chunk=*/4);
+        done += block;
+    }
+    return replicas;
+}
 
 ConfidenceInterval
 percentileInterval(std::vector<double> &replicas, double point,
@@ -38,14 +81,14 @@ bootstrapCi(std::span<const double> xs,
                "confidence out of (0, 1): ", confidence);
 
     const std::size_t n = xs.size();
-    std::vector<double> resample(n);
-    std::vector<double> replicas;
-    replicas.reserve(replicates);
-    for (std::size_t b = 0; b < replicates; ++b) {
-        for (std::size_t i = 0; i < n; ++i)
-            resample[i] = xs[rng.uniformInt(n)];
-        replicas.push_back(statistic(resample));
-    }
+    std::vector<double> replicas = replicateBlocks(
+        n, replicates, rng,
+        [&](const std::vector<std::uint32_t> &idx) {
+            std::vector<double> resample(n);
+            for (std::size_t i = 0; i < n; ++i)
+                resample[i] = xs[idx[i]];
+            return statistic(resample);
+        });
     return percentileInterval(replicas, statistic(xs), confidence);
 }
 
@@ -65,18 +108,17 @@ bootstrapPairedCi(
                "confidence out of (0, 1): ", confidence);
 
     const std::size_t n = xs.size();
-    std::vector<double> rx(n);
-    std::vector<double> ry(n);
-    std::vector<double> replicas;
-    replicas.reserve(replicates);
-    for (std::size_t b = 0; b < replicates; ++b) {
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::size_t j = rng.uniformInt(n);
-            rx[i] = xs[j];
-            ry[i] = ys[j];
-        }
-        replicas.push_back(statistic(rx, ry));
-    }
+    std::vector<double> replicas = replicateBlocks(
+        n, replicates, rng,
+        [&](const std::vector<std::uint32_t> &idx) {
+            std::vector<double> rx(n);
+            std::vector<double> ry(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                rx[i] = xs[idx[i]];
+                ry[i] = ys[idx[i]];
+            }
+            return statistic(rx, ry);
+        });
     return percentileInterval(replicas, statistic(xs, ys),
                               confidence);
 }

@@ -1,0 +1,62 @@
+#include "util/radix_sort.hh"
+
+#include <array>
+#include <cstddef>
+
+namespace wct
+{
+
+namespace
+{
+
+constexpr unsigned kDigitBits = 11;
+constexpr std::size_t kBuckets = std::size_t(1) << kDigitBits;
+constexpr unsigned kPasses = (64 + kDigitBits - 1) / kDigitBits;
+
+} // namespace
+
+void
+radixSortKeyRows(std::vector<KeyRow> &entries,
+                 std::vector<KeyRow> &scratch)
+{
+    const std::size_t n = entries.size();
+    if (n < 2)
+        return;
+    scratch.resize(n);
+
+    // One read sweep fills the histograms of every pass so constant
+    // digits can be detected (and their scatter passes skipped)
+    // before any data moves.
+    static_assert(kPasses == 6);
+    std::array<std::array<std::uint32_t, kBuckets>, kPasses> counts{};
+    for (const KeyRow &e : entries)
+        for (unsigned p = 0; p < kPasses; ++p)
+            ++counts[p][(e.key >> (p * kDigitBits)) &
+                        (kBuckets - 1)];
+
+    KeyRow *src = entries.data();
+    KeyRow *dst = scratch.data();
+    for (unsigned p = 0; p < kPasses; ++p) {
+        auto &count = counts[p];
+        const std::uint64_t first_digit =
+            (src[0].key >> (p * kDigitBits)) & (kBuckets - 1);
+        if (count[first_digit] == n)
+            continue; // every key shares this digit
+        // Exclusive prefix sum turns counts into scatter offsets.
+        std::uint32_t running = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            const std::uint32_t c = count[b];
+            count[b] = running;
+            running += c;
+        }
+        const unsigned shift = p * kDigitBits;
+        for (std::size_t i = 0; i < n; ++i)
+            dst[count[(src[i].key >> shift) & (kBuckets - 1)]++] =
+                src[i];
+        std::swap(src, dst);
+    }
+    if (src != entries.data())
+        entries.swap(scratch);
+}
+
+} // namespace wct

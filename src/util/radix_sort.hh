@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LSD radix sort for (double key, row id) pairs — the root-sort
+ * kernel of the presorted tree builder.
+ *
+ * Comparison sorts on measurement data are branch-mispredict-bound;
+ * counting-sort passes over 11-bit digits are branchless and roughly
+ * 3-4x faster at the 10^3..10^5 sizes the builder sorts. Digit
+ * histograms for every pass are gathered in one read sweep and passes
+ * whose digit is constant across all keys are skipped outright, which
+ * on real data (clustered exponents, narrow value ranges) removes
+ * most of the high-order passes.
+ *
+ * Ordering contract (what the tree builder's bit-identical guarantee
+ * rests on): the result is exactly ascending by key with ties in
+ * ascending row order — the same permutation std::stable_sort
+ * produces — because every counting pass is stable and the input is
+ * supplied in ascending row order.
+ */
+
+#ifndef WCT_UTIL_RADIX_SORT_HH
+#define WCT_UTIL_RADIX_SORT_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace wct
+{
+
+/** One sortable entry: a transformed double key and its row id. */
+struct KeyRow
+{
+    std::uint64_t key = 0;
+    std::uint32_t row = 0;
+};
+
+/**
+ * Map a double onto an unsigned key whose integer order matches the
+ * IEEE total order of finite doubles: negatives are bit-inverted,
+ * non-negatives get the sign bit set. Zeros of either sign collapse
+ * to one key, so -0.0 and +0.0 form a single tie group ordered by
+ * row — exactly how operator< (which deems them equal) ties them in
+ * a stable comparison sort.
+ */
+inline std::uint64_t
+orderedKeyFromDouble(double value)
+{
+    if (value == 0.0)
+        value = 0.0; // collapse -0.0
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    return (bits >> 63) != 0 ? ~bits
+                             : bits | (std::uint64_t(1) << 63);
+}
+
+/**
+ * Sort `entries` ascending by key, ties by row order preserved
+ * (stable). `scratch` is the ping-pong buffer; it is resized to match
+ * and its final contents are unspecified.
+ */
+void radixSortKeyRows(std::vector<KeyRow> &entries,
+                      std::vector<KeyRow> &scratch);
+
+} // namespace wct
+
+#endif // WCT_UTIL_RADIX_SORT_HH

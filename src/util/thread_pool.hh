@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Small work-stealing thread pool for the training hot paths.
+ *
+ * Design goals, in order: determinism of the *results* computed on
+ * top of it (the pool only schedules; callers write into pre-sized
+ * slots and reduce in a fixed order), safe nested fork/join (a thread
+ * waiting on a TaskGroup executes queued tasks instead of blocking,
+ * so recursive subtree tasks can never deadlock), and zero threads
+ * when parallelism is disabled (WCT_THREADS=1 runs everything inline
+ * on the calling thread — the serial path, bit for bit).
+ *
+ * Scheduling is the classic work-stealing shape: every worker owns a
+ * deque, pushes and pops its own work LIFO (cache locality for
+ * recursive subtree tasks), and steals FIFO from the front of other
+ * workers' deques (oldest = biggest tasks first). External threads
+ * submit round-robin. Deques are mutex-protected — task bodies here
+ * are thousands of cycles, so lock-free deques would buy nothing.
+ *
+ * The pool size is controlled by the WCT_THREADS environment variable
+ * (default: std::thread::hardware_concurrency(); 1 forces the serial
+ * path). See docs/performance.md.
+ */
+
+#ifndef WCT_UTIL_THREAD_POOL_HH
+#define WCT_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wct
+{
+
+/** Fixed-size work-stealing pool; see file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Number of pool threads. 0 means no threads: every
+     *                TaskGroup::run executes inline on the caller.
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Joins all workers; outstanding tasks are drained first. */
+    ~ThreadPool();
+
+    /** Number of pool threads (0 = inline execution). */
+    std::size_t workerCount() const { return threads_.size(); }
+
+    /**
+     * Process-wide pool, created on first use with
+     * `configuredThreads() - 1 ? configuredThreads() : 0` workers
+     * (WCT_THREADS=1 yields a pool with no threads).
+     */
+    static ThreadPool &global();
+
+    /**
+     * Parallelism knob honoured by global(): the WCT_THREADS
+     * environment variable when set (invalid values warn and fall
+     * back), otherwise std::thread::hardware_concurrency(), never
+     * less than 1.
+     */
+    static std::size_t configuredThreads();
+
+    /**
+     * Replace the global pool with one of `workers` threads. Test-only
+     * hook (the determinism property tests pin 4 workers regardless of
+     * the host); must not race with concurrent global() users.
+     */
+    static void resetGlobalForTest(std::size_t workers);
+
+  private:
+    friend class TaskGroup;
+
+    /** Enqueue one task (own deque for workers, round-robin else). */
+    void submit(std::function<void()> task);
+
+    /** Pop or steal one task and run it; false when none was found. */
+    bool runOneTask();
+
+    void workerLoop(std::size_t self);
+
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> nextQueue_{0};
+};
+
+/**
+ * Fork/join scope over a pool. run() submits a task (or executes it
+ * inline on a thread-less pool); wait() helps execute queued tasks
+ * until every task of this group has finished, then rethrows the
+ * first exception any of them threw. The destructor waits (and
+ * terminates on a pending exception — call wait() explicitly when
+ * tasks can throw).
+ */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(ThreadPool &pool = ThreadPool::global())
+        : pool_(pool)
+    {
+    }
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    ~TaskGroup();
+
+    /** Submit one task; executes inline when the pool has no threads. */
+    void run(std::function<void()> task);
+
+    /** Help until all tasks finished; rethrow their first exception. */
+    void wait();
+
+  private:
+    ThreadPool &pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex exceptionMutex_;
+    std::exception_ptr exception_;
+};
+
+/**
+ * Deterministic parallel loop: invoke fn(i) for every i in [0, n),
+ * partitioned into contiguous chunks across the pool. fn must only
+ * write state owned by iteration i (e.g. slot i of a pre-sized
+ * vector); with that discipline the result is identical to the serial
+ * loop regardless of schedule. Runs inline when the pool has no
+ * threads or n is tiny.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 ThreadPool &pool = ThreadPool::global(),
+                 std::size_t min_chunk = 1);
+
+} // namespace wct
+
+#endif // WCT_UTIL_THREAD_POOL_HH

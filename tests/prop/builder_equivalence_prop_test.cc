@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Differential property: the three tree-building engines (Serial
+ * reference, Presorted, Parallel work-stealing) must produce
+ * byte-identical trees — compared via the %.17g serialize format, so
+ * "identical" means every count, split threshold, mean, sd, and model
+ * coefficient agrees to the last bit. This is the determinism
+ * guarantee docs/performance.md promises and the perf-smoke gate
+ * assumes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "mtree/model_tree.hh"
+#include "tests/support/prop.hh"
+#include "util/thread_pool.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+
+/** Small-leaf config so modest random datasets still grow trees. */
+ModelTreeConfig
+smallTreeConfig()
+{
+    ModelTreeConfig config;
+    config.minLeafInstances = 6;
+    return config;
+}
+
+prop::DatasetGenConfig
+defaultShape()
+{
+    prop::DatasetGenConfig shape;
+    shape.minRows = 30;
+    shape.maxRows = 160;
+    shape.noise = 0.1;
+    return shape;
+}
+
+std::string
+serialized(const Dataset &data, const ModelTreeConfig &base,
+           TreeBuilderKind builder)
+{
+    ModelTreeConfig config = base;
+    config.builder = builder;
+    const ModelTree tree = ModelTree::train(data, "y", config);
+    std::ostringstream out;
+    tree.save(out);
+    return out.str();
+}
+
+std::optional<std::string>
+checkEngines(const Dataset &data, const ModelTreeConfig &config)
+{
+    const std::string serial =
+        serialized(data, config, TreeBuilderKind::Serial);
+    const std::string presorted =
+        serialized(data, config, TreeBuilderKind::Presorted);
+    const std::string parallel =
+        serialized(data, config, TreeBuilderKind::Parallel);
+    if (serial != presorted)
+        return "presorted tree differs from the serial reference";
+    if (serial != parallel)
+        return "parallel tree differs from the serial reference";
+    return std::nullopt;
+}
+
+TEST(BuilderEquivalenceProp, EnginesSerializeIdenticallyDefaults)
+{
+    // Pin 4 workers regardless of the host so the Parallel engine
+    // actually runs concurrently even on a single-core CI box.
+    ThreadPool::resetGlobalForTest(4);
+    const Config config = Config::fromEnv(0xb11d, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) {
+            return checkEngines(data, smallTreeConfig());
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(BuilderEquivalenceProp, EnginesSerializeIdenticallyUnsmoothed)
+{
+    // No smoothing / no simplification / constant leaves exercise the
+    // other fit paths; duplicate-heavy attributes stress the stable
+    // tie handling in the split kernels.
+    ThreadPool::resetGlobalForTest(4);
+    const Config config = Config::fromEnv(0xec01, 60);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &raw) -> std::optional<std::string> {
+            // Quantize the predictors to a coarse grid so that most
+            // attribute values repeat: ties are where stable ordering
+            // between the engines could diverge.
+            Dataset data = raw;
+            for (std::size_t r = 0; r < data.numRows(); ++r)
+                for (std::size_t c = 0; c + 1 < data.numColumns();
+                     ++c)
+                    data.at(r, c) = std::round(data.at(r, c));
+
+            ModelTreeConfig plain = smallTreeConfig();
+            plain.smooth = false;
+            plain.simplifyModels = false;
+            if (auto fail = checkEngines(data, plain))
+                return "unsmoothed: " + *fail;
+
+            ModelTreeConfig constant = smallTreeConfig();
+            constant.constantLeaves = true;
+            if (auto fail = checkEngines(data, constant))
+                return "constant-leaves: " + *fail;
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(BuilderEquivalenceProp, ParallelDegradesToPresortedWithoutWorkers)
+{
+    // WCT_THREADS=1 semantics: a thread-less global pool must leave
+    // the Parallel engine bit-identical too (it runs the presorted
+    // path inline).
+    ThreadPool::resetGlobalForTest(0);
+    const Config config = Config::fromEnv(0x1e55, 40);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) {
+            return checkEngines(data, smallTreeConfig());
+        });
+    ThreadPool::resetGlobalForTest(
+        ThreadPool::configuredThreads() <= 1
+            ? 0
+            : ThreadPool::configuredThreads());
+    WCT_EXPECT_PROP(result, config);
+}
+
+} // namespace
+} // namespace wct

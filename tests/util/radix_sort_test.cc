@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests of the radix-sort root kernel: the key transform must
+ * order exactly like operator< on doubles, and radixSortKeyRows must
+ * produce byte-for-byte the permutation std::stable_sort gives
+ * (ascending key, ties in input order) — the presorted tree builder's
+ * bit-identical guarantee leans on both.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/radix_sort.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(RadixSort, KeyTransformMatchesDoubleOrdering)
+{
+    const std::vector<double> values = {
+        -std::numeric_limits<double>::infinity(),
+        -1e308,
+        -3.5,
+        -1.0,
+        -1e-308,
+        -0.0,
+        0.0,
+        1e-308,
+        0.5,
+        1.0,
+        3.5,
+        1e308,
+        std::numeric_limits<double>::infinity(),
+    };
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        for (std::size_t j = 0; j < values.size(); ++j) {
+            const bool lt = values[i] < values[j];
+            const bool key_lt = orderedKeyFromDouble(values[i]) <
+                orderedKeyFromDouble(values[j]);
+            EXPECT_EQ(lt, key_lt)
+                << values[i] << " vs " << values[j];
+        }
+    }
+    // Zeros of either sign collapse to one key (one tie group).
+    EXPECT_EQ(orderedKeyFromDouble(-0.0),
+              orderedKeyFromDouble(0.0));
+}
+
+std::vector<KeyRow>
+stableReference(std::vector<KeyRow> entries)
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const KeyRow &a, const KeyRow &b) {
+                         return a.key < b.key;
+                     });
+    return entries;
+}
+
+void
+expectSameOrder(const std::vector<KeyRow> &actual,
+                const std::vector<KeyRow> &expected)
+{
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_EQ(actual[i].key, expected[i].key) << "index " << i;
+        EXPECT_EQ(actual[i].row, expected[i].row) << "index " << i;
+    }
+}
+
+TEST(RadixSort, MatchesStableSortOnRandomKeys)
+{
+    Rng rng(0x5ad1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(3001));
+        std::vector<KeyRow> entries(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mix full-range keys with a narrow band so some digit
+            // passes are constant (exercises the skip) and ties occur.
+            const bool narrow = rng.uniformInt(2) == 0;
+            const double v = narrow
+                ? static_cast<double>(rng.uniformInt(41)) / 8.0
+                : rng.normal(0.0, 1e6);
+            entries[i] = {orderedKeyFromDouble(v),
+                          static_cast<std::uint32_t>(i)};
+        }
+        const std::vector<KeyRow> expected =
+            stableReference(entries);
+        std::vector<KeyRow> scratch;
+        radixSortKeyRows(entries, scratch);
+        expectSameOrder(entries, expected);
+    }
+}
+
+TEST(RadixSort, HandlesDegenerateInputs)
+{
+    std::vector<KeyRow> scratch;
+
+    std::vector<KeyRow> empty;
+    radixSortKeyRows(empty, scratch);
+    EXPECT_TRUE(empty.empty());
+
+    std::vector<KeyRow> single = {{42, 7}};
+    radixSortKeyRows(single, scratch);
+    EXPECT_EQ(single[0].key, 42u);
+    EXPECT_EQ(single[0].row, 7u);
+
+    // All keys equal: ties must stay in input (row) order.
+    std::vector<KeyRow> equal(100);
+    for (std::size_t i = 0; i < equal.size(); ++i)
+        equal[i] = {orderedKeyFromDouble(1.25),
+                    static_cast<std::uint32_t>(i)};
+    radixSortKeyRows(equal, scratch);
+    for (std::size_t i = 0; i < equal.size(); ++i)
+        EXPECT_EQ(equal[i].row, i);
+
+    // Already sorted and reverse sorted.
+    std::vector<KeyRow> sorted(257);
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        sorted[i] = {orderedKeyFromDouble(static_cast<double>(i)),
+                     static_cast<std::uint32_t>(i)};
+    std::vector<KeyRow> reversed(sorted.rbegin(), sorted.rend());
+    const std::vector<KeyRow> expected = sorted;
+    radixSortKeyRows(sorted, scratch);
+    expectSameOrder(sorted, expected);
+    radixSortKeyRows(reversed, scratch);
+    expectSameOrder(reversed, expected);
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests of the work-stealing thread pool: parallelFor slot
+ * semantics, fork/join from worker threads (nested tasks must not
+ * deadlock the help-while-waiting scheme), exception propagation
+ * through TaskGroup::wait, clean shutdown with queued work, and the
+ * WCT_THREADS configuration contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace wct
+{
+namespace
+{
+
+TEST(ThreadPool, ParallelForFillsEverySlotExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(
+        hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+        pool);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(ThreadPool, ParallelForMatchesSerialResult)
+{
+    ThreadPool pool(3);
+    std::vector<double> parallel_out(257);
+    parallelFor(
+        parallel_out.size(),
+        [&](std::size_t i) {
+            parallel_out[i] = static_cast<double>(i) * 1.5;
+        },
+        pool);
+
+    std::vector<double> serial_out(257);
+    for (std::size_t i = 0; i < serial_out.size(); ++i)
+        serial_out[i] = static_cast<double>(i) * 1.5;
+    EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInlineOnTheCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    const std::thread::id self = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(8);
+    TaskGroup group(pool);
+    for (std::size_t i = 0; i < ran.size(); ++i)
+        group.run([&ran, i] { ran[i] = std::this_thread::get_id(); });
+    group.wait();
+    for (const std::thread::id &id : ran)
+        EXPECT_EQ(id, self);
+}
+
+TEST(ThreadPool, NestedTaskGroupsDoNotDeadlock)
+{
+    // Each outer task forks its own group from inside the pool — the
+    // recursive subtree-build shape. wait() must help execute queued
+    // tasks instead of blocking a worker, or this exhausts the pool
+    // and hangs.
+    ThreadPool pool(2);
+    std::atomic<int> leaves{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 8; ++i) {
+        outer.run([&pool, &leaves] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j)
+                inner.run([&leaves] { leaves.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsTheTaskException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    std::atomic<int> survivors{0};
+    group.run([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 4; ++i)
+        group.run([&survivors] { survivors.fetch_add(1); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // The failure must not cancel independent siblings.
+    EXPECT_EQ(survivors.load(), 4);
+}
+
+TEST(ThreadPool, WaitRethrowsInlineExceptionsToo)
+{
+    ThreadPool pool(0);
+    TaskGroup group(pool);
+    group.run([] { throw std::logic_error("inline"); });
+    EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        TaskGroup group(pool);
+        for (int i = 0; i < 32; ++i)
+            group.run([&done] { done.fetch_add(1); });
+        group.wait();
+    } // ~ThreadPool joins the workers
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, ConfiguredThreadsHonoursTheEnvironment)
+{
+    // setenv/getenv in a single-threaded test binary.
+    ASSERT_EQ(setenv("WCT_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 3u);
+
+    ASSERT_EQ(setenv("WCT_THREADS", "1", 1), 0);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 1u);
+
+    // Invalid values warn and fall back to a sane default.
+    ASSERT_EQ(setenv("WCT_THREADS", "zero", 1), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+    ASSERT_EQ(setenv("WCT_THREADS", "0", 1), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+
+    ASSERT_EQ(unsetenv("WCT_THREADS"), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+}
+
+TEST(ThreadPool, ResetGlobalForTestControlsWorkerCount)
+{
+    ThreadPool::resetGlobalForTest(2);
+    EXPECT_EQ(ThreadPool::global().workerCount(), 2u);
+    ThreadPool::resetGlobalForTest(0);
+    EXPECT_EQ(ThreadPool::global().workerCount(), 0u);
+}
+
+} // namespace
+} // namespace wct
