@@ -58,8 +58,7 @@ main()
     SuiteData data = collectSuite(specCpu2006(), collection);
 
     std::printf("collecting %s...\n", custom.name.c_str());
-    BenchmarkData custom_data =
-        collectBenchmark(custom, collection, /*stream_salt=*/991);
+    BenchmarkData custom_data = collectBenchmark(custom, collection);
 
     SuiteModelConfig model_config;
     model_config.trainFraction = 0.25;
@@ -105,10 +104,11 @@ main()
                     neighbours[i].distance);
 
     // (c) Does the suite model transfer to the new workload?
-    auto report = assessTransferability(model.tree, model.train,
-                                        custom_data.samples);
-    report.modelName = model.suiteName;
-    report.targetName = custom.name;
+    TransferabilityConfig transfer_config;
+    transfer_config.modelName = model.suiteName;
+    transfer_config.targetName = custom.name;
+    const auto report = assessTransferability(
+        model.tree, model.train, custom_data.samples, transfer_config);
     std::printf("\n%s\n", report.render().c_str());
     return 0;
 }

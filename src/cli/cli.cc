@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "core/collect.hh"
+#include "core/collect_cache.hh"
 #include "core/phase_report.hh"
 #include "core/profile_table.hh"
 #include "core/similarity.hh"
@@ -75,7 +76,7 @@ struct Options
 /** Flags that take no value. */
 const std::vector<std::string> kBooleanFlags = {
     "exact", "dot", "no-smooth", "no-prune", "constant-leaves",
-    "similarity",
+    "similarity", "no-cache",
 };
 
 Options
@@ -162,7 +163,21 @@ collectionFromOptions(const Options &options)
     config.warmupInstructions = options.getUint("warmup", 1'500'000);
     config.multiplexed = !options.has("exact");
     config.seed = options.getUint("seed", 0x5eed);
+    config.shards = options.getUint("shards", 1);
+    if (config.shards == 0)
+        wct_fatal("--shards must be at least 1");
     return config;
+}
+
+/** Human-readable name of a data path: the last meaningful stem. */
+std::string
+nameFromPath(const std::string &path)
+{
+    const std::filesystem::path p(path);
+    std::string stem = p.stem().string();
+    if (stem.empty())
+        stem = p.parent_path().stem().string();
+    return stem.empty() ? path : stem;
 }
 
 int
@@ -185,25 +200,47 @@ cmdSuites(std::ostream &out)
 int
 cmdCollect(const Options &options, std::ostream &err)
 {
-    const SuiteProfile &suite = suiteByName(require(options, "suite"));
+    const SuiteProfile &full = suiteByName(require(options, "suite"));
     const std::string out_dir = require(options, "out");
     const CollectionConfig config = collectionFromOptions(options);
 
-    std::filesystem::create_directories(out_dir);
+    // Filter before collecting: stream seeds derive from benchmark
+    // names, so a filtered run produces exactly the same samples the
+    // full-suite run would for those benchmarks.
     const std::string only = options.get("benchmark");
-    std::size_t salt = 0;
-    for (const auto &bench : suite.benchmarks) {
-        const std::size_t this_salt = salt++;
-        if (!only.empty() && bench.name != only)
-            continue;
-        err << "collecting " << bench.name << " ...\n";
-        const BenchmarkData data =
-            collectBenchmark(bench, config, this_salt);
-        writeCsvFile(data.samples,
+    SuiteProfile suite;
+    suite.name = full.name;
+    for (const BenchmarkProfile &bench : full.benchmarks)
+        if (only.empty() || bench.name == only)
+            suite.benchmarks.push_back(bench);
+    if (suite.benchmarks.empty())
+        wct_fatal("no benchmark '", only, "' in suite '", full.name,
+                  "'");
+
+    SuiteData data;
+    const std::string cache_dir = options.get("cache-dir");
+    if (!cache_dir.empty() && !options.has("no-cache")) {
+        bool cache_hit = false;
+        data = collectSuiteCached(suite, config, cache_dir,
+                                  &cache_hit);
+        if (cache_hit)
+            err << "loaded " << data.benchmarks.size()
+                << " benchmarks from cache\n";
+        else
+            err << "collected " << data.benchmarks.size()
+                << " benchmarks (cache updated)\n";
+    } else {
+        err << "collecting " << suite.benchmarks.size()
+            << " benchmarks ...\n";
+        data = collectSuite(suite, config);
+    }
+
+    std::filesystem::create_directories(out_dir);
+    for (const BenchmarkData &bench : data.benchmarks)
+        writeCsvFile(bench.samples,
                      (std::filesystem::path(out_dir) /
                       (bench.name + ".csv"))
                          .string());
-    }
     return 0;
 }
 
@@ -285,10 +322,11 @@ cmdTransfer(const Options &options, std::ostream &out)
     config.minCorrelation = options.getDouble("min-c", 0.85);
     config.maxMae = options.getDouble("max-mae", 0.15);
     config.bootstrapReplicates = options.getUint("bootstrap", 0);
+    config.modelName = nameFromPath(options.get("model"));
+    config.targetName = nameFromPath(options.get("target"));
 
-    auto report = assessTransferability(tree, train, target, config);
-    report.modelName = options.get("model");
-    report.targetName = options.get("target");
+    const auto report =
+        assessTransferability(tree, train, target, config);
     out << report.render();
     return 0;
 }
@@ -375,6 +413,7 @@ printUsage(std::ostream &err)
            " [--intervals N]\n"
         << "           [--interval-length L] [--warmup W] [--exact]"
            " [--seed S]\n"
+        << "           [--shards N] [--cache-dir DIR] [--no-cache]\n"
         << "  train    --data CSV|DIR --out MODEL [--target CPI]\n"
         << "           [--min-leaf N] [--min-leaf-frac F]"
            " [--no-smooth]\n"

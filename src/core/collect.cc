@@ -1,9 +1,13 @@
 #include "core/collect.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "data/binary_io.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 #include "workload/source.hh"
 
 namespace wct
@@ -42,36 +46,119 @@ SuiteData::totalSamples() const
     return total;
 }
 
-BenchmarkData
-collectBenchmark(const BenchmarkProfile &bench,
-                 const CollectionConfig &config,
-                 std::uint64_t stream_salt)
+std::uint64_t
+benchmarkStreamSalt(const std::string &name)
 {
-    BenchmarkData out;
-    out.name = bench.name;
-    out.instructionWeight = bench.instructionWeight;
+    return fnv1a64(name);
+}
 
+namespace
+{
+
+/** Contiguous run of intervals one shard collects. */
+struct ShardSpec
+{
+    std::size_t firstInterval = 0;
+    std::size_t intervals = 0;
+};
+
+/** Intervals a benchmark contributes (weight-proportional, >= 1). */
+std::size_t
+benchmarkIntervals(const BenchmarkProfile &bench,
+                   const CollectionConfig &config)
+{
+    const auto intervals = static_cast<std::size_t>(std::llround(
+        static_cast<double>(config.baseIntervals) *
+        bench.instructionWeight));
+    return std::max<std::size_t>(intervals, 1);
+}
+
+/**
+ * Split a benchmark's intervals into balanced contiguous shards.
+ * Shard count is clamped so every shard collects at least one
+ * interval; the plan depends only on the config, never on threads.
+ */
+std::vector<ShardSpec>
+shardPlan(const BenchmarkProfile &bench, const CollectionConfig &config)
+{
+    const std::size_t total = benchmarkIntervals(bench, config);
+    const std::size_t shards =
+        std::min(std::max<std::size_t>(config.shards, 1), total);
+    std::vector<ShardSpec> plan(shards);
+    const std::size_t base = total / shards;
+    const std::size_t remainder = total % shards;
+    std::size_t first = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        plan[s].firstInterval = first;
+        plan[s].intervals = base + (s < remainder ? 1 : 0);
+        first += plan[s].intervals;
+    }
+    return plan;
+}
+
+/**
+ * Collect one shard: a fresh machine and an independently seeded
+ * stream. Shard 0 uses the benchmark's base stream seed, so a
+ * one-shard plan reproduces the historical sequential stream bit
+ * for bit; later shards fork from that seed by shard index. The
+ * multiplexing rotation starts at the shard's first global interval
+ * so the schedule advances exactly as it would sequentially.
+ */
+Dataset
+collectShard(const BenchmarkProfile &bench,
+             const CollectionConfig &config, std::size_t shard,
+             const ShardSpec &spec)
+{
     CoreModel core(config.machine);
     CollectorConfig pmu_config;
     pmu_config.intervalInstructions = config.intervalInstructions;
     pmu_config.multiplexed = config.multiplexed;
+    pmu_config.initialRotation = spec.firstInterval;
     IntervalCollector collector(core, pmu_config);
 
-    // Deterministic per-benchmark stream seed.
+    // Deterministic per-(benchmark, shard) stream seed, derived from
+    // the stable benchmark name — never from suite position or
+    // submission order.
     const std::uint64_t stream_seed =
-        Rng(config.seed).fork(stream_salt)();
-    WorkloadSource source(bench, stream_seed);
+        Rng(config.seed).fork(benchmarkStreamSalt(bench.name))();
+    const std::uint64_t shard_seed =
+        shard == 0 ? stream_seed : Rng(stream_seed).fork(shard)();
+    WorkloadSource source(bench, shard_seed);
 
     // Warm caches, TLBs, and the predictor before sampling, as
     // hardware collection effectively does (the first intervals of a
     // long run are a vanishing fraction of the total).
     core.run(source, config.warmupInstructions);
 
-    const auto intervals = static_cast<std::size_t>(std::llround(
-        static_cast<double>(config.baseIntervals) *
-        bench.instructionWeight));
-    out.samples = collector.collect(source, std::max<std::size_t>(
-        intervals, 1));
+    return collector.collect(source, spec.intervals);
+}
+
+/** Stitch a benchmark's shard datasets back together in shard order. */
+Dataset
+concatenateShards(std::vector<Dataset> &parts)
+{
+    Dataset samples = std::move(parts.front());
+    for (std::size_t s = 1; s < parts.size(); ++s)
+        samples.append(parts[s]);
+    return samples;
+}
+
+} // namespace
+
+BenchmarkData
+collectBenchmark(const BenchmarkProfile &bench,
+                 const CollectionConfig &config)
+{
+    BenchmarkData out;
+    out.name = bench.name;
+    out.instructionWeight = bench.instructionWeight;
+
+    const std::vector<ShardSpec> plan = shardPlan(bench, config);
+    std::vector<Dataset> parts(plan.size());
+    parallelFor(plan.size(), [&](std::size_t s) {
+        parts[s] = collectShard(bench, config, s, plan[s]);
+    });
+    out.samples = concatenateShards(parts);
     return out;
 }
 
@@ -80,10 +167,43 @@ collectSuite(const SuiteProfile &suite, const CollectionConfig &config)
 {
     SuiteData out;
     out.suiteName = suite.name;
-    out.benchmarks.reserve(suite.benchmarks.size());
-    for (std::size_t i = 0; i < suite.benchmarks.size(); ++i)
-        out.benchmarks.push_back(
-            collectBenchmark(suite.benchmarks[i], config, i));
+    const std::size_t n = suite.benchmarks.size();
+    out.benchmarks.resize(n);
+
+    // Flatten every (benchmark, shard) pair into one task list so
+    // the pool load-balances across benchmarks of very different
+    // weights. Each task writes its own pre-assigned slot; the
+    // stitch below runs in a fixed order, so the suite is
+    // byte-identical for any thread count.
+    struct Task
+    {
+        std::size_t bench = 0;
+        std::size_t shard = 0;
+        ShardSpec spec;
+    };
+    std::vector<Task> tasks;
+    std::vector<std::vector<Dataset>> shard_data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<ShardSpec> plan =
+            shardPlan(suite.benchmarks[i], config);
+        shard_data[i].resize(plan.size());
+        for (std::size_t s = 0; s < plan.size(); ++s)
+            tasks.push_back(Task{i, s, plan[s]});
+    }
+
+    parallelFor(tasks.size(), [&](std::size_t t) {
+        const Task &task = tasks[t];
+        shard_data[task.bench][task.shard] = collectShard(
+            suite.benchmarks[task.bench], config, task.shard,
+            task.spec);
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+        BenchmarkData &bench = out.benchmarks[i];
+        bench.name = suite.benchmarks[i].name;
+        bench.instructionWeight = suite.benchmarks[i].instructionWeight;
+        bench.samples = concatenateShards(shard_data[i]);
+    }
     return out;
 }
 

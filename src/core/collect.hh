@@ -44,6 +44,19 @@ struct CollectionConfig
 
     /** Root seed; benchmark streams fork deterministically from it. */
     std::uint64_t seed = 0x5eed;
+
+    /**
+     * Independently seeded stream shards per benchmark. Each shard
+     * runs its own machine, workload stream, and collector, so a
+     * benchmark's intervals can be collected in parallel; shard
+     * seeds derive from the stable benchmark name (never from suite
+     * order or thread schedule), making the result a pure function
+     * of this config. `shards = 1` reproduces the single sequential
+     * stream exactly. More shards change the sampled data (each
+     * shard is a fresh warmup and stream) — pick one value per
+     * experiment and keep it in the cache key.
+     */
+    std::size_t shards = 1;
 };
 
 /** Collected samples of one benchmark. */
@@ -71,16 +84,26 @@ struct SuiteData
 };
 
 /**
- * Collect a suite: per benchmark, a fresh machine is warmed up and
- * then sampled for round(base * weight) intervals.
+ * Stable per-benchmark stream salt: an FNV-1a hash of the benchmark
+ * name. Deriving the salt from the name (not the suite position)
+ * means filtering or reordering a suite never changes any
+ * benchmark's samples.
+ */
+std::uint64_t benchmarkStreamSalt(const std::string &name);
+
+/**
+ * Collect a suite: per benchmark, `config.shards` fresh machines are
+ * warmed up and sampled for that shard's share of
+ * round(base * weight) intervals. (Benchmark, shard) tasks fan out
+ * over the global work-stealing pool and land in pre-assigned slots,
+ * so the result is byte-identical for any WCT_THREADS.
  */
 SuiteData collectSuite(const SuiteProfile &suite,
                        const CollectionConfig &config);
 
 /** Collect a single benchmark with the same protocol. */
 BenchmarkData collectBenchmark(const BenchmarkProfile &bench,
-                               const CollectionConfig &config,
-                               std::uint64_t stream_salt = 0);
+                               const CollectionConfig &config);
 
 } // namespace wct
 

@@ -1,0 +1,277 @@
+#include "core/collect_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/binary_io.hh"
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+constexpr char kSuiteMagic[] = "WCTSUIT"; ///< 7 chars + NUL = 8 bytes
+
+/** Cap on parsed benchmark counts (a corrupt count must not OOM). */
+constexpr std::uint64_t kMaxReasonableBenchmarks = 1u << 16;
+
+void
+appendCacheConfig(ByteSink &sink, const CacheConfig &config)
+{
+    sink.putU64(config.sizeBytes);
+    sink.putU32(config.lineBytes);
+    sink.putU32(config.ways);
+    sink.putU32(static_cast<std::uint32_t>(config.policy));
+}
+
+void
+appendTlbConfig(ByteSink &sink, const TlbConfig &config)
+{
+    sink.putU32(config.pageBytes);
+    sink.putU32(config.entries);
+    sink.putU32(config.ways);
+    sink.putDouble(config.walkCycles);
+    sink.putDouble(config.shortWalkCycles);
+    sink.putU32(config.pdeEntries);
+}
+
+void
+appendMachineConfig(ByteSink &sink, const CoreConfig &machine)
+{
+    appendCacheConfig(sink, machine.l1d);
+    appendCacheConfig(sink, machine.l1i);
+    appendCacheConfig(sink, machine.l2);
+    appendTlbConfig(sink, machine.dtlb);
+    appendTlbConfig(sink, machine.itlb);
+    sink.putU32(machine.branch.tableBits);
+    sink.putU32(machine.branch.historyBits);
+    sink.putU32(machine.storeBuffer.entries);
+    sink.putU32(machine.storeBuffer.lifetime);
+    sink.putU32(machine.storeBuffer.staResolveAge);
+    sink.putU32(machine.storeBuffer.stdResolveAge);
+    sink.putDouble(machine.issueWidth);
+    sink.putDouble(machine.mulExtraCycles);
+    sink.putDouble(machine.divExtraCycles);
+    sink.putDouble(machine.simdExtraCycles);
+    sink.putDouble(machine.l1dMissCycles);
+    sink.putDouble(machine.l1dMissExposed);
+    sink.putDouble(machine.l2MissCycles);
+    sink.putDouble(machine.l1iMissCycles);
+    sink.putDouble(machine.l2iMissCycles);
+    sink.putDouble(machine.mispredictCycles);
+    sink.putDouble(machine.ldBlkStaCycles);
+    sink.putDouble(machine.ldBlkStdCycles);
+    sink.putDouble(machine.ldBlkOlpCycles);
+    sink.putDouble(machine.splitCycles);
+    sink.putDouble(machine.misalignCycles);
+    sink.putDouble(machine.fpAssistCycles);
+    sink.putDouble(machine.robWindowCycles);
+    sink.putDouble(machine.mlpFactor);
+    sink.putU8(machine.prefetchEnabled ? 1 : 0);
+    sink.putU32(machine.prefetchStreak);
+    sink.putU32(machine.prefetchStreams);
+    sink.putU32(machine.prefetchDepth);
+    sink.putDouble(machine.prefetchBandwidthDivisor);
+}
+
+void
+appendPhaseProfile(ByteSink &sink, const PhaseProfile &phase)
+{
+    sink.putString(phase.name);
+    sink.putDouble(phase.weight);
+    sink.putDouble(phase.loadFrac);
+    sink.putDouble(phase.storeFrac);
+    sink.putDouble(phase.branchFrac);
+    sink.putDouble(phase.mulFrac);
+    sink.putDouble(phase.divFrac);
+    sink.putDouble(phase.simdFrac);
+    sink.putU64(phase.dataFootprint);
+    sink.putU64(phase.hotBytes);
+    sink.putDouble(phase.hotFrac);
+    sink.putDouble(phase.streamFrac);
+    sink.putDouble(phase.pointerChaseFrac);
+    sink.putU8(phase.accessSize);
+    sink.putDouble(phase.misalignFrac);
+    sink.putDouble(phase.splitFrac);
+    sink.putDouble(phase.aliasFrac);
+    sink.putDouble(phase.overlapFrac);
+    sink.putDouble(phase.slowStoreAddrFrac);
+    sink.putDouble(phase.slowStoreDataFrac);
+    sink.putDouble(phase.branchEntropy);
+    sink.putDouble(phase.takenBias);
+    sink.putU64(phase.codeFootprint);
+    sink.putU64(phase.hotCodeBytes);
+    sink.putDouble(phase.hotCodeFrac);
+    sink.putDouble(phase.fpAssistFrac);
+}
+
+void
+appendSuiteProfile(ByteSink &sink, const SuiteProfile &suite)
+{
+    sink.putString(suite.name);
+    sink.putU64(suite.benchmarks.size());
+    for (const BenchmarkProfile &bench : suite.benchmarks) {
+        sink.putString(bench.name);
+        sink.putString(bench.language);
+        sink.putU8(bench.integer ? 1 : 0);
+        sink.putDouble(bench.instructionWeight);
+        sink.putU64(bench.phaseRunLength);
+        sink.putU64(bench.phases.size());
+        for (const PhaseProfile &phase : bench.phases)
+            appendPhaseProfile(sink, phase);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+collectionCacheKey(const SuiteProfile &suite,
+                   const CollectionConfig &config)
+{
+    // Hash the exact bit patterns of every input the samples depend
+    // on; decimal formatting never enters the key.
+    ByteSink sink;
+    sink.putU32(kSuiteDataFormatVersion);
+    appendSuiteProfile(sink, suite);
+    sink.putU64(config.intervalInstructions);
+    sink.putU64(config.baseIntervals);
+    sink.putU64(config.warmupInstructions);
+    sink.putU8(config.multiplexed ? 1 : 0);
+    appendMachineConfig(sink, config.machine);
+    sink.putU64(config.seed);
+    sink.putU64(config.shards);
+    return sink.hash();
+}
+
+std::string
+collectionCachePath(const std::string &dir, const SuiteProfile &suite,
+                    const CollectionConfig &config)
+{
+    const std::uint64_t key = collectionCacheKey(suite, config);
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return (std::filesystem::path(dir) /
+            (suite.name + "-" + hex + ".wctsuite"))
+        .string();
+}
+
+void
+writeSuiteData(std::ostream &out, const SuiteData &data)
+{
+    ByteSink sink;
+    sink.putString(data.suiteName);
+    sink.putU64(data.benchmarks.size());
+    for (const BenchmarkData &bench : data.benchmarks) {
+        sink.putString(bench.name);
+        sink.putDouble(bench.instructionWeight);
+        appendDataset(sink, bench.samples);
+    }
+    writeEnvelope(out, std::string_view(kSuiteMagic, 8),
+                  kSuiteDataFormatVersion, sink.bytes());
+}
+
+std::optional<SuiteData>
+readSuiteData(std::istream &in)
+{
+    const auto payload = readEnvelope(
+        in, std::string_view(kSuiteMagic, 8), kSuiteDataFormatVersion);
+    if (!payload)
+        return std::nullopt;
+
+    ByteParser parser(*payload);
+    SuiteData data;
+    std::uint64_t benchmarks = 0;
+    if (!parser.getString(data.suiteName) ||
+        !parser.getU64(benchmarks) ||
+        benchmarks > kMaxReasonableBenchmarks)
+        return std::nullopt;
+    data.benchmarks.reserve(benchmarks);
+    for (std::uint64_t i = 0; i < benchmarks; ++i) {
+        BenchmarkData bench;
+        if (!parser.getString(bench.name) ||
+            !parser.getDouble(bench.instructionWeight))
+            return std::nullopt;
+        auto samples = parseDataset(parser);
+        if (!samples)
+            return std::nullopt;
+        bench.samples = std::move(*samples);
+        data.benchmarks.push_back(std::move(bench));
+    }
+    if (!parser.atEnd())
+        return std::nullopt;
+    return data;
+}
+
+void
+storeSuiteData(const std::string &path, const SuiteData &data)
+{
+    namespace fs = std::filesystem;
+    const fs::path target(path);
+    if (target.has_parent_path())
+        fs::create_directories(target.parent_path());
+
+    // Write-then-rename so a crashed or concurrent run never leaves
+    // a half-written file under the final name (rename within one
+    // directory is atomic on POSIX).
+    const fs::path temp(path + ".tmp");
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            wct_warn("cannot write collection cache file '",
+                     temp.string(), "'");
+            return;
+        }
+        writeSuiteData(out, data);
+        if (!out) {
+            wct_warn("short write to collection cache file '",
+                     temp.string(), "'");
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(temp, target, ec);
+    if (ec)
+        wct_warn("cannot move collection cache file into place: ",
+                 ec.message());
+}
+
+std::optional<SuiteData>
+loadSuiteData(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    return readSuiteData(in);
+}
+
+SuiteData
+collectSuiteCached(const SuiteProfile &suite,
+                   const CollectionConfig &config,
+                   const std::string &cache_dir, bool *cache_hit)
+{
+    const std::string path =
+        collectionCachePath(cache_dir, suite, config);
+    if (std::filesystem::exists(path)) {
+        if (auto cached = loadSuiteData(path)) {
+            if (cache_hit != nullptr)
+                *cache_hit = true;
+            return std::move(*cached);
+        }
+        // The key matches but the bytes do not parse: truncated
+        // write, bit rot, or a stale format. Re-collect and replace.
+        wct_warn("ignoring corrupt or incompatible collection cache "
+                 "file '", path, "'; re-collecting");
+    }
+    if (cache_hit != nullptr)
+        *cache_hit = false;
+    SuiteData data = collectSuite(suite, config);
+    storeSuiteData(path, data);
+    return data;
+}
+
+} // namespace wct

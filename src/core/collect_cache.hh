@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of collected suites.
+ *
+ * The paper's workflow (Sections IV-VI) re-uses the same collected
+ * suites across table generation, similarity, and transferability
+ * runs, so collection is treated as a cached dataset artifact: a
+ * collected SuiteData is serialized once into a checksummed binary
+ * file whose name encodes a hash of everything the samples depend on
+ * — the suite profile, the full CollectionConfig (machine model,
+ * sampling knobs, seed, shard count), and the format version. A
+ * repeated run with the same inputs loads a byte-identical dataset
+ * instead of re-simulating; any input change selects a different
+ * file and re-collects. Corrupt, truncated, or version-mismatched
+ * cache files are rejected with a warning and fall back to a fresh
+ * collection that overwrites the bad entry.
+ *
+ * Cache layout: `<dir>/<suite-name>-<16-hex-digit key>.wctsuite`.
+ */
+
+#ifndef WCT_CORE_COLLECT_CACHE_HH
+#define WCT_CORE_COLLECT_CACHE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/collect.hh"
+
+namespace wct
+{
+
+/** Version of the .wctsuite envelope; bump on layout changes. */
+constexpr std::uint32_t kSuiteDataFormatVersion = 1;
+
+/**
+ * Content key of one (suite, config) collection: an FNV-1a hash of
+ * the binary encoding of the format version, every profile field of
+ * every benchmark, and every CollectionConfig field including the
+ * machine model. Two runs share a key iff they would collect
+ * identical data.
+ */
+std::uint64_t collectionCacheKey(const SuiteProfile &suite,
+                                 const CollectionConfig &config);
+
+/** Cache file path of one (suite, config) pair under `dir`. */
+std::string collectionCachePath(const std::string &dir,
+                                const SuiteProfile &suite,
+                                const CollectionConfig &config);
+
+/** Serialize a collected suite as a checksummed binary stream. */
+void writeSuiteData(std::ostream &out, const SuiteData &data);
+
+/** Read a serialized suite; nullopt on any corruption or mismatch. */
+std::optional<SuiteData> readSuiteData(std::istream &in);
+
+/** Write a suite to a cache file (atomically via a temp file). */
+void storeSuiteData(const std::string &path, const SuiteData &data);
+
+/**
+ * Load a suite from a cache file; nullopt when the file is missing,
+ * truncated, corrupt, or from a different format version.
+ */
+std::optional<SuiteData> loadSuiteData(const std::string &path);
+
+/**
+ * Cached front end of collectSuite: load the suite from `cache_dir`
+ * when a valid entry for this (suite, config) exists, otherwise
+ * collect and store it. Invalid entries warn and are overwritten.
+ *
+ * @param cache_hit Set (when non-null) to whether the suite was
+ *                  served from the cache without simulating.
+ */
+SuiteData collectSuiteCached(const SuiteProfile &suite,
+                             const CollectionConfig &config,
+                             const std::string &cache_dir,
+                             bool *cache_hit = nullptr);
+
+} // namespace wct
+
+#endif // WCT_CORE_COLLECT_CACHE_HH

@@ -18,7 +18,8 @@ assessTransferability(const Regressor &model, const Dataset &train,
 
     TransferabilityReport report;
     report.config = config;
-    report.targetName = "target";
+    report.modelName = config.modelName;
+    report.targetName = config.targetName;
 
     const auto train_cpi = train.column(model.targetName());
     const auto target_cpi = target.column(model.targetName());

@@ -55,6 +55,12 @@ struct TransferabilityConfig
 
     /** Seed for bootstrap resampling. */
     std::uint64_t bootstrapSeed = 0xb007;
+
+    /** Model name rendered in the report header. */
+    std::string modelName = "model";
+
+    /** Target-population name rendered in the report header. */
+    std::string targetName = "target";
 };
 
 /** Full outcome of one transferability assessment. */

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Binary serialization primitives and the on-disk Dataset format.
+ *
+ * The collection cache stores datasets as checksummed little-endian
+ * binary envelopes instead of CSV: doubles round-trip bit-exactly
+ * (cache loads are byte-identical to the collection that produced
+ * them), files are ~3x smaller, and a flipped bit is detected by the
+ * FNV-1a checksum instead of silently parsing into garbage.
+ *
+ * Envelope layout (all integers little-endian):
+ *
+ *   magic     8 bytes, caller-chosen (e.g. "WCTDSET\0")
+ *   version   u32, caller-chosen format version
+ *   size      u64, payload byte count
+ *   payload   size bytes
+ *   checksum  u64, FNV-1a over the payload bytes
+ *
+ * Readers return std::nullopt on any mismatch — bad magic, unknown
+ * version, truncation, checksum failure — so callers can fall back
+ * (e.g. re-collect and overwrite a corrupt cache entry) instead of
+ * dying inside the parser.
+ */
+
+#ifndef WCT_DATA_BINARY_IO_HH
+#define WCT_DATA_BINARY_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/dataset.hh"
+
+namespace wct
+{
+
+/** FNV-1a 64-bit offset basis (the seed of an empty hash). */
+constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+
+/** FNV-1a 64-bit hash of a byte range, chainable via `seed`. */
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = kFnv1aOffset);
+
+/**
+ * Append-only little-endian byte buffer: the writer half of the
+ * payload format and the canonical encoder behind cache keys (bit
+ * patterns of doubles are hashed, so keys never depend on decimal
+ * formatting).
+ */
+class ByteSink
+{
+  public:
+    void putU8(std::uint8_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putDouble(double v); ///< IEEE-754 bit pattern, little-endian
+    void putString(const std::string &s); ///< u64 length + bytes
+
+    const std::string &bytes() const { return bytes_; }
+    std::uint64_t hash() const { return fnv1a64(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/**
+ * Bounds-checked sequential reader over a byte buffer. Every getter
+ * returns false (and latches !ok()) past the end; values read after
+ * a failure are zero. Callers check ok() once at the end.
+ */
+class ByteParser
+{
+  public:
+    explicit ByteParser(std::string_view bytes) : bytes_(bytes) {}
+
+    bool getU8(std::uint8_t &v);
+    bool getU32(std::uint32_t &v);
+    bool getU64(std::uint64_t &v);
+    bool getDouble(double &v);
+    bool getString(std::string &s);
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == bytes_.size(); }
+
+  private:
+    bool take(void *out, std::size_t n);
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Write one checksummed envelope (see file comment for the layout). */
+void writeEnvelope(std::ostream &out, std::string_view magic8,
+                   std::uint32_t version, std::string_view payload);
+
+/**
+ * Read and verify one envelope; nullopt on bad magic, version
+ * mismatch, truncation, or checksum failure.
+ */
+std::optional<std::string> readEnvelope(std::istream &in,
+                                        std::string_view magic8,
+                                        std::uint32_t version);
+
+/** Append a dataset (schema + row-major cells) to a payload. */
+void appendDataset(ByteSink &sink, const Dataset &data);
+
+/** Parse a dataset appended by appendDataset; nullopt on malformed. */
+std::optional<Dataset> parseDataset(ByteParser &parser);
+
+/** Magic and version of standalone .wctdata dataset files. */
+constexpr char kDatasetMagic[] = "WCTDSET"; ///< 7 chars + NUL = 8 bytes
+constexpr std::uint32_t kDatasetFormatVersion = 1;
+
+/** Serialize one dataset as a standalone checksummed stream. */
+void writeDatasetBinary(std::ostream &out, const Dataset &data);
+
+/** Read a standalone dataset stream; nullopt on any mismatch. */
+std::optional<Dataset> readDatasetBinary(std::istream &in);
+
+} // namespace wct
+
+#endif // WCT_DATA_BINARY_IO_HH

@@ -1,6 +1,7 @@
 #include "pmu/collector.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.hh"
 
@@ -35,6 +36,7 @@ IntervalCollector::IntervalCollector(CoreModel &core,
                "interval of ", config.intervalInstructions,
                " instructions cannot fit ", groups_.size(),
                " multiplexing sub-windows");
+    rotation_ = config.initialRotation % groups_.size();
 }
 
 std::vector<double>
@@ -42,12 +44,18 @@ IntervalCollector::collectInterval(InstSource &source)
 {
     core_.resetCounts();
 
-    EventCounts estimated{};
-    clearCounts(estimated);
+    // Per-event full-interval estimates, accumulated in double all
+    // the way to the densities: casting each sub-window's scaled
+    // count to an integer (the old per-group round) quantized every
+    // estimate by up to half a count over `duty`, a systematic bias
+    // for any event whose scaled count is not integral.
+    std::array<double, kNumEvents> estimated{};
 
     if (!config_.multiplexed) {
         core_.run(source, config_.intervalInstructions);
-        estimated = core_.counts();
+        const EventCounts &counts = core_.counts();
+        for (std::size_t i = 0; i < kNumEvents; ++i)
+            estimated[i] = static_cast<double>(counts[i]);
     } else {
         const std::size_t num_groups = groups_.size();
         const std::uint64_t base =
@@ -71,8 +79,7 @@ IntervalCollector::collectInterval(InstSource &source)
                 // Scale the sub-window observation to the interval.
                 const double duty = static_cast<double>(width) /
                     static_cast<double>(config_.intervalInstructions);
-                estimated[idx] += static_cast<std::uint64_t>(
-                    static_cast<double>(delta) / duty + 0.5);
+                estimated[idx] += static_cast<double>(delta) / duty;
             }
             before = after;
         }
@@ -84,19 +91,20 @@ IntervalCollector::collectInterval(InstSource &source)
         for (Event e : {Event::Cycles, Event::Instructions,
                         Event::CyclesRef}) {
             const auto idx = static_cast<std::size_t>(e);
-            estimated[idx] = core_.counts()[idx];
+            estimated[idx] =
+                static_cast<double>(core_.counts()[idx]);
         }
     }
 
-    const double instructions = static_cast<double>(
-        countOf(estimated, Event::Instructions));
+    const double instructions =
+        estimated[static_cast<std::size_t>(Event::Instructions)];
     wct_assert(instructions > 0.0, "interval retired no instructions");
 
     std::vector<double> row;
     row.reserve(kNumEvents - kFirstMultiplexedEvent + 1);
     row.push_back(core_.cycles() / instructions); // CPI
     for (std::size_t i = kFirstMultiplexedEvent; i < kNumEvents; ++i) {
-        row.push_back(static_cast<double>(estimated[i]) / instructions);
+        row.push_back(estimated[i] / instructions);
     }
     return row;
 }

@@ -46,6 +46,14 @@ struct CollectorConfig
 
     /** Number of programmable counters. */
     std::uint32_t programmableCounters = 2;
+
+    /**
+     * Starting offset of the round-robin rotation schedule (taken
+     * modulo the group count). Shard s of a sharded collection sets
+     * this to its first global interval index so the multiplexing
+     * schedule lines up with the sequential schedule positions.
+     */
+    std::size_t initialRotation = 0;
 };
 
 /**

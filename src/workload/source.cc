@@ -1,5 +1,7 @@
 #include "workload/source.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace wct
@@ -31,32 +33,54 @@ std::uint64_t
 WorkloadSource::dataAddress(const PhaseProfile &phase)
 {
     const std::uint64_t align = phase.accessSize;
-    std::uint64_t addr;
+    std::uint64_t base;   // region the access belongs to
+    std::uint64_t region; // region size in bytes
+    std::uint64_t offset; // aligned offset within the region
 
     if (rng_.bernoulli(phase.streamFrac)) {
         // Sequential streaming through this phase's own arrays.
         std::uint64_t &pos = streamPos_[phaseIndex_];
-        addr = kDataBase + phaseIndex_ * (1ull << 30) + pos;
+        base = kDataBase + phaseIndex_ * (1ull << 30);
+        region = phase.dataFootprint;
+        offset = pos;
         pos = (pos + align) % phase.dataFootprint;
     } else if (rng_.bernoulli(phase.hotFrac)) {
         // Frequently revisited hot structures.
-        addr = kDataBase +
-            rng_.uniformInt(phase.hotBytes / align) * align;
+        base = kDataBase;
+        region = phase.hotBytes;
+        offset = rng_.uniformInt(phase.hotBytes / align) * align;
     } else {
         // Cold touch anywhere in the footprint.
-        addr = kDataBase +
-            rng_.uniformInt(phase.dataFootprint / align) * align;
+        base = kDataBase;
+        region = phase.dataFootprint;
+        offset = rng_.uniformInt(phase.dataFootprint / align) * align;
     }
 
-    // Alignment perturbations.
+    // Alignment perturbations. A single-byte access can be neither
+    // split nor misaligned, and `align / 2` must be kept away from
+    // zero so the perturbations still move the address for narrow
+    // accesses; both perturbed offsets are folded back so the access
+    // never escapes [base, base + region).
     if (phase.splitFrac > 0.0 && rng_.bernoulli(phase.splitFrac)) {
-        // Park the access so it crosses a 64-byte line.
-        addr = (addr & ~std::uint64_t(63)) + 64 - align / 2;
+        // Park the access so it crosses a 64-byte line: start it
+        // `intrude` bytes before the next boundary (intrude < align,
+        // so the tail lands in the following line).
+        if (align >= 2 && region >= 128) {
+            const std::uint64_t intrude =
+                std::max<std::uint64_t>(align / 2, 1);
+            offset = (offset & ~std::uint64_t(63)) + 64 - intrude;
+            while (offset + align > region)
+                offset -= 64; // previous line; still crosses
+        }
     } else if (phase.misalignFrac > 0.0 &&
                rng_.bernoulli(phase.misalignFrac)) {
-        addr += align / 2;
+        if (align >= 2 && region >= 2 * align) {
+            offset += std::max<std::uint64_t>(align / 2, 1);
+            while (offset + align > region)
+                offset -= align; // same misalignment, one slot back
+        }
     }
-    return addr;
+    return base + offset;
 }
 
 std::uint64_t

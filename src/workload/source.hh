@@ -45,6 +45,13 @@ class WorkloadSource : public InstSource
 
     const BenchmarkProfile &profile() const { return profile_; }
 
+    /**
+     * Data segment base (per-benchmark constant). Every data address
+     * lies in [kDataBase, kDataBase + footprint) for its region, which
+     * address-perturbation tests rely on.
+     */
+    static constexpr std::uint64_t kDataBase = 0x100000000ull;
+
   private:
     /** Pick the next phase and its run length. */
     void switchPhase();
@@ -74,9 +81,6 @@ class WorkloadSource : public InstSource
     std::vector<std::uint64_t> streamPos_;
     std::uint64_t lastStoreAddr_ = 0;
     std::uint64_t branchCounter_ = 0;
-
-    /** Data segment base (per-benchmark constant). */
-    static constexpr std::uint64_t kDataBase = 0x100000000ull;
 
     /** Code segment base. */
     static constexpr std::uint64_t kCodeBase = 0x400000ull;

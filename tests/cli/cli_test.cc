@@ -128,6 +128,112 @@ TEST(CliTest, CollectSingleBenchmark)
     EXPECT_EQ(csvs, 1u);
 }
 
+/** Read a whole file as bytes (empty if absent). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(CliTest, CollectCacheDirWarmRunIsByteIdentical)
+{
+    TempDir dir("wct_cli_cache");
+    const std::vector<std::string> args = {
+        "collect",          "--suite",    "cpu2006",
+        "--benchmark",      "429.mcf",    "--out",
+        dir.file("cold"),   "--intervals", "8",
+        "--interval-length", "1024",      "--warmup",
+        "50000",            "--cache-dir", dir.file("cache")};
+
+    std::string err;
+    EXPECT_EQ(run(args, nullptr, &err), 0);
+    EXPECT_NE(err.find("cache updated"), std::string::npos);
+
+    // One .wctsuite file appeared in the cache directory.
+    std::size_t cached = 0;
+    for (const auto &entry :
+         fs::directory_iterator(dir.file("cache")))
+        cached += entry.path().extension() == ".wctsuite";
+    EXPECT_EQ(cached, 1u);
+
+    // Warm run: loaded from cache, byte-identical CSV output.
+    auto warm = args;
+    warm[6] = dir.file("warm");
+    EXPECT_EQ(run(warm, nullptr, &err), 0);
+    EXPECT_NE(err.find("from cache"), std::string::npos);
+    const std::string cold_csv =
+        slurp(dir.file("cold") + "/429.mcf.csv");
+    EXPECT_FALSE(cold_csv.empty());
+    EXPECT_EQ(slurp(dir.file("warm") + "/429.mcf.csv"), cold_csv);
+}
+
+TEST(CliTest, CollectNoCacheBypassesTheCache)
+{
+    TempDir dir("wct_cli_nocache");
+    std::string err;
+    EXPECT_EQ(run({"collect", "--suite", "cpu2006", "--benchmark",
+                   "429.mcf", "--out", dir.file("out"),
+                   "--intervals", "8", "--interval-length", "1024",
+                   "--warmup", "50000", "--cache-dir",
+                   dir.file("cache"), "--no-cache"},
+                  nullptr, &err),
+              0);
+    EXPECT_EQ(err.find("cache"), std::string::npos) << err;
+    EXPECT_FALSE(fs::exists(dir.file("cache")));
+}
+
+TEST(CliTest, CollectCorruptCacheFileFallsBackGracefully)
+{
+    TempDir dir("wct_cli_corrupt_cache");
+    const std::vector<std::string> args = {
+        "collect",          "--suite",    "cpu2006",
+        "--benchmark",      "429.mcf",    "--out",
+        dir.file("a"),      "--intervals", "8",
+        "--interval-length", "1024",      "--warmup",
+        "50000",            "--cache-dir", dir.file("cache")};
+    std::string err;
+    EXPECT_EQ(run(args, nullptr, &err), 0);
+
+    // Truncate the cached file; the warm run must warn, re-collect,
+    // and still produce identical CSVs.
+    fs::path cached;
+    for (const auto &entry :
+         fs::directory_iterator(dir.file("cache")))
+        if (entry.path().extension() == ".wctsuite")
+            cached = entry.path();
+    ASSERT_FALSE(cached.empty());
+    const std::string bytes = slurp(cached.string());
+    {
+        std::ofstream out(cached, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, bytes.size() / 2);
+    }
+
+    auto again = args;
+    again[6] = dir.file("b");
+    EXPECT_EQ(run(again, nullptr, &err), 0);
+    EXPECT_NE(err.find("cache updated"), std::string::npos);
+    EXPECT_EQ(slurp(dir.file("b") + "/429.mcf.csv"),
+              slurp(dir.file("a") + "/429.mcf.csv"));
+}
+
+TEST(CliTest, TransferHeaderNamesModelAndTargetFiles)
+{
+    const auto &p = pipeline();
+    std::string out;
+    EXPECT_EQ(run({"transfer", "--model", p.model_path, "--train",
+                   p.data_dir, "--target", p.data_dir},
+                  &out),
+              0);
+    // Names derive from the file stem and directory name, not the
+    // old hardcoded "target" placeholder.
+    EXPECT_NE(out.find("transferability of omp -> omp"),
+              std::string::npos)
+        << out;
+}
+
 TEST(CliTest, TrainReportsAndSavesModel)
 {
     const auto &p = pipeline();

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the content-addressed collection cache: store/load round
+ * trips, graceful rejection of corrupt or mismatched files, and key
+ * sensitivity to every collection input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "core/collect_cache.hh"
+
+namespace wct
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory, removed on scope exit. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string &tag)
+        : path(fs::temp_directory_path() /
+               ("wct_cache_test_" + tag + "_" +
+                std::to_string(::getpid())))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~TempDir() { fs::remove_all(path); }
+};
+
+SuiteProfile
+miniSuite()
+{
+    SuiteProfile suite;
+    suite.name = "cacheable";
+    for (int i = 0; i < 2; ++i) {
+        BenchmarkProfile b;
+        b.name = "cache." + std::to_string(i);
+        PhaseProfile p;
+        p.loadFrac = 0.22 + 0.04 * i;
+        b.phases.push_back(p);
+        suite.benchmarks.push_back(b);
+    }
+    return suite;
+}
+
+CollectionConfig
+miniConfig()
+{
+    CollectionConfig config;
+    config.intervalInstructions = 2048;
+    config.baseIntervals = 20;
+    config.warmupInstructions = 20'000;
+    return config;
+}
+
+std::string
+serialize(const SuiteData &data)
+{
+    std::ostringstream bytes;
+    writeSuiteData(bytes, data);
+    return bytes.str();
+}
+
+TEST(CollectCacheTest, StoreLoadRoundTripIsByteIdentical)
+{
+    const TempDir dir("roundtrip");
+    const SuiteData data = collectSuite(miniSuite(), miniConfig());
+    const std::string path = (dir.path / "suite.wctsuite").string();
+    storeSuiteData(path, data);
+    const auto loaded = loadSuiteData(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(serialize(*loaded), serialize(data));
+    EXPECT_EQ(loaded->suiteName, data.suiteName);
+    ASSERT_EQ(loaded->benchmarks.size(), data.benchmarks.size());
+    EXPECT_EQ(loaded->benchmarks[0].instructionWeight,
+              data.benchmarks[0].instructionWeight);
+}
+
+TEST(CollectCacheTest, SecondCallHitsCacheWithIdenticalData)
+{
+    const TempDir dir("hit");
+    const SuiteProfile suite = miniSuite();
+    const CollectionConfig config = miniConfig();
+
+    bool hit = true;
+    const SuiteData first =
+        collectSuiteCached(suite, config, dir.path.string(), &hit);
+    EXPECT_FALSE(hit);
+    const SuiteData second =
+        collectSuiteCached(suite, config, dir.path.string(), &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(serialize(second), serialize(first));
+}
+
+TEST(CollectCacheTest, CorruptFileFallsBackToCollection)
+{
+    const TempDir dir("corrupt");
+    const SuiteProfile suite = miniSuite();
+    const CollectionConfig config = miniConfig();
+
+    bool hit = false;
+    const SuiteData first =
+        collectSuiteCached(suite, config, dir.path.string(), &hit);
+
+    // Flip a payload bit in the cached file.
+    const std::string path =
+        collectionCachePath(dir.path.string(), suite, config);
+    ASSERT_TRUE(fs::exists(path));
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    bytes[bytes.size() / 2] ^= 0x04;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    EXPECT_FALSE(loadSuiteData(path).has_value());
+
+    // The cached front end re-collects (a miss), repairs the file,
+    // and still returns the right data.
+    hit = true;
+    const SuiteData repaired =
+        collectSuiteCached(suite, config, dir.path.string(), &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(serialize(repaired), serialize(first));
+    EXPECT_TRUE(loadSuiteData(path).has_value());
+}
+
+TEST(CollectCacheTest, VersionMismatchRejected)
+{
+    const TempDir dir("version");
+    const SuiteData data = collectSuite(miniSuite(), miniConfig());
+    const std::string path = (dir.path / "suite.wctsuite").string();
+    storeSuiteData(path, data);
+
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    bytes[8] ^= 0x01; // LSB of the little-endian format version
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    EXPECT_FALSE(loadSuiteData(path).has_value());
+}
+
+TEST(CollectCacheTest, MissingFileIsNotAnError)
+{
+    const TempDir dir("missing");
+    EXPECT_FALSE(
+        loadSuiteData((dir.path / "absent.wctsuite").string())
+            .has_value());
+}
+
+TEST(CollectCacheTest, KeyCoversEveryCollectionInput)
+{
+    const SuiteProfile suite = miniSuite();
+    const CollectionConfig base = miniConfig();
+    const std::uint64_t key = collectionCacheKey(suite, base);
+
+    // Same inputs -> same key (the key is a pure function).
+    EXPECT_EQ(collectionCacheKey(suite, base), key);
+
+    CollectionConfig changed = base;
+    changed.seed ^= 1;
+    EXPECT_NE(collectionCacheKey(suite, changed), key);
+
+    changed = base;
+    changed.shards = 4;
+    EXPECT_NE(collectionCacheKey(suite, changed), key);
+
+    changed = base;
+    changed.baseIntervals += 1;
+    EXPECT_NE(collectionCacheKey(suite, changed), key);
+
+    changed = base;
+    changed.multiplexed = false;
+    EXPECT_NE(collectionCacheKey(suite, changed), key);
+
+    changed = base;
+    changed.machine.l2MissCycles += 1.0;
+    EXPECT_NE(collectionCacheKey(suite, changed), key);
+
+    SuiteProfile renamed = suite;
+    renamed.benchmarks[0].name = "cache.renamed";
+    EXPECT_NE(collectionCacheKey(renamed, base), key);
+
+    SuiteProfile tweaked = suite;
+    tweaked.benchmarks[1].phases[0].loadFrac += 0.01;
+    EXPECT_NE(collectionCacheKey(tweaked, base), key);
+}
+
+TEST(CollectCacheTest, CachePathEmbedsSuiteNameAndKey)
+{
+    const SuiteProfile suite = miniSuite();
+    const CollectionConfig config = miniConfig();
+    const std::string path =
+        collectionCachePath("/tmp/cache", suite, config);
+    EXPECT_NE(path.find("cacheable-"), std::string::npos);
+    EXPECT_NE(path.find(".wctsuite"), std::string::npos);
+    // 16 hex digits of the key.
+    const std::size_t dash = path.rfind('-');
+    const std::size_t dot = path.rfind(".wctsuite");
+    ASSERT_NE(dash, std::string::npos);
+    ASSERT_EQ(dot - dash - 1, 16u);
+}
+
+} // namespace
+} // namespace wct

@@ -41,7 +41,15 @@ onePhaseBench()
 {
     BenchmarkProfile b;
     b.name = "phases.mono";
-    b.phases = {PhaseProfile{}};
+    // A genuinely steady phase: the whole working set lives in the
+    // L1, so every interval looks alike and lands in few leaves
+    // regardless of the stream seed.
+    PhaseProfile steady;
+    steady.name = "steady";
+    steady.dataFootprint = 24 * 1024;
+    steady.hotBytes = 16 * 1024;
+    steady.hotFrac = 1.0;
+    b.phases = {steady};
     return b;
 }
 

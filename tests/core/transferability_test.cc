@@ -152,6 +152,34 @@ TEST(TransferabilityTest, RenderMentionsVerdicts)
     EXPECT_NE(text.find("transferable"), std::string::npos);
 }
 
+TEST(TransferabilityTest, ConfiguredNamesReachTheRenderedReport)
+{
+    // The names flow through the config into the report header; the
+    // old code dropped modelName entirely and pinned targetName to
+    // the literal "target" regardless of the caller.
+    const auto &m = fixture().compute;
+    TransferabilityConfig config;
+    config.modelName = "computeish tree";
+    config.targetName = "held-out computeish";
+    const auto report =
+        assessTransferability(m.tree, m.train, m.test, config);
+    EXPECT_EQ(report.modelName, "computeish tree");
+    EXPECT_EQ(report.targetName, "held-out computeish");
+    const std::string text = report.render();
+    EXPECT_NE(text.find("transferability of computeish tree -> "
+                        "held-out computeish"),
+              std::string::npos);
+}
+
+TEST(TransferabilityTest, DefaultNamesAreGenericPlaceholders)
+{
+    const auto &m = fixture().compute;
+    const auto report =
+        assessTransferability(m.tree, m.train, m.test);
+    EXPECT_EQ(report.modelName, "model");
+    EXPECT_EQ(report.targetName, "target");
+}
+
 TEST(TransferabilityTest, NonParametricTestsAgreeOnCrossSuite)
 {
     const auto &compute = fixture().compute;

@@ -207,6 +207,88 @@ TEST(CollectorTest, MultiplexingAddsVariance)
               exact.summarize(load_col).stddev);
 }
 
+/** Strictly alternating Load/Alu stream: exact 0.5 load density. */
+class AlternatingSource : public InstSource
+{
+  public:
+    Inst
+    next() override
+    {
+        Inst inst;
+        inst.pc = 0x400 + (step_ % 64) * 4;
+        if (step_++ % 2 == 0) {
+            inst.cls = InstClass::Load;
+            inst.addr = 0x100000 + (step_ % 512) * 8;
+            inst.size = 8;
+        } else {
+            inst.cls = InstClass::Alu;
+        }
+        return inst;
+    }
+
+  private:
+    std::uint64_t step_ = 0;
+};
+
+TEST(CollectorTest, MultiplexedEstimateIsUnbiased)
+{
+    // With 2 programmable counters over the 19 multiplexed events
+    // there are 10 groups; a 21-instruction interval gives the Load
+    // group a 2-instruction sub-window (duty 2/21) holding exactly
+    // one load, so the unbiased scaled estimate is 10.5 loads ->
+    // density 0.5. Rounding each sub-window's scaled count to an
+    // integer (the old per-group cast) would report 10/21 ~ 0.476.
+    CoreModel core{CoreConfig{}};
+    CollectorConfig config;
+    config.intervalInstructions = 21;
+    IntervalCollector collector(core, config);
+    ASSERT_EQ(collector.groups().size(), 10u);
+    ASSERT_EQ(collector.groups()[0][0], Event::Load);
+
+    AlternatingSource src;
+    const auto row = collector.collectInterval(src);
+    const auto names = metricColumnNames();
+    bool found = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "Load") {
+            EXPECT_NEAR(row[i], 0.5, 1e-9);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CollectorTest, InitialRotationOffsetsTheSchedule)
+{
+    // Two collectors over identical deterministic streams: one
+    // starting at rotation 0 and collecting two intervals, one
+    // starting at rotation 1 and collecting the second interval
+    // only. The second rows must agree: initialRotation = k
+    // reproduces the schedule position of the k-th sequential
+    // interval, which is what lets shards stitch seamlessly.
+    CollectorConfig config;
+    config.intervalInstructions = 4096;
+
+    CoreModel full_core{CoreConfig{}};
+    IntervalCollector full(full_core, config);
+    MixSource full_src(48);
+    full.collectInterval(full_src);
+    const auto second = full.collectInterval(full_src);
+
+    CollectorConfig offset_config = config;
+    offset_config.initialRotation = 1;
+    CoreModel offset_core{CoreConfig{}};
+    IntervalCollector offset(offset_core, offset_config);
+    MixSource offset_src(48);
+    // Advance the stream past the first interval without sampling.
+    offset_core.run(offset_src, config.intervalInstructions);
+    const auto offset_second = offset.collectInterval(offset_src);
+
+    ASSERT_EQ(second.size(), offset_second.size());
+    for (std::size_t i = 1; i < second.size(); ++i)
+        EXPECT_DOUBLE_EQ(second[i], offset_second[i]) << i;
+}
+
 TEST(CollectorTest, CollectBuildsDatasetShape)
 {
     CoreModel core{CoreConfig{}};
