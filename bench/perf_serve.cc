@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Perf smoke of the model-serving subsystem (docs/serving.md).
+ *
+ * Drives a loopback Server (no sockets: the measurement is admission,
+ * coalescing, and batched inference, not kernel I/O) from several
+ * client threads under two request shapes over the same total sample
+ * count:
+ *
+ *   batched    rows-per-request samples in each predict frame
+ *   singleton  one sample per predict frame
+ *
+ * and writes BENCH_serve.json with both throughputs and their ratio
+ * (batch_speedup), which is what batching buys once per-request
+ * overhead — admission lock, promise/future handoff, response
+ * encode — is paid per sample instead of amortized.
+ *
+ *   perf_serve [--rows=R] [--requests=N] [--clients=C] [--threads=T]
+ *              [--reps=K] [--out=FILE] [--baseline=FILE]
+ *
+ * With --baseline, the run fails (exit 1) when batch_speedup drops
+ * below 75% of the checked-in baseline's — a machine-independent
+ * regression gate (numerator and denominator are measured on the
+ * same host), wired into ctest under the perf-smoke label. The run
+ * also re-checks the serving determinism contract: every client must
+ * read byte-identical response frames for identical request frames.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "mtree/model_tree.hh"
+#include "mtree/serialize.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace wct;
+using namespace wct::serve;
+
+Dataset
+syntheticData(std::size_t n, std::uint64_t seed)
+{
+    Dataset d({"x0", "x1", "x2", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        const double x2 = rng.uniform(0.0, 1.0);
+        const double y = x0 <= 0.5 ? 1.0 + 2.0 * x1 + x2
+                                   : 8.0 - x1 + 0.5 * x2 +
+                                         rng.normal(0.0, 0.05);
+        d.addRow({x0, x1, x2, y});
+    }
+    return d;
+}
+
+/** Pre-encoded predict frames, `rows` samples each. */
+std::vector<std::string>
+buildFrames(const Dataset &probe, std::size_t rows,
+            std::size_t count)
+{
+    std::vector<std::string> frames;
+    frames.reserve(count);
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        Request request;
+        request.op = Opcode::Predict;
+        request.id = i + 1;
+        request.schema = probe.columnNames();
+        request.rows.reserve(rows * probe.numColumns());
+        for (std::size_t r = 0; r < rows; ++r) {
+            const auto row = probe.row(cursor);
+            cursor = (cursor + 1) % probe.numRows();
+            request.rows.insert(request.rows.end(), row.begin(),
+                                row.end());
+        }
+        frames.push_back(encodeRequest(request));
+    }
+    return frames;
+}
+
+struct ScenarioResult
+{
+    double ms = 0.0; ///< best wall time over the reps
+    bool deterministic = true;
+};
+
+/**
+ * Fan `frames` over `clients` threads against a fresh Server (each
+ * thread replays its share of the frames in order) and time the whole
+ * burst. Identical request frames must produce identical response
+ * frames on every rep — serving determinism re-checked under load.
+ */
+ScenarioResult
+timeScenario(const std::string &model_path,
+             const std::vector<std::string> &frames,
+             std::size_t clients, int reps)
+{
+    ScenarioResult result;
+    result.ms = std::numeric_limits<double>::infinity();
+    std::vector<std::string> reference(frames.size());
+
+    for (int rep = 0; rep < reps; ++rep) {
+        ServerConfig config;
+        config.queueDepth = 4096;
+        config.maxBatch = 64;
+        config.batchers = 1;
+        Server server(config);
+        std::string err;
+        if (!server.loadModel(model_path, "bench", nullptr, &err)) {
+            std::cerr << "perf_serve: " << err << "\n";
+            std::exit(1);
+        }
+
+        std::vector<std::string> responses(frames.size());
+        std::vector<std::thread> threads;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                for (std::size_t i = c; i < frames.size();
+                     i += clients)
+                    responses[i] = server.handleFrame(frames[i]);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        const auto stop = std::chrono::steady_clock::now();
+        server.beginShutdown();
+        server.drain();
+
+        result.ms = std::min(
+            result.ms,
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+        if (rep == 0)
+            reference = responses;
+        else if (responses != reference)
+            result.deterministic = false;
+    }
+    return result;
+}
+
+/** Value of the first `"key": <number>` in a (flat) JSON text. */
+double
+jsonNumber(const std::string &text, const std::string &key)
+{
+    const std::string quoted = "\"" + key + "\"";
+    const std::size_t pos = text.find(quoted);
+    if (pos == std::string::npos)
+        return std::nan("");
+    const std::size_t colon = text.find(':', pos + quoted.size());
+    if (colon == std::string::npos)
+        return std::nan("");
+    return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t rows = 256;    // samples per batched request
+    std::size_t requests = 96; // batched requests per measurement
+    std::size_t clients = 4;
+    std::size_t threads = 4;
+    int reps = 3;
+    std::string out_path = "BENCH_serve.json";
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--rows=", 0) == 0)
+            rows = std::max<std::size_t>(
+                1, std::strtoul(arg.data() + 7, nullptr, 10));
+        else if (arg.rfind("--requests=", 0) == 0)
+            requests = std::max<std::size_t>(
+                1, std::strtoul(arg.data() + 11, nullptr, 10));
+        else if (arg.rfind("--clients=", 0) == 0)
+            clients = std::max<std::size_t>(
+                1, std::strtoul(arg.data() + 10, nullptr, 10));
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads = std::strtoul(arg.data() + 10, nullptr, 10);
+        else if (arg.rfind("--reps=", 0) == 0)
+            reps = std::max(
+                1, static_cast<int>(
+                       std::strtol(arg.data() + 7, nullptr, 10)));
+        else if (arg.rfind("--out=", 0) == 0)
+            out_path = std::string(arg.substr(6));
+        else if (arg.rfind("--baseline=", 0) == 0)
+            baseline_path = std::string(arg.substr(11));
+        else {
+            std::cerr << "perf_serve: unknown option " << arg
+                      << "\n";
+            return 1;
+        }
+    }
+
+    ThreadPool::resetGlobalForTest(threads <= 1 ? 0 : threads);
+
+    // One model on disk (served the way production would) and one
+    // probe set reused by both request shapes.
+    const Dataset training = syntheticData(4000, 1);
+    const ModelTree tree = ModelTree::train(training, "y");
+    const std::string model_path = out_path + ".mtree";
+    writeModelTreeFile(tree, model_path);
+    const Dataset probe = syntheticData(1024, 2);
+
+    const std::size_t total_samples = rows * requests;
+    const std::vector<std::string> batched_frames =
+        buildFrames(probe, rows, requests);
+    const std::vector<std::string> singleton_frames =
+        buildFrames(probe, 1, total_samples);
+
+    const ScenarioResult batched =
+        timeScenario(model_path, batched_frames, clients, reps);
+    const ScenarioResult singleton =
+        timeScenario(model_path, singleton_frames, clients, reps);
+    std::remove(model_path.c_str());
+
+    const double batched_sps =
+        1000.0 * static_cast<double>(total_samples) / batched.ms;
+    const double singleton_sps =
+        1000.0 * static_cast<double>(total_samples) / singleton.ms;
+    const double batch_speedup = batched_sps / singleton_sps;
+    const bool deterministic =
+        batched.deterministic && singleton.deterministic;
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"benchmark\": \"perf_serve\",\n"
+         << "  \"rows_per_request\": " << rows << ",\n"
+         << "  \"requests\": " << requests << ",\n"
+         << "  \"total_samples\": " << total_samples << ",\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"host_cpus\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"model_leaves\": " << tree.numLeaves() << ",\n"
+         << "  \"batched_ms\": " << batched.ms << ",\n"
+         << "  \"singleton_ms\": " << singleton.ms << ",\n"
+         << "  \"batched_samples_per_s\": " << batched_sps << ",\n"
+         << "  \"singleton_samples_per_s\": " << singleton_sps
+         << ",\n"
+         << "  \"batch_speedup\": " << batch_speedup << ",\n"
+         << "  \"deterministic\": "
+         << (deterministic ? "true" : "false") << "\n"
+         << "}\n";
+    std::ofstream out(out_path);
+    out << json.str();
+    out.close();
+    std::cout << json.str();
+
+    if (!deterministic) {
+        std::cerr << "perf_serve: FAIL: identical request frames "
+                     "produced different response frames across "
+                     "reps\n";
+        return 1;
+    }
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::cerr << "perf_serve: cannot read baseline "
+                      << baseline_path << "\n";
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const double base = jsonNumber(buf.str(), "batch_speedup");
+        if (std::isnan(base) || base <= 0.0) {
+            std::cerr << "perf_serve: baseline has no usable "
+                         "batch_speedup\n";
+            return 1;
+        }
+        // Gate on the batched/singleton *ratio*, not absolute
+        // throughput: both sides were measured on this host, so the
+        // check transfers across machines and CI load.
+        const double floor = 0.75 * base;
+        if (batch_speedup < floor) {
+            std::cerr << "perf_serve: FAIL: batched serving speedup "
+                      << batch_speedup
+                      << "x fell below 75% of the baseline " << base
+                      << "x (floor " << floor << "x)\n";
+            return 1;
+        }
+        std::cout << "perf_serve: batch-speedup gate OK ("
+                  << batch_speedup << "x >= " << floor
+                  << "x floor)\n";
+    }
+    return 0;
+}

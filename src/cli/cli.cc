@@ -13,10 +13,14 @@
 #include "core/similarity.hh"
 #include "core/subset.hh"
 #include "core/transferability.hh"
+#include "data/binary_io.hh"
 #include "data/csv.hh"
 #include "mtree/serialize.hh"
+#include "serve/server.hh"
+#include "serve/socket.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+#include "util/version.hh"
 #include "workload/suites.hh"
 
 namespace wct
@@ -76,7 +80,8 @@ struct Options
 /** Flags that take no value. */
 const std::vector<std::string> kBooleanFlags = {
     "exact", "dot", "no-smooth", "no-prune", "constant-leaves",
-    "similarity", "no-cache",
+    "similarity", "no-cache", "stats-text", "no-remote-load",
+    "no-remote-shutdown",
 };
 
 Options
@@ -403,6 +408,180 @@ cmdSubset(const Options &options, std::ostream &out)
     return 0;
 }
 
+int
+cmdVersion(std::ostream &out)
+{
+    out << "wct " << kWctVersion << "\n"
+        << "model-tree format: " << kModelTreeMagicLine << "\n"
+        << "dataset format: " << kDatasetMagic << " v"
+        << kDatasetFormatVersion << "\n"
+        << "serve wire format: " << serve::kWireMagic << " v"
+        << serve::kWireFormatVersion << "\n";
+    return 0;
+}
+
+int
+cmdServe(const Options &options, std::ostream &out,
+         std::ostream &err)
+{
+    serve::ServerConfig config;
+    config.queueDepth = options.getUint("queue-depth", 256);
+    config.maxBatch = options.getUint("max-batch", 64);
+    config.batchers = options.getUint("batchers", 1);
+    config.allowRemoteLoad = !options.has("no-remote-load");
+    config.allowRemoteShutdown = !options.has("no-remote-shutdown");
+
+    serve::Server server(config);
+    serve::ModelInfo info;
+    std::string load_err;
+    const std::string model_path = require(options, "model");
+    if (!server.loadModel(model_path, options.get("alias"), &info,
+                          &load_err))
+        wct_fatal("cannot load model '", model_path, "': ",
+                  load_err);
+    err << "loaded model " << info.alias << " (key " << info.key
+        << ", target " << info.target << ", " << info.numLeaves
+        << " leaves)\n";
+
+    serve::SocketConfig socket_config;
+    socket_config.unixPath = options.get("unix");
+    socket_config.tcpPort = static_cast<int>(
+        options.getUint("port", 0));
+    if (socket_config.unixPath.empty() && !options.has("port"))
+        wct_fatal("serve needs --unix SOCKET or --port N");
+    socket_config.maxConnections =
+        options.getUint("max-connections", 32);
+
+    serve::SocketServer transport(server, socket_config);
+    std::string sock_err;
+    if (!transport.start(&sock_err))
+        wct_fatal(sock_err);
+    if (!socket_config.unixPath.empty())
+        err << "serving on " << socket_config.unixPath << "\n";
+    else
+        err << "serving on 127.0.0.1:" << transport.boundPort()
+            << "\n";
+
+    // Block until a client sends a shutdown frame, then drain.
+    transport.waitForShutdown();
+    server.drain();
+    if (options.has("stats-text"))
+        out << server.stats().renderText();
+    err << "server drained, exiting\n";
+    return 0;
+}
+
+/** Connect a query client per the --unix/--port options. */
+serve::ServeClient
+queryConnect(const Options &options)
+{
+    std::string err;
+    std::optional<serve::ServeClient> client;
+    if (options.has("unix"))
+        client = serve::ServeClient::connectUnix(
+            options.get("unix"), &err);
+    else if (options.has("port"))
+        client = serve::ServeClient::connectTcp(
+            static_cast<int>(options.getUint("port", 0)), &err);
+    else
+        wct_fatal("query needs --unix SOCKET or --port N");
+    if (!client)
+        wct_fatal(err);
+    return std::move(*client);
+}
+
+int
+cmdQuery(const Options &options, std::ostream &out)
+{
+    const std::string op = options.get("op", "predict");
+    serve::Request request;
+    request.id = options.getUint("id", 1);
+
+    if (op == "predict" || op == "classify") {
+        request.op = op == "predict" ? serve::Opcode::Predict
+                                     : serve::Opcode::Classify;
+        request.modelKey = options.get("model-key");
+        const Dataset data =
+            loadModelingData(require(options, "data"));
+        request.schema = data.columnNames();
+        request.rows.reserve(data.numRows() * data.numColumns());
+        for (std::size_t r = 0; r < data.numRows(); ++r) {
+            const auto row = data.row(r);
+            request.rows.insert(request.rows.end(), row.begin(),
+                                row.end());
+        }
+    } else if (op == "load") {
+        request.op = serve::Opcode::LoadModel;
+        request.path = require(options, "path");
+        request.alias = options.get("alias");
+    } else if (op == "stats") {
+        request.op = serve::Opcode::Stats;
+    } else if (op == "shutdown") {
+        request.op = serve::Opcode::Shutdown;
+    } else {
+        wct_fatal("unknown --op '", op,
+                  "' (predict|classify|load|stats|shutdown)");
+    }
+
+    serve::ServeClient client = queryConnect(options);
+    std::string call_err;
+    const auto response = client.call(request, &call_err);
+    if (!response)
+        wct_fatal(call_err);
+    if (response->status != serve::Status::Ok) {
+        out << "status " << serve::statusName(response->status)
+            << ": " << response->error << "\n";
+        return 1;
+    }
+
+    switch (response->op) {
+      case serve::Opcode::Predict:
+      case serve::Opcode::Classify: {
+        if (options.has("out")) {
+            const Dataset data =
+                loadModelingData(require(options, "data"));
+            std::vector<std::string> names = data.columnNames();
+            if (response->op == serve::Opcode::Predict)
+                names.push_back("PredictedCPI");
+            names.push_back("LeafModel");
+            Dataset augmented(names);
+            std::vector<double> row;
+            for (std::size_t r = 0; r < data.numRows(); ++r) {
+                const auto src = data.row(r);
+                row.assign(src.begin(), src.end());
+                if (response->op == serve::Opcode::Predict)
+                    row.push_back(response->cpi[r]);
+                row.push_back(
+                    static_cast<double>(response->leaf[r]));
+                augmented.addRow(row);
+            }
+            writeCsvFile(augmented, options.get("out"));
+            out << "wrote " << augmented.numRows() << " rows to "
+                << options.get("out") << "\n";
+            break;
+        }
+        for (std::size_t r = 0; r < response->leaf.size(); ++r) {
+            if (response->op == serve::Opcode::Predict)
+                out << response->cpi[r] << " ";
+            out << "LM" << response->leaf[r] << "\n";
+        }
+        break;
+      }
+      case serve::Opcode::LoadModel:
+        out << "loaded " << response->modelKey << " (target "
+            << response->target << ", " << response->numLeaves
+            << " leaves)\n";
+        break;
+      case serve::Opcode::Stats:
+        out << response->stats.renderText();
+        break;
+      case serve::Opcode::Shutdown:
+        out << "server shutting down\n";
+        break;
+    }
+    return 0;
+}
+
 void
 printUsage(std::ostream &err)
 {
@@ -427,7 +606,19 @@ printUsage(std::ostream &err)
         << "  profile  --model MODEL --data DIR [--similarity]\n"
         << "  subset   --model MODEL --data DIR [--k K]"
            " [--method greedy|medoids|pca]\n"
-        << "  phases   --model MODEL --data CSV|DIR\n";
+        << "  phases   --model MODEL --data CSV|DIR\n"
+        << "  serve    --model MODEL (--unix SOCK | --port N)"
+           " [--alias NAME]\n"
+        << "           [--queue-depth N] [--max-batch N]"
+           " [--batchers N]\n"
+        << "           [--max-connections N] [--no-remote-load]\n"
+        << "           [--no-remote-shutdown] [--stats-text]\n"
+        << "  query    (--unix SOCK | --port N)"
+           " [--op predict|classify|load|stats|shutdown]\n"
+        << "           [--data CSV|DIR] [--model-key K]"
+           " [--out CSV]\n"
+        << "           [--path MODEL --alias NAME] [--id N]\n"
+        << "  version\n";
 }
 
 } // namespace
@@ -440,6 +631,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         printUsage(err);
         return args.empty() ? 2 : 0;
     }
+    if (args[0] == "version" || args[0] == "--version")
+        return cmdVersion(out);
     const std::string &command = args[0];
     const Options options = parseOptions(args, 1);
 
@@ -461,6 +654,10 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdSubset(options, out);
     if (command == "phases")
         return cmdPhases(options, out);
+    if (command == "serve")
+        return cmdServe(options, out, err);
+    if (command == "query")
+        return cmdQuery(options, out);
 
     err << "unknown command '" << command << "'\n";
     printUsage(err);

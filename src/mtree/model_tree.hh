@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -195,6 +196,14 @@ class ModelTree : public Regressor
 
     /** Rebuild a tree written by save(); fatal on malformed input. */
     static ModelTree load(std::istream &in);
+
+    /**
+     * Non-fatal variant of load() for callers that must survive bad
+     * input (the model-serving registry): returns nullopt and fills
+     * `err` instead of terminating. load() delegates here.
+     */
+    static std::optional<ModelTree> tryLoad(std::istream &in,
+                                            std::string *err);
 
   private:
     struct Node

@@ -14,7 +14,21 @@ namespace wct
 namespace
 {
 
-constexpr const char *kMagic = "wct-model-tree v1";
+/**
+ * Nesting bound for the recursive reader. Real trees are capped by
+ * ModelTreeConfig::maxDepth (default 32); the parse bound only has to
+ * keep a hostile file from overflowing the stack.
+ */
+constexpr std::size_t kMaxParseDepth = 512;
+
+/** Set *err (when non-null) and return false; the parse fail path. */
+bool
+parseFail(std::string *err, std::string message)
+{
+    if (err != nullptr)
+        *err = std::move(message);
+    return false;
+}
 
 } // namespace
 
@@ -23,7 +37,7 @@ ModelTree::save(std::ostream &out) const
 {
     wct_assert(root_ != nullptr, "saving an untrained tree");
     out.precision(17);
-    out << kMagic << "\n";
+    out << kModelTreeMagicLine << "\n";
     out << "target " << target_ << "\n";
     out << "schema " << schema_.size();
     for (const std::string &name : schema_)
@@ -60,26 +74,43 @@ ModelTree::save(std::ostream &out) const
     out << "end\n";
 }
 
-ModelTree
-ModelTree::load(std::istream &in)
+std::optional<ModelTree>
+ModelTree::tryLoad(std::istream &in, std::string *err)
 {
     std::string line;
-    if (!std::getline(in, line) || line != kMagic)
-        wct_fatal("not a wct model tree (bad magic line)");
+    if (!std::getline(in, line) || line != kModelTreeMagicLine) {
+        parseFail(err, "not a wct model tree (bad magic line)");
+        return std::nullopt;
+    }
 
     ModelTree tree;
     std::string keyword;
 
-    if (!(in >> keyword) || keyword != "target" || !(in >> tree.target_))
-        wct_fatal("model tree: missing target line");
+    if (!(in >> keyword) || keyword != "target" ||
+        !(in >> tree.target_)) {
+        parseFail(err, "model tree: missing target line");
+        return std::nullopt;
+    }
 
     std::size_t schema_size = 0;
-    if (!(in >> keyword) || keyword != "schema" || !(in >> schema_size))
-        wct_fatal("model tree: missing schema line");
+    if (!(in >> keyword) || keyword != "schema" ||
+        !(in >> schema_size)) {
+        parseFail(err, "model tree: missing schema line");
+        return std::nullopt;
+    }
+    // A hostile size must not turn into a huge allocation: each name
+    // needs at least two input bytes ("x "), so cap by a generous
+    // constant instead of trusting the count.
+    if (schema_size == 0 || schema_size > (1u << 20)) {
+        parseFail(err, "model tree: implausible schema size");
+        return std::nullopt;
+    }
     tree.schema_.resize(schema_size);
     for (std::string &name : tree.schema_)
-        if (!(in >> name))
-            wct_fatal("model tree: truncated schema");
+        if (!(in >> name)) {
+            parseFail(err, "model tree: truncated schema");
+            return std::nullopt;
+        }
     bool found_target = false;
     for (std::size_t c = 0; c < tree.schema_.size(); ++c) {
         if (tree.schema_[c] == tree.target_) {
@@ -87,69 +118,114 @@ ModelTree::load(std::istream &in)
             found_target = true;
         }
     }
-    if (!found_target)
-        wct_fatal("model tree: target '", tree.target_,
-                  "' not in schema");
+    if (!found_target) {
+        parseFail(err, "model tree: target '" + tree.target_ +
+                           "' not in schema");
+        return std::nullopt;
+    }
 
     int clamp = 1;
     if (!(in >> keyword) || keyword != "range" ||
         !(in >> tree.targetMin_ >> tree.targetMax_ >> tree.globalSd_ >>
           clamp)) {
-        wct_fatal("model tree: missing range line");
+        parseFail(err, "model tree: missing range line");
+        return std::nullopt;
     }
     tree.config_.clampPredictions = clamp != 0;
 
-    // Recursive pre-order reader (needs Node, so it lives here).
+    // Recursive pre-order reader (needs Node, so it lives here). A
+    // null return means a malformed record; the reason is in *err.
     const std::size_t num_columns = tree.schema_.size();
-    const std::function<std::unique_ptr<Node>()> read_node =
-        [&]() -> std::unique_ptr<Node> {
+    const std::function<std::unique_ptr<Node>(std::size_t)> read_node =
+        [&](std::size_t depth) -> std::unique_ptr<Node> {
+        if (depth > kMaxParseDepth) {
+            parseFail(err, "model tree: nesting too deep");
+            return nullptr;
+        }
         std::string node_keyword;
         std::string kind;
-        if (!(in >> node_keyword >> kind) || node_keyword != "node")
-            wct_fatal("model tree: expected a node record");
+        if (!(in >> node_keyword >> kind) || node_keyword != "node") {
+            parseFail(err, "model tree: expected a node record");
+            return nullptr;
+        }
 
         auto node = std::make_unique<Node>();
         if (kind == "split") {
             node->isLeaf = false;
             if (!(in >> node->splitAttr >> node->splitValue >>
                   node->count >> node->meanTarget)) {
-                wct_fatal("model tree: malformed split node");
+                parseFail(err, "model tree: malformed split node");
+                return nullptr;
             }
-            if (node->splitAttr >= num_columns)
-                wct_fatal("model tree: split attribute ",
-                          node->splitAttr, " outside schema");
-            node->left = read_node();
-            node->right = read_node();
+            if (node->splitAttr >= num_columns) {
+                parseFail(err,
+                          "model tree: split attribute " +
+                              std::to_string(node->splitAttr) +
+                              " outside schema");
+                return nullptr;
+            }
+            node->left = read_node(depth + 1);
+            if (node->left == nullptr)
+                return nullptr;
+            node->right = read_node(depth + 1);
+            if (node->right == nullptr)
+                return nullptr;
             return node;
         }
-        if (kind != "leaf")
-            wct_fatal("model tree: unknown node kind '", kind, "'");
+        if (kind != "leaf") {
+            parseFail(err, "model tree: unknown node kind '" + kind +
+                               "'");
+            return nullptr;
+        }
 
         std::size_t terms = 0;
         if (!(in >> node->count >> node->meanTarget >>
               node->model.intercept >> terms)) {
-            wct_fatal("model tree: malformed leaf node");
+            parseFail(err, "model tree: malformed leaf node");
+            return nullptr;
+        }
+        if (terms > num_columns) {
+            parseFail(err, "model tree: leaf has more terms than "
+                           "schema columns");
+            return nullptr;
         }
         node->model.attributes.resize(terms);
         node->model.coefficients.resize(terms);
         for (std::size_t i = 0; i < terms; ++i) {
             if (!(in >> node->model.attributes[i] >>
                   node->model.coefficients[i])) {
-                wct_fatal("model tree: truncated leaf model");
+                parseFail(err, "model tree: truncated leaf model");
+                return nullptr;
             }
-            if (node->model.attributes[i] >= num_columns)
-                wct_fatal("model tree: leaf attribute outside "
-                          "schema");
+            if (node->model.attributes[i] >= num_columns) {
+                parseFail(err, "model tree: leaf attribute outside "
+                               "schema");
+                return nullptr;
+            }
         }
         return node;
     };
-    tree.root_ = read_node();
+    tree.root_ = read_node(0);
+    if (tree.root_ == nullptr)
+        return std::nullopt;
 
-    if (!(in >> keyword) || keyword != "end")
-        wct_fatal("model tree: missing end marker");
+    if (!(in >> keyword) || keyword != "end") {
+        parseFail(err, "model tree: missing end marker");
+        return std::nullopt;
+    }
 
     tree.collectLeaves(tree.root_.get());
     return tree;
+}
+
+ModelTree
+ModelTree::load(std::istream &in)
+{
+    std::string err;
+    auto tree = tryLoad(in, &err);
+    if (!tree)
+        wct_fatal(err);
+    return std::move(*tree);
 }
 
 void
@@ -183,6 +259,23 @@ readModelTreeFile(const std::string &path)
     if (!in)
         wct_fatal("cannot open '", path, "' for reading");
     return ModelTree::load(in);
+}
+
+std::optional<ModelTree>
+tryReadModelTree(std::istream &in, std::string *err)
+{
+    return ModelTree::tryLoad(in, err);
+}
+
+std::optional<ModelTree>
+tryReadModelTreeFile(const std::string &path, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        parseFail(err, "cannot open '" + path + "' for reading");
+        return std::nullopt;
+    }
+    return ModelTree::tryLoad(in, err);
 }
 
 } // namespace wct

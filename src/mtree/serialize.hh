@@ -19,12 +19,19 @@
 #define WCT_MTREE_SERIALIZE_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "mtree/model_tree.hh"
 
 namespace wct
 {
+
+/**
+ * First line of the format, doubling as its version marker (bump the
+ * trailing number on incompatible changes). `wct version` reports it.
+ */
+constexpr char kModelTreeMagicLine[] = "wct-model-tree v1";
 
 /** Write a trained tree. */
 void writeModelTree(const ModelTree &tree, std::ostream &out);
@@ -41,6 +48,20 @@ ModelTree readModelTree(std::istream &in);
 
 /** Read a tree from a file; fatal on I/O failure. */
 ModelTree readModelTreeFile(const std::string &path);
+
+/**
+ * Non-fatal readers for long-running callers (the serving model
+ * registry must reject a corrupt upload without dying): nullopt on
+ * malformed input, with a one-line reason in `err` when non-null.
+ * The fatal readers above delegate to these.
+ */
+std::optional<ModelTree> tryReadModelTree(std::istream &in,
+                                          std::string *err = nullptr);
+
+/** File variant of tryReadModelTree (also catches open failures). */
+std::optional<ModelTree>
+tryReadModelTreeFile(const std::string &path,
+                     std::string *err = nullptr);
 
 } // namespace wct
 

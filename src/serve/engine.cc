@@ -1,0 +1,127 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+
+#include "util/thread_pool.hh"
+
+namespace wct::serve
+{
+
+BatchEngine::BatchEngine(RequestQueue &queue, ServingMetrics &metrics,
+                         EngineConfig config)
+    : queue_(queue), metrics_(metrics), config_(config)
+{
+    config_.batchers = std::max<std::size_t>(1, config_.batchers);
+    config_.maxBatch = std::max<std::size_t>(1, config_.maxBatch);
+}
+
+BatchEngine::~BatchEngine()
+{
+    stop();
+}
+
+void
+BatchEngine::start()
+{
+    for (std::size_t i = 0; i < config_.batchers; ++i)
+        batchers_.emplace_back([this] { batcherLoop(); });
+}
+
+void
+BatchEngine::stop()
+{
+    queue_.close();
+    for (std::thread &thread : batchers_)
+        thread.join();
+    batchers_.clear();
+}
+
+void
+BatchEngine::batcherLoop()
+{
+    std::vector<Job> batch;
+    while (true) {
+        batch.clear();
+        if (!queue_.popBatch(batch, config_.maxBatch))
+            return; // closed and drained
+        runBatch(batch);
+    }
+}
+
+void
+BatchEngine::runBatch(std::vector<Job> &batch)
+{
+    std::size_t total_rows = 0;
+    for (const Job &job : batch)
+        total_rows += job.request.numRows();
+    metrics_.countBatch(batch.size(), total_rows);
+
+    // Group jobs that resolved to the same model snapshot so one
+    // parallelFor covers all their rows (stable order: first
+    // appearance; the grouping never reorders rows inside a job).
+    std::vector<std::vector<Job *>> groups;
+    for (Job &job : batch) {
+        bool placed = false;
+        for (auto &group : groups) {
+            if (group.front()->tree == job.tree) {
+                group.push_back(&job);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({&job});
+    }
+
+    for (auto &group : groups) {
+        // Pre-size every response and build flat row offsets.
+        std::vector<std::size_t> offsets = {0};
+        for (Job *job : group) {
+            const std::size_t rows = job->request.numRows();
+            Response &response = job->response;
+            response.op = job->request.op;
+            response.id = job->request.id;
+            response.status = Status::Ok;
+            if (job->request.op == Opcode::Predict)
+                response.cpi.resize(rows);
+            response.leaf.resize(rows);
+            offsets.push_back(offsets.back() + rows);
+        }
+        const ModelTree &tree = *group.front()->tree;
+        const std::size_t group_rows = offsets.back();
+
+        parallelFor(
+            group_rows,
+            [&](std::size_t flat) {
+                const std::size_t j = static_cast<std::size_t>(
+                    std::upper_bound(offsets.begin(), offsets.end(),
+                                     flat) -
+                    offsets.begin() - 1);
+                Job &job = *group[j];
+                const std::size_t r = flat - offsets[j];
+                const std::size_t cols = job.request.schema.size();
+                const std::span<const double> row(
+                    job.request.rows.data() + r * cols, cols);
+                const std::size_t leaf = tree.classify(row);
+                job.response.leaf[r] = leaf + 1; // wire: LM numbers
+                if (job.request.op == Opcode::Predict)
+                    job.response.cpi[r] = tree.predict(row);
+            },
+            ThreadPool::global(), /*min_chunk=*/64);
+    }
+
+    // Complete promises only after the whole group finished; record
+    // admission-to-completion latency per request.
+    const auto now = std::chrono::steady_clock::now();
+    for (Job &job : batch) {
+        metrics_.recordRequestLatencyUs(
+            std::chrono::duration<double, std::micro>(
+                now - job.admitted)
+                .count());
+        job.result.set_value(std::move(job.response));
+    }
+}
+
+} // namespace wct::serve

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The batched inference engine: consumer threads that drain the
+ * admission queue, coalesce whatever is waiting into one batch,
+ * and fan the rows over the work-stealing pool.
+ *
+ * Two levels of parallelism compose here. Batcher threads (few) own
+ * request-level work: popping coalesced batches, grouping jobs that
+ * resolved to the same model, and completing promises. Row-level
+ * work — the actual tree descents — goes through parallelFor on the
+ * global pool, the same path predictAll uses for offline datasets,
+ * so a single 10k-row request saturates the machine just like ten
+ * 1k-row requests do.
+ *
+ * Results are deterministic by construction: every row's (CPI, leaf)
+ * is a pure function of the row and the model snapshot resolved at
+ * admission, written to a pre-sized slot of its own response. Batch
+ * *composition* depends on timing; batch *outputs* never do.
+ */
+
+#ifndef WCT_SERVE_ENGINE_HH
+#define WCT_SERVE_ENGINE_HH
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+
+namespace wct::serve
+{
+
+/** Engine tuning knobs. */
+struct EngineConfig
+{
+    /** Batcher (consumer) threads draining the queue. */
+    std::size_t batchers = 1;
+
+    /** Most jobs coalesced into one batch. */
+    std::size_t maxBatch = 64;
+};
+
+/** Owns the batcher threads; see file comment. */
+class BatchEngine
+{
+  public:
+    BatchEngine(RequestQueue &queue, ServingMetrics &metrics,
+                EngineConfig config);
+
+    BatchEngine(const BatchEngine &) = delete;
+    BatchEngine &operator=(const BatchEngine &) = delete;
+
+    /** Stops (drains) if still running. */
+    ~BatchEngine();
+
+    /** Spawn the batcher threads. */
+    void start();
+
+    /**
+     * Close the queue and join the batchers. Every job admitted
+     * before the close is completed first (graceful drain).
+     */
+    void stop();
+
+  private:
+    void batcherLoop();
+    void runBatch(std::vector<Job> &batch);
+
+    RequestQueue &queue_;
+    ServingMetrics &metrics_;
+    EngineConfig config_;
+    std::vector<std::thread> batchers_;
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_ENGINE_HH

@@ -1,0 +1,255 @@
+#include "serve/metrics.hh"
+
+#include <algorithm>
+#include <span>
+#include <sstream>
+
+#include "data/binary_io.hh"
+#include "serve/wire.hh"
+#include "util/string_utils.hh"
+
+namespace wct::serve
+{
+
+std::uint64_t
+HistogramSnapshot::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts)
+        sum += c;
+    return sum;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    const std::uint64_t n = total();
+    if (n == 0 || counts.empty())
+        return 0.0;
+    const double rank = q * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (static_cast<double>(seen) >= rank) {
+            // Overflow bucket has no finite bound; report the last
+            // finite one (the histogram's measurement ceiling).
+            return b < bounds.size() ? bounds[b] : bounds.back();
+        }
+    }
+    return bounds.back();
+}
+
+namespace
+{
+
+void
+appendHistogram(ByteSink &sink, const HistogramSnapshot &snap)
+{
+    sink.putU64(snap.counts.size());
+    for (std::uint64_t c : snap.counts)
+        sink.putU64(c);
+}
+
+bool
+parseHistogram(ByteParser &parser, std::span<const double> bounds,
+               HistogramSnapshot &snap)
+{
+    std::uint64_t buckets = 0;
+    if (!parser.getU64(buckets) || buckets != bounds.size() + 1)
+        return false;
+    snap.bounds.assign(bounds.begin(), bounds.end());
+    snap.counts.resize(buckets);
+    for (auto &c : snap.counts)
+        if (!parser.getU64(c))
+            return false;
+    return true;
+}
+
+std::string
+renderHistogramLine(const HistogramSnapshot &snap, const char *unit)
+{
+    std::ostringstream os;
+    os << "p50 " << formatDouble(snap.quantile(0.50), 0) << unit
+       << "  p95 " << formatDouble(snap.quantile(0.95), 0) << unit
+       << "  p99 " << formatDouble(snap.quantile(0.99), 0) << unit
+       << "  (n=" << snap.total() << ")";
+    return os.str();
+}
+
+} // namespace
+
+void
+appendSnapshot(ByteSink &sink, const MetricsSnapshot &snapshot)
+{
+    for (std::uint64_t v : snapshot.requestsByOp)
+        sink.putU64(v);
+    for (std::uint64_t v : snapshot.responsesByStatus)
+        sink.putU64(v);
+    sink.putU64(snapshot.batches);
+    sink.putU64(snapshot.samplesPredicted);
+    sink.putU64(snapshot.rejectedOverload);
+    sink.putU64(snapshot.malformedFrames);
+    sink.putU64(snapshot.modelLoads);
+    sink.putU64(snapshot.modelLoadFailures);
+    sink.putU64(snapshot.queueDepth);
+    sink.putU64(snapshot.queueDepthPeak);
+    appendHistogram(sink, snapshot.requestLatencyUs);
+    appendHistogram(sink, snapshot.batchSize);
+}
+
+bool
+parseSnapshot(ByteParser &parser, MetricsSnapshot &snapshot)
+{
+    for (auto &v : snapshot.requestsByOp)
+        if (!parser.getU64(v))
+            return false;
+    for (auto &v : snapshot.responsesByStatus)
+        if (!parser.getU64(v))
+            return false;
+    if (!parser.getU64(snapshot.batches) ||
+        !parser.getU64(snapshot.samplesPredicted) ||
+        !parser.getU64(snapshot.rejectedOverload) ||
+        !parser.getU64(snapshot.malformedFrames) ||
+        !parser.getU64(snapshot.modelLoads) ||
+        !parser.getU64(snapshot.modelLoadFailures) ||
+        !parser.getU64(snapshot.queueDepth) ||
+        !parser.getU64(snapshot.queueDepthPeak)) {
+        return false;
+    }
+    return parseHistogram(parser,
+                          {kLatencyBoundsUs.data(),
+                           kLatencyBoundsUs.size()},
+                          snapshot.requestLatencyUs) &&
+           parseHistogram(parser,
+                          {kBatchSizeBounds.data(),
+                           kBatchSizeBounds.size()},
+                          snapshot.batchSize);
+}
+
+std::string
+MetricsSnapshot::renderText() const
+{
+    std::ostringstream os;
+    os << "serving metrics\n";
+    os << "  requests:";
+    for (std::size_t op = 0; op < kNumOpcodes; ++op) {
+        os << " " << opcodeName(static_cast<Opcode>(op + 1)) << "="
+           << requestsByOp[op];
+    }
+    os << "\n  responses:";
+    for (std::size_t s = 0; s < kNumStatuses; ++s) {
+        os << " " << statusName(static_cast<Status>(s)) << "="
+           << responsesByStatus[s];
+    }
+    os << "\n  batches: " << batches << " ("
+       << samplesPredicted << " samples";
+    if (batches > 0) {
+        os << ", avg "
+           << formatDouble(static_cast<double>(samplesPredicted) /
+                               static_cast<double>(batches),
+                           1)
+           << "/batch";
+    }
+    os << ")\n";
+    os << "  rejected (overload): " << rejectedOverload << "\n";
+    os << "  malformed frames: " << malformedFrames << "\n";
+    os << "  model loads: " << modelLoads << " ok, "
+       << modelLoadFailures << " failed\n";
+    os << "  queue depth: " << queueDepth << " now, "
+       << queueDepthPeak << " peak\n";
+    os << "  request latency: "
+       << renderHistogramLine(requestLatencyUs, "us") << "\n";
+    os << "  batch size: " << renderHistogramLine(batchSize, "")
+       << "\n";
+    return os.str();
+}
+
+void
+ServingMetrics::countRequest(std::uint8_t opcode)
+{
+    if (opcode >= 1 && opcode <= kNumOpcodes)
+        requestsByOp_[opcode - 1].fetch_add(
+            1, std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::countResponse(std::uint8_t status)
+{
+    if (status < kNumStatuses)
+        responsesByStatus_[status].fetch_add(
+            1, std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::countBatch(std::size_t jobs, std::size_t samples)
+{
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    samplesPredicted_.fetch_add(samples, std::memory_order_relaxed);
+    batchSize_.record(static_cast<double>(jobs));
+}
+
+void
+ServingMetrics::countRejectedOverload()
+{
+    rejectedOverload_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::countMalformedFrame()
+{
+    malformedFrames_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::countModelLoad(bool ok)
+{
+    (ok ? modelLoads_ : modelLoadFailures_)
+        .fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::recordQueueDepth(std::size_t depth)
+{
+    std::uint64_t peak =
+        queueDepthPeak_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !queueDepthPeak_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+}
+
+void
+ServingMetrics::recordRequestLatencyUs(double us)
+{
+    requestLatencyUs_.record(us);
+}
+
+MetricsSnapshot
+ServingMetrics::snapshot(std::size_t queue_depth_now) const
+{
+    MetricsSnapshot snap;
+    for (std::size_t i = 0; i < kNumOpcodes; ++i)
+        snap.requestsByOp[i] =
+            requestsByOp_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumStatuses; ++i)
+        snap.responsesByStatus[i] =
+            responsesByStatus_[i].load(std::memory_order_relaxed);
+    snap.batches = batches_.load(std::memory_order_relaxed);
+    snap.samplesPredicted =
+        samplesPredicted_.load(std::memory_order_relaxed);
+    snap.rejectedOverload =
+        rejectedOverload_.load(std::memory_order_relaxed);
+    snap.malformedFrames =
+        malformedFrames_.load(std::memory_order_relaxed);
+    snap.modelLoads = modelLoads_.load(std::memory_order_relaxed);
+    snap.modelLoadFailures =
+        modelLoadFailures_.load(std::memory_order_relaxed);
+    snap.queueDepth = queue_depth_now;
+    snap.queueDepthPeak =
+        queueDepthPeak_.load(std::memory_order_relaxed);
+    snap.requestLatencyUs = requestLatencyUs_.snapshot();
+    snap.batchSize = batchSize_.snapshot();
+    return snap;
+}
+
+} // namespace wct::serve

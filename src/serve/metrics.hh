@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Serving observability: lock-free counters and fixed-bucket
+ * histograms updated on the hot path, snapshotted on demand for the
+ * `stats` wire frame and the `--stats-text` dump.
+ *
+ * Everything here is additive and relaxed-atomic: recording is a
+ * handful of fetch_adds, and a snapshot is a point-in-time copy that
+ * is internally consistent enough for monitoring (counters may be
+ * mid-flight relative to each other by a few events; no reader ever
+ * blocks a worker).
+ *
+ * Latency is tracked in microseconds over fixed exponential bucket
+ * bounds, so p50/p95/p99 come from a cumulative walk of 16 integers
+ * instead of a reservoir; batch sizes use power-of-two buckets. The
+ * bounds are compiled in — both ends of the wire agree on them by
+ * construction, and the snapshot encodes only the counts.
+ */
+
+#ifndef WCT_SERVE_METRICS_HH
+#define WCT_SERVE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wct
+{
+class ByteSink;
+class ByteParser;
+} // namespace wct
+
+namespace wct::serve
+{
+
+/** Number of distinct opcodes (indexed 1..kNumOpcodes on the wire). */
+constexpr std::size_t kNumOpcodes = 5;
+
+/** Number of distinct response statuses. */
+constexpr std::size_t kNumStatuses = 5;
+
+/** Upper bounds (µs) of the latency buckets; overflow bucket after. */
+constexpr std::array<double, 15> kLatencyBoundsUs = {
+    50,     100,     200,     500,      1'000,
+    2'000,  5'000,   10'000,  20'000,   50'000,
+    100'000, 200'000, 500'000, 1'000'000, 5'000'000,
+};
+
+/** Upper bounds of the batch-size buckets; overflow bucket after. */
+constexpr std::array<double, 9> kBatchSizeBounds = {
+    1, 2, 4, 8, 16, 32, 64, 128, 256,
+};
+
+/** Point-in-time copy of one histogram's bucket counts. */
+struct HistogramSnapshot
+{
+    /** Bucket upper bounds; counts has one extra overflow bucket. */
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+
+    std::uint64_t total() const;
+
+    /**
+     * Value below which fraction `q` (0..1) of observations fall:
+     * the upper bound of the bucket containing that rank (the
+     * conventional conservative histogram quantile). 0 when empty;
+     * the last finite bound for ranks in the overflow bucket.
+     */
+    double quantile(double q) const;
+};
+
+/** Point-in-time copy of every serving metric. */
+struct MetricsSnapshot
+{
+    /** Requests admitted per opcode, indexed opcode-1. */
+    std::array<std::uint64_t, kNumOpcodes> requestsByOp = {};
+
+    /** Responses sent per status, indexed by status byte. */
+    std::array<std::uint64_t, kNumStatuses> responsesByStatus = {};
+
+    std::uint64_t batches = 0;        ///< inference batches executed
+    std::uint64_t samplesPredicted = 0; ///< rows through the engine
+    std::uint64_t rejectedOverload = 0; ///< admission failures
+    std::uint64_t malformedFrames = 0;  ///< undecodable requests
+    std::uint64_t modelLoads = 0;       ///< successful (re)loads
+    std::uint64_t modelLoadFailures = 0;
+    std::uint64_t queueDepth = 0;     ///< depth when snapshotted
+    std::uint64_t queueDepthPeak = 0; ///< high-water mark
+
+    HistogramSnapshot requestLatencyUs; ///< admission -> response
+    HistogramSnapshot batchSize;
+
+    /** Multi-line human-readable rendering (--stats-text). */
+    std::string renderText() const;
+};
+
+/** Append a snapshot to a wire payload. */
+void appendSnapshot(ByteSink &sink, const MetricsSnapshot &snapshot);
+
+/** Parse a snapshot appended by appendSnapshot; false on malformed. */
+bool parseSnapshot(ByteParser &parser, MetricsSnapshot &snapshot);
+
+/** Fixed-bound histogram with atomic buckets. */
+template <std::size_t N>
+class AtomicHistogram
+{
+  public:
+    explicit AtomicHistogram(const std::array<double, N> &bounds)
+        : bounds_(bounds)
+    {
+    }
+
+    void
+    record(double value)
+    {
+        std::size_t b = 0;
+        while (b < N && value > bounds_[b])
+            ++b;
+        counts_[b].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    HistogramSnapshot
+    snapshot() const
+    {
+        HistogramSnapshot snap;
+        snap.bounds.assign(bounds_.begin(), bounds_.end());
+        snap.counts.resize(N + 1);
+        for (std::size_t b = 0; b <= N; ++b)
+            snap.counts[b] =
+                counts_[b].load(std::memory_order_relaxed);
+        return snap;
+    }
+
+  private:
+    std::array<double, N> bounds_;
+    std::array<std::atomic<std::uint64_t>, N + 1> counts_ = {};
+};
+
+/** The live (writable) metric set owned by a Server. */
+class ServingMetrics
+{
+  public:
+    ServingMetrics()
+        : requestLatencyUs_(kLatencyBoundsUs),
+          batchSize_(kBatchSizeBounds)
+    {
+    }
+
+    void countRequest(std::uint8_t opcode);
+    void countResponse(std::uint8_t status);
+    void countBatch(std::size_t jobs, std::size_t samples);
+    void countRejectedOverload();
+    void countMalformedFrame();
+    void countModelLoad(bool ok);
+    void recordQueueDepth(std::size_t depth);
+    void recordRequestLatencyUs(double us);
+
+    MetricsSnapshot snapshot(std::size_t queue_depth_now) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kNumOpcodes> requestsByOp_ =
+        {};
+    std::array<std::atomic<std::uint64_t>, kNumStatuses>
+        responsesByStatus_ = {};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> samplesPredicted_{0};
+    std::atomic<std::uint64_t> rejectedOverload_{0};
+    std::atomic<std::uint64_t> malformedFrames_{0};
+    std::atomic<std::uint64_t> modelLoads_{0};
+    std::atomic<std::uint64_t> modelLoadFailures_{0};
+    std::atomic<std::uint64_t> queueDepthPeak_{0};
+    AtomicHistogram<kLatencyBoundsUs.size()> requestLatencyUs_;
+    AtomicHistogram<kBatchSizeBounds.size()> batchSize_;
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_METRICS_HH

@@ -1,0 +1,61 @@
+#include "serve/queue.hh"
+
+namespace wct::serve
+{
+
+PushResult
+RequestQueue::push(Job &&job)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_)
+            return PushResult::Closed;
+        if (jobs_.size() >= maxDepth_)
+            return PushResult::Overloaded;
+        jobs_.push_back(std::move(job));
+    }
+    nonEmpty_.notify_one();
+    return PushResult::Ok;
+}
+
+bool
+RequestQueue::popBatch(std::vector<Job> &out, std::size_t max_batch)
+{
+    std::unique_lock lock(mutex_);
+    nonEmpty_.wait(lock,
+                   [this] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return false; // closed and drained
+    const std::size_t take = std::min(max_batch, jobs_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(jobs_.front()));
+        jobs_.pop_front();
+    }
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    nonEmpty_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard lock(mutex_);
+    return jobs_.size();
+}
+
+} // namespace wct::serve

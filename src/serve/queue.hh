@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded MPMC admission queue between transports and the batch
+ * engine.
+ *
+ * Backpressure is explicit: push() on a full queue returns
+ * Overloaded immediately — the server answers with a retryable
+ * status instead of letting latency grow without bound (admission
+ * control, not buffering). close() starts the drain: new pushes are
+ * refused with Closed while popBatch() keeps handing out the jobs
+ * already admitted until the queue is empty, so shutdown finishes
+ * every accepted request.
+ *
+ * popBatch is the coalescing point: it hands a consumer every queued
+ * job up to a cap in one critical section, which is what turns
+ * per-request arrivals into engine batches under load (batch size
+ * tracks queue depth: near 1 when idle, up to the cap when busy).
+ */
+
+#ifndef WCT_SERVE_QUEUE_HH
+#define WCT_SERVE_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mtree/model_tree.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+
+/** One admitted inference request awaiting the batch engine. */
+struct Job
+{
+    Request request;
+    std::shared_ptr<const ModelTree> tree; ///< resolved at admission
+    std::chrono::steady_clock::time_point admitted;
+    Response response; ///< engine scratch, moved into `result`
+    std::promise<Response> result;
+};
+
+/** Outcome of an admission attempt. */
+enum class PushResult
+{
+    Ok,
+    Overloaded, ///< queue at capacity
+    Closed,     ///< server is draining
+};
+
+/** Bounded MPMC job queue; see file comment. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t max_depth)
+        : maxDepth_(max_depth)
+    {
+    }
+
+    /** Admit one job; never blocks. */
+    PushResult push(Job &&job);
+
+    /**
+     * Move up to `max_batch` jobs into `out` (appended). Blocks while
+     * the queue is empty and open; returns false only when the queue
+     * is closed *and* fully drained — the consumer's exit signal.
+     */
+    bool popBatch(std::vector<Job> &out, std::size_t max_batch);
+
+    /** Refuse new admissions; wakes all blocked consumers. */
+    void close();
+
+    /** True after close(). */
+    bool closed() const;
+
+    /** Jobs currently queued (snapshot). */
+    std::size_t depth() const;
+
+  private:
+    const std::size_t maxDepth_;
+    mutable std::mutex mutex_;
+    std::condition_variable nonEmpty_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_QUEUE_HH

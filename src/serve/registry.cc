@@ -1,0 +1,137 @@
+#include "serve/registry.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "data/binary_io.hh"
+#include "mtree/serialize.hh"
+
+namespace wct::serve
+{
+
+namespace
+{
+
+/** Lower-case hex rendering of a 64-bit hash. */
+std::string
+hashHex(std::uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+ModelRegistry::loadFile(const std::string &path,
+                        const std::string &alias, ModelInfo *info,
+                        std::string *err)
+{
+    // Read the whole file once: the same bytes feed the parser and
+    // the content hash, so the key always matches what was parsed.
+    std::ifstream in(path);
+    if (!in) {
+        if (err != nullptr)
+            *err = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::istringstream stream(text);
+    std::string parse_err;
+    auto tree = tryReadModelTree(stream, &parse_err);
+    if (!tree) {
+        if (err != nullptr)
+            *err = parse_err;
+        return false;
+    }
+
+    Entry entry;
+    entry.info.key = hashHex(fnv1a64(text));
+    entry.info.alias =
+        alias.empty() ? std::filesystem::path(path).stem().string()
+                      : alias;
+    if (entry.info.alias.empty())
+        entry.info.alias = entry.info.key;
+    entry.info.sourcePath = path;
+    entry.info.target = tree->targetName();
+    entry.info.numLeaves = tree->numLeaves();
+    entry.info.numColumns = tree->schema().size();
+    entry.tree =
+        std::make_shared<const ModelTree>(std::move(*tree));
+
+    std::unique_lock lock(mutex_);
+    bool replaced = false;
+    for (Entry &existing : entries_) {
+        if (existing.info.alias == entry.info.alias) {
+            existing = entry; // hot reload keeps the load position
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced)
+        entries_.push_back(entry);
+    lock.unlock();
+
+    if (info != nullptr)
+        *info = entry.info;
+    return true;
+}
+
+std::shared_ptr<const ModelTree>
+ModelRegistry::find(const std::string &keyOrAlias) const
+{
+    std::shared_lock lock(mutex_);
+    if (entries_.empty())
+        return nullptr;
+    if (keyOrAlias.empty())
+        return entries_.front().tree;
+    for (const Entry &entry : entries_)
+        if (entry.info.key == keyOrAlias ||
+            entry.info.alias == keyOrAlias)
+            return entry.tree;
+    return nullptr;
+}
+
+bool
+ModelRegistry::evict(const std::string &keyOrAlias)
+{
+    std::unique_lock lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->info.key == keyOrAlias ||
+            it->info.alias == keyOrAlias) {
+            entries_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<ModelInfo>
+ModelRegistry::list() const
+{
+    std::shared_lock lock(mutex_);
+    std::vector<ModelInfo> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        out.push_back(entry.info);
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace wct::serve

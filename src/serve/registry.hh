@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The serving model registry: every trained tree the server can
+ * answer queries with, addressable by content hash or alias.
+ *
+ * Loading is strictly non-fatal (tryReadModelTree): a corrupt or
+ * stale model file is an error *response*, never a dead server. Each
+ * successful load computes the FNV-1a hash of the serialized text —
+ * the model's identity on the wire — plus a human alias (explicit or
+ * the file stem). Reloading an alias atomically swaps the entry; the
+ * previous tree stays alive through its shared_ptr until the last
+ * in-flight batch that resolved it finishes, so hot reload never
+ * races inference.
+ *
+ * Lookups take a shared (reader) lock and loads/evictions take the
+ * exclusive side, matching the traffic shape: thousands of lookups
+ * per load.
+ */
+
+#ifndef WCT_SERVE_REGISTRY_HH
+#define WCT_SERVE_REGISTRY_HH
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "mtree/model_tree.hh"
+
+namespace wct::serve
+{
+
+/** Immutable description of one registered model. */
+struct ModelInfo
+{
+    std::string key;   ///< fnv1a64 hex of the serialized tree
+    std::string alias; ///< user-facing name (unique)
+    std::string sourcePath;
+    std::string target;
+    std::size_t numLeaves = 0;
+    std::size_t numColumns = 0;
+};
+
+/** Thread-safe registry of loaded model trees. */
+class ModelRegistry
+{
+  public:
+    /**
+     * Load (or hot-reload) a serialized tree from `path` under
+     * `alias` ("" derives the alias from the file stem). On success
+     * fills `info` (when non-null) and returns true; on failure sets
+     * `err` and leaves the registry unchanged — the previous version
+     * of the alias, if any, keeps serving.
+     */
+    bool loadFile(const std::string &path, const std::string &alias,
+                  ModelInfo *info, std::string *err);
+
+    /**
+     * Resolve a model by content hash or alias; an empty key means
+     * the default model (the first one loaded). nullptr when absent.
+     */
+    std::shared_ptr<const ModelTree>
+    find(const std::string &keyOrAlias) const;
+
+    /** Forget a model by hash or alias; false when absent. In-flight
+     * batches holding the shared_ptr are unaffected. */
+    bool evict(const std::string &keyOrAlias);
+
+    /** Info for every registered model, in load order. */
+    std::vector<ModelInfo> list() const;
+
+    /** Number of registered models. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        ModelInfo info;
+        std::shared_ptr<const ModelTree> tree;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::vector<Entry> entries_; ///< load order; aliases unique
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_REGISTRY_HH

@@ -1,0 +1,208 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <sstream>
+
+namespace wct::serve
+{
+
+namespace
+{
+
+Response
+errorResponse(const Request &request, Status status,
+              std::string message)
+{
+    Response response;
+    response.op = request.op;
+    response.id = request.id;
+    response.status = status;
+    response.error = std::move(message);
+    return response;
+}
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : config_(config), queue_(std::max<std::size_t>(
+                           1, config.queueDepth)),
+      engine_(queue_, metrics_,
+              EngineConfig{config.batchers, config.maxBatch})
+{
+    engine_.start();
+}
+
+Server::~Server()
+{
+    engine_.stop();
+}
+
+bool
+Server::loadModel(const std::string &path, const std::string &alias,
+                  ModelInfo *info, std::string *err)
+{
+    const bool ok = registry_.loadFile(path, alias, info, err);
+    metrics_.countModelLoad(ok);
+    return ok;
+}
+
+std::string
+Server::handleFrame(std::string_view frame)
+{
+    std::istringstream in{std::string(frame)};
+    const auto payload = readFrame(in);
+    if (!payload)
+        return malformedResponse(
+            "bad frame envelope (magic, version, or checksum)");
+    return handlePayload(*payload);
+}
+
+std::string
+Server::handlePayload(std::string_view payload)
+{
+    std::string decode_err;
+    auto request = decodeRequest(payload, &decode_err);
+    if (!request)
+        return malformedResponse(decode_err);
+    return encodeResponse(handleRequest(std::move(*request)));
+}
+
+std::string
+Server::malformedResponse(const std::string &reason)
+{
+    metrics_.countMalformedFrame();
+    Response response;
+    response.op = Opcode::Predict; // true opcode unknown
+    response.id = 0;
+    response.status = Status::MalformedFrame;
+    response.error = reason;
+    metrics_.countResponse(
+        static_cast<std::uint8_t>(response.status));
+    return encodeResponse(response);
+}
+
+Response
+Server::handleRequest(Request &&request)
+{
+    metrics_.countRequest(static_cast<std::uint8_t>(request.op));
+    Response response;
+    switch (request.op) {
+      case Opcode::Predict:
+      case Opcode::Classify:
+        response = admitInference(std::move(request));
+        break;
+      case Opcode::LoadModel: {
+        if (!config_.allowRemoteLoad) {
+            response = errorResponse(request, Status::Error,
+                                     "loadModel is disabled on this "
+                                     "server");
+            break;
+        }
+        ModelInfo info;
+        std::string err;
+        if (loadModel(request.path, request.alias, &info, &err)) {
+            response.op = request.op;
+            response.id = request.id;
+            response.status = Status::Ok;
+            response.modelKey = info.key;
+            response.target = info.target;
+            response.numLeaves = info.numLeaves;
+        } else {
+            response = errorResponse(request, Status::Error, err);
+        }
+        break;
+      }
+      case Opcode::Stats:
+        response.op = request.op;
+        response.id = request.id;
+        response.status = Status::Ok;
+        response.stats = stats();
+        break;
+      case Opcode::Shutdown:
+        if (!config_.allowRemoteShutdown) {
+            response = errorResponse(request, Status::Error,
+                                     "shutdown is disabled on this "
+                                     "server");
+            break;
+        }
+        beginShutdown();
+        response.op = request.op;
+        response.id = request.id;
+        response.status = Status::Ok;
+        break;
+    }
+    metrics_.countResponse(
+        static_cast<std::uint8_t>(response.status));
+    return response;
+}
+
+Response
+Server::admitInference(Request &&request)
+{
+    if (shuttingDown())
+        return errorResponse(request, Status::ShuttingDown,
+                             "server is draining");
+
+    auto tree = registry_.find(request.modelKey);
+    if (tree == nullptr)
+        return errorResponse(
+            request, Status::Error,
+            request.modelKey.empty()
+                ? "no model loaded"
+                : "unknown model '" + request.modelKey + "'");
+    if (request.schema != tree->schema())
+        return errorResponse(
+            request, Status::Error,
+            "request schema does not match the schema model '" +
+                (request.modelKey.empty() ? std::string("default")
+                                          : request.modelKey) +
+                "' was trained on");
+
+    Job job;
+    job.request = std::move(request);
+    job.tree = std::move(tree);
+    job.admitted = std::chrono::steady_clock::now();
+    std::future<Response> future = job.result.get_future();
+    const Opcode op = job.request.op;
+    const std::uint64_t id = job.request.id;
+
+    const PushResult pushed = queue_.push(std::move(job));
+    if (pushed == PushResult::Overloaded) {
+        metrics_.countRejectedOverload();
+        Request stub;
+        stub.op = op;
+        stub.id = id;
+        return errorResponse(stub, Status::Overloaded,
+                             "admission queue is full; retry");
+    }
+    if (pushed == PushResult::Closed) {
+        Request stub;
+        stub.op = op;
+        stub.id = id;
+        return errorResponse(stub, Status::ShuttingDown,
+                             "server is draining");
+    }
+    metrics_.recordQueueDepth(queue_.depth());
+    return future.get();
+}
+
+void
+Server::beginShutdown()
+{
+    shuttingDown_.store(true, std::memory_order_release);
+    queue_.close();
+}
+
+void
+Server::drain()
+{
+    engine_.stop();
+}
+
+MetricsSnapshot
+Server::stats() const
+{
+    return metrics_.snapshot(queue_.depth());
+}
+
+} // namespace wct::serve

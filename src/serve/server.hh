@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The serving front door: decode a frame, admit or refuse it, and
+ * produce exactly one response frame.
+ *
+ * Server::handleFrame *is* the in-process loopback transport — the
+ * socket layer (serve/socket.hh) and the deterministic tests drive
+ * the identical code path, one frame in, one frame out. Control
+ * operations (loadModel, stats, shutdown) execute inline; inference
+ * operations are admitted into the bounded queue and handed to the
+ * batch engine, with the calling (transport) thread blocking on the
+ * job's future — concurrency comes from many transport threads, and
+ * coalescing from the queue.
+ *
+ * Failure policy: nothing a client sends can terminate the server.
+ * Malformed frames, unknown models, schema mismatches, corrupt model
+ * files, and overload all map to error *responses* with distinct
+ * status bytes.
+ */
+
+#ifndef WCT_SERVE_SERVER_HH
+#define WCT_SERVE_SERVER_HH
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+#include "serve/engine.hh"
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+#include "serve/registry.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+
+/** Server tuning and policy knobs. */
+struct ServerConfig
+{
+    /** Admission queue capacity (jobs, not rows). */
+    std::size_t queueDepth = 256;
+
+    /** Most jobs coalesced into one engine batch. */
+    std::size_t maxBatch = 64;
+
+    /** Batcher (consumer) threads. */
+    std::size_t batchers = 1;
+
+    /** Permit loadModel frames (off for untrusted clients). */
+    bool allowRemoteLoad = true;
+
+    /** Permit shutdown frames. */
+    bool allowRemoteShutdown = true;
+};
+
+/** One serving instance; see file comment. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config = {});
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Drains admitted work, then stops the engine. */
+    ~Server();
+
+    /** Load or hot-reload a model file (also used at startup). */
+    bool loadModel(const std::string &path, const std::string &alias,
+                   ModelInfo *info, std::string *err);
+
+    /**
+     * The loopback transport: one encoded request frame in, one
+     * encoded response frame out. Safe to call from any number of
+     * threads concurrently.
+     */
+    std::string handleFrame(std::string_view frame);
+
+    /**
+     * Same, for a payload whose envelope a transport already
+     * stripped (the socket layer reads envelopes off the stream).
+     */
+    std::string handlePayload(std::string_view payload);
+
+    /** Encoded MalformedFrame response (transport framing errors). */
+    std::string malformedResponse(const std::string &reason);
+
+    /** Decoded-level entry (the tests' shortcut past the codec). */
+    Response handleRequest(Request &&request);
+
+    /** Stop admitting inference work; already-admitted jobs finish. */
+    void beginShutdown();
+
+    /** True once a shutdown was requested. */
+    bool
+    shuttingDown() const
+    {
+        return shuttingDown_.load(std::memory_order_acquire);
+    }
+
+    /** Block until every admitted job completed and batchers exited. */
+    void drain();
+
+    /** Current metrics, including live queue depth. */
+    MetricsSnapshot stats() const;
+
+    const ModelRegistry &registry() const { return registry_; }
+    ServingMetrics &metrics() { return metrics_; }
+
+  private:
+    Response admitInference(Request &&request);
+
+    ServerConfig config_;
+    ModelRegistry registry_;
+    ServingMetrics metrics_;
+    RequestQueue queue_;
+    BatchEngine engine_;
+    std::atomic<bool> shuttingDown_{false};
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_SERVER_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Socket transport for the serving subsystem: a Unix-domain or
+ * loopback-TCP acceptor in front of Server::handlePayload.
+ *
+ * The accept/worker model is deliberately simple and explicit: one
+ * accept thread (poll with a short timeout, so shutdown is noticed
+ * promptly) and one worker thread per connection, capped by
+ * maxConnections — beyond the cap a connection is accepted and
+ * immediately closed, which a client observes as EOF and treats like
+ * overload. Per-connection framing reuses the binary_io envelope
+ * through a std::streambuf over the file descriptor; a corrupt
+ * envelope gets one MalformedFrame response and the connection is
+ * dropped (framing cannot resync inside a byte stream).
+ *
+ * Shutdown: once the Server enters draining (a shutdown frame or
+ * stop()), the acceptor stops accepting and every parked connection
+ * read is forced out with ::shutdown on its descriptor. In-flight
+ * requests still complete — the queue drains before the engine
+ * stops.
+ */
+
+#ifndef WCT_SERVE_SOCKET_HH
+#define WCT_SERVE_SOCKET_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+
+/** Listener configuration: exactly one of unixPath / tcpPort. */
+struct SocketConfig
+{
+    /** Unix-domain socket path; non-empty selects AF_UNIX. */
+    std::string unixPath;
+
+    /** TCP port on 127.0.0.1; 0 picks an ephemeral port. Used only
+     * when unixPath is empty. */
+    int tcpPort = 0;
+
+    /** Listen backlog. */
+    int backlog = 16;
+
+    /** Concurrent connection cap; excess connections see EOF. */
+    std::size_t maxConnections = 32;
+};
+
+/** Accepts connections and pumps frames into a Server. */
+class SocketServer
+{
+  public:
+    SocketServer(Server &server, SocketConfig config);
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Stops if still running. */
+    ~SocketServer();
+
+    /** Bind + listen + start the accept thread; false + err on
+     * failure (address in use, bad path, ...). */
+    bool start(std::string *err);
+
+    /** Stop accepting, force-close connections, join everything. */
+    void stop();
+
+    /**
+     * Block until the Server enters shutdown (e.g. a client sent a
+     * shutdown frame) and every connection finished, then stop().
+     */
+    void waitForShutdown();
+
+    /** Actual TCP port after start() (ephemeral binds); 0 for Unix. */
+    int boundPort() const { return boundPort_; }
+
+  private:
+    void acceptLoop();
+    void connectionLoop(int fd);
+    void forceCloseConnections();
+
+    Server &server_;
+    SocketConfig config_;
+    int listenFd_ = -1;
+    int boundPort_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptThread_;
+    std::mutex connectionsMutex_;
+    std::vector<std::thread> connectionThreads_;
+    std::vector<int> connectionFds_;
+    std::size_t activeConnections_ = 0;
+};
+
+/**
+ * Blocking client for `wct query` and the tests: connect, then one
+ * call() per request frame. Not thread-safe (one in-flight call).
+ */
+class ServeClient
+{
+  public:
+    ~ServeClient();
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+
+    /** Connect to a Unix-domain server socket. */
+    static std::optional<ServeClient>
+    connectUnix(const std::string &path, std::string *err);
+
+    /** Connect to a loopback TCP server socket. */
+    static std::optional<ServeClient> connectTcp(int port,
+                                                 std::string *err);
+
+    /** Send one request and wait for its response. */
+    std::optional<Response> call(const Request &request,
+                                 std::string *err);
+
+  private:
+    explicit ServeClient(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_SOCKET_HH

@@ -9,30 +9,60 @@ namespace wct
 namespace detail
 {
 
+namespace
+{
+
+/**
+ * Emit one complete line with a single stdio call. stdio locks the
+ * stream per call, so composing first keeps messages from pool
+ * workers and server threads from interleaving mid-line.
+ */
+void
+emitLine(const char *severity, const std::string &message,
+         const char *file, int line)
+{
+    std::string buffer;
+    buffer.reserve(message.size() + 64);
+    buffer += severity;
+    buffer += ": ";
+    buffer += message;
+    if (file != nullptr) {
+        buffer += " (";
+        buffer += file;
+        buffer += ':';
+        buffer += std::to_string(line);
+        buffer += ')';
+    }
+    buffer += '\n';
+    std::fputs(buffer.c_str(), stderr);
+}
+
+} // namespace
+
 void
 fatalImpl(const char *file, int line, const std::string &message)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file, line);
+    emitLine("fatal", message, file, line);
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &message)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    emitLine("panic", message, file, line);
     std::abort();
 }
 
 void
 warnImpl(const char *file, int line, const std::string &message)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", message.c_str(), file, line);
+    emitLine("warn", message, file, line);
 }
 
 void
 informImpl(const std::string &message)
 {
-    std::fprintf(stderr, "info: %s\n", message.c_str());
+    emitLine("info", message, nullptr, 0);
 }
 
 } // namespace detail

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Toolkit version reported by `wct version`. Format versions of the
+ * on-disk and on-wire artifacts live next to their codecs
+ * (mtree/serialize.hh, data/binary_io.hh, serve/wire.hh); the CLI
+ * aggregates all of them into one report.
+ */
+
+#ifndef WCT_UTIL_VERSION_HH
+#define WCT_UTIL_VERSION_HH
+
+namespace wct
+{
+
+/** Toolkit release: bumped when a PR changes user-visible behavior. */
+constexpr char kWctVersion[] = "0.4.0";
+
+} // namespace wct
+
+#endif // WCT_UTIL_VERSION_HH

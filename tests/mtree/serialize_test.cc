@@ -119,6 +119,92 @@ TEST(SerializeTest, SingleLeafTree)
     EXPECT_NEAR(restored.predict(row), 2.5, 1e-12);
 }
 
+TEST(SerializeTest, TryReadRoundTripsWithoutError)
+{
+    const Dataset d = trainingData(800, 7);
+    const ModelTree tree = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    tree.save(buffer);
+    std::string err;
+    const auto restored = tryReadModelTree(buffer, &err);
+    ASSERT_TRUE(restored.has_value()) << err;
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(restored->numLeaves(), tree.numLeaves());
+    for (std::size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(restored->predict(d.row(r)),
+                         tree.predict(d.row(r)));
+}
+
+TEST(SerializeTest, TryReadRejectsGarbageNonFatally)
+{
+    std::stringstream buffer("not a model\n");
+    std::string err;
+    EXPECT_FALSE(tryReadModelTree(buffer, &err).has_value());
+    EXPECT_NE(err.find("magic"), std::string::npos);
+}
+
+TEST(SerializeTest, TryReadRejectsTruncationNonFatally)
+{
+    const Dataset d = trainingData(500, 8);
+    const ModelTree tree = ModelTree::train(d, "y");
+    std::stringstream buffer;
+    tree.save(buffer);
+    std::string text = buffer.str();
+    text.resize(text.size() / 2);
+    std::stringstream half(text);
+    std::string err;
+    EXPECT_FALSE(tryReadModelTree(half, &err).has_value());
+    EXPECT_NE(err.find("model tree"), std::string::npos);
+}
+
+TEST(SerializeTest, TryReadRejectsOutOfSchemaAttribute)
+{
+    std::stringstream buffer(
+        "wct-model-tree v1\n"
+        "target y\n"
+        "schema 2 x y\n"
+        "range 0 1 0.5 1\n"
+        "node leaf 10 0.5 0.5 1 7 2.0\n" // attribute 7 > schema
+        "end\n");
+    std::string err;
+    EXPECT_FALSE(tryReadModelTree(buffer, &err).has_value());
+    EXPECT_NE(err.find("outside schema"), std::string::npos);
+}
+
+TEST(SerializeTest, TryReadBoundsNestingDepth)
+{
+    // A hostile input that nests splits forever must be cut off by
+    // the recursion bound, not blow the stack.
+    std::string text =
+        "wct-model-tree v1\n"
+        "target y\n"
+        "schema 2 x y\n"
+        "range 0 1 0.5 1\n";
+    for (int i = 0; i < 600; ++i)
+        text += "node split 0 0.5 10 0.5\n";
+    std::stringstream buffer(text);
+    std::string err;
+    EXPECT_FALSE(tryReadModelTree(buffer, &err).has_value());
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+}
+
+TEST(SerializeTest, TryReadFileVariantReportsOpenFailures)
+{
+    std::string err;
+    EXPECT_FALSE(
+        tryReadModelTreeFile("/nonexistent/dir/model.mtree", &err)
+            .has_value());
+    EXPECT_FALSE(err.empty());
+
+    const Dataset d = trainingData(400, 9);
+    const ModelTree tree = ModelTree::train(d, "y");
+    const std::string path = "/tmp/wct_tryread_test.mtree";
+    writeModelTreeFile(tree, path);
+    const auto restored = tryReadModelTreeFile(path, &err);
+    ASSERT_TRUE(restored.has_value()) << err;
+    EXPECT_EQ(restored->numLeaves(), tree.numLeaves());
+}
+
 TEST(SerializeDeathTest, BadMagicIsFatal)
 {
     std::stringstream buffer("not a model\n");

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Serving-metrics tests: counter accumulation, conservative histogram
+ * quantiles, wire round-trip of snapshots, and the text rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/binary_io.hh"
+#include "serve/metrics.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+TEST(ServeMetricsTest, CountersAccumulate)
+{
+    ServingMetrics metrics;
+    metrics.countRequest(static_cast<std::uint8_t>(Opcode::Predict));
+    metrics.countRequest(static_cast<std::uint8_t>(Opcode::Predict));
+    metrics.countRequest(static_cast<std::uint8_t>(Opcode::Stats));
+    metrics.countRequest(0);  // out of range: ignored, not UB
+    metrics.countRequest(99); // likewise
+    metrics.countResponse(static_cast<std::uint8_t>(Status::Ok));
+    metrics.countResponse(
+        static_cast<std::uint8_t>(Status::Overloaded));
+    metrics.countResponse(99);
+    metrics.countBatch(4, 100);
+    metrics.countBatch(1, 1);
+    metrics.countRejectedOverload();
+    metrics.countMalformedFrame();
+    metrics.countModelLoad(true);
+    metrics.countModelLoad(false);
+    metrics.recordRequestLatencyUs(75.0);
+
+    const MetricsSnapshot snap = metrics.snapshot(3);
+    EXPECT_EQ(snap.requestsByOp[0], 2u); // predict
+    EXPECT_EQ(snap.requestsByOp[3], 1u); // stats
+    EXPECT_EQ(snap.responsesByStatus[0], 1u);
+    EXPECT_EQ(snap.responsesByStatus[2], 1u);
+    EXPECT_EQ(snap.batches, 2u);
+    EXPECT_EQ(snap.samplesPredicted, 101u);
+    EXPECT_EQ(snap.rejectedOverload, 1u);
+    EXPECT_EQ(snap.malformedFrames, 1u);
+    EXPECT_EQ(snap.modelLoads, 1u);
+    EXPECT_EQ(snap.modelLoadFailures, 1u);
+    EXPECT_EQ(snap.queueDepth, 3u);
+    EXPECT_EQ(snap.requestLatencyUs.total(), 1u);
+    EXPECT_EQ(snap.batchSize.total(), 2u);
+}
+
+TEST(ServeMetricsTest, QueueDepthPeakIsAHighWaterMark)
+{
+    ServingMetrics metrics;
+    metrics.recordQueueDepth(3);
+    metrics.recordQueueDepth(7);
+    metrics.recordQueueDepth(2);
+    EXPECT_EQ(metrics.snapshot(0).queueDepthPeak, 7u);
+}
+
+TEST(ServeMetricsTest, QuantilesAreConservativeBucketBounds)
+{
+    HistogramSnapshot snap;
+    snap.bounds = {10, 20, 40};
+    snap.counts = {5, 3, 1, 1}; // last bucket = overflow
+
+    // Rank math: 10 observations; q=0.5 -> rank 5 -> first bucket.
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.8), 20.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.9), 40.0);
+    // Overflow rank reports the measurement ceiling, never invents a
+    // larger number.
+    EXPECT_DOUBLE_EQ(snap.quantile(1.0), 40.0);
+
+    const HistogramSnapshot empty{{10, 20}, {0, 0, 0}};
+    EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+    EXPECT_EQ(empty.total(), 0u);
+}
+
+TEST(ServeMetricsTest, LatencyHistogramBucketsByBound)
+{
+    ServingMetrics metrics;
+    metrics.recordRequestLatencyUs(40);      // <= 50
+    metrics.recordRequestLatencyUs(50);      // boundary: first bucket
+    metrics.recordRequestLatencyUs(51);      // second bucket
+    metrics.recordRequestLatencyUs(9.9e307); // overflow bucket
+    const HistogramSnapshot snap =
+        metrics.snapshot(0).requestLatencyUs;
+    EXPECT_EQ(snap.counts.front(), 2u);
+    EXPECT_EQ(snap.counts[1], 1u);
+    EXPECT_EQ(snap.counts.back(), 1u);
+    EXPECT_EQ(snap.total(), 4u);
+}
+
+TEST(ServeMetricsTest, SnapshotWireRoundTrip)
+{
+    ServingMetrics metrics;
+    for (int i = 0; i < 17; ++i)
+        metrics.countRequest(
+            static_cast<std::uint8_t>(Opcode::Predict));
+    metrics.countBatch(8, 512);
+    metrics.recordQueueDepth(12);
+    metrics.recordRequestLatencyUs(300);
+    const MetricsSnapshot original = metrics.snapshot(5);
+
+    ByteSink sink;
+    appendSnapshot(sink, original);
+    ByteParser parser(sink.bytes());
+    MetricsSnapshot decoded;
+    ASSERT_TRUE(parseSnapshot(parser, decoded));
+    EXPECT_TRUE(parser.atEnd());
+
+    EXPECT_EQ(decoded.requestsByOp, original.requestsByOp);
+    EXPECT_EQ(decoded.responsesByStatus, original.responsesByStatus);
+    EXPECT_EQ(decoded.batches, original.batches);
+    EXPECT_EQ(decoded.samplesPredicted, original.samplesPredicted);
+    EXPECT_EQ(decoded.queueDepth, 5u);
+    EXPECT_EQ(decoded.queueDepthPeak, 12u);
+    EXPECT_EQ(decoded.requestLatencyUs.counts,
+              original.requestLatencyUs.counts);
+    EXPECT_EQ(decoded.requestLatencyUs.bounds,
+              original.requestLatencyUs.bounds);
+    EXPECT_EQ(decoded.batchSize.counts, original.batchSize.counts);
+}
+
+TEST(ServeMetricsTest, ParseRejectsForeignBucketCount)
+{
+    // A peer compiled with different histogram bounds would send a
+    // different bucket count; the parser must refuse rather than
+    // misalign the remaining fields.
+    MetricsSnapshot snapshot;
+    snapshot.requestLatencyUs.bounds = {1, 2};
+    snapshot.requestLatencyUs.counts = {0, 0, 0};
+    snapshot.batchSize.bounds.assign(kBatchSizeBounds.begin(),
+                                     kBatchSizeBounds.end());
+    snapshot.batchSize.counts.assign(kBatchSizeBounds.size() + 1, 0);
+    ByteSink sink;
+    appendSnapshot(sink, snapshot);
+    ByteParser parser(sink.bytes());
+    MetricsSnapshot decoded;
+    EXPECT_FALSE(parseSnapshot(parser, decoded));
+}
+
+TEST(ServeMetricsTest, ParseRejectsTruncation)
+{
+    ServingMetrics metrics;
+    ByteSink sink;
+    appendSnapshot(sink, metrics.snapshot(0));
+    const std::string bytes(sink.bytes());
+    for (std::size_t keep : {std::size_t(0), std::size_t(8),
+                             bytes.size() / 2, bytes.size() - 1}) {
+        ByteParser parser(std::string_view(bytes).substr(0, keep));
+        MetricsSnapshot decoded;
+        EXPECT_FALSE(parseSnapshot(parser, decoded))
+            << "keep=" << keep;
+    }
+}
+
+TEST(ServeMetricsTest, RenderTextShowsTheHeadlineNumbers)
+{
+    ServingMetrics metrics;
+    metrics.countRequest(static_cast<std::uint8_t>(Opcode::Predict));
+    metrics.countResponse(static_cast<std::uint8_t>(Status::Ok));
+    metrics.countBatch(2, 64);
+    metrics.countModelLoad(true);
+    const std::string text = metrics.snapshot(1).renderText();
+    EXPECT_NE(text.find("predict=1"), std::string::npos);
+    EXPECT_NE(text.find("ok=1"), std::string::npos);
+    EXPECT_NE(text.find("64 samples"), std::string::npos);
+    EXPECT_NE(text.find("model loads: 1 ok"), std::string::npos);
+    EXPECT_NE(text.find("p95"), std::string::npos);
+    EXPECT_NE(text.find("queue depth: 1 now"), std::string::npos);
+}
+
+} // namespace
+} // namespace wct::serve

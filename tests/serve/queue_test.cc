@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Admission-queue tests: explicit overload, batch coalescing, and the
+ * close-then-drain shutdown contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "serve/queue.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+Job
+job(std::uint64_t id)
+{
+    Job j;
+    j.request.id = id;
+    j.admitted = std::chrono::steady_clock::now();
+    return j;
+}
+
+TEST(QueueTest, PushThenPop)
+{
+    RequestQueue queue(4);
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_EQ(queue.push(job(1)), PushResult::Ok);
+    EXPECT_EQ(queue.depth(), 1u);
+
+    std::vector<Job> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 8));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].request.id, 1u);
+    EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(QueueTest, FullQueueRefusesWithOverloaded)
+{
+    RequestQueue queue(2);
+    EXPECT_EQ(queue.push(job(1)), PushResult::Ok);
+    EXPECT_EQ(queue.push(job(2)), PushResult::Ok);
+    EXPECT_EQ(queue.push(job(3)), PushResult::Overloaded);
+    EXPECT_EQ(queue.depth(), 2u); // the refused job was not admitted
+
+    // Popping frees capacity again.
+    std::vector<Job> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 1));
+    EXPECT_EQ(queue.push(job(4)), PushResult::Ok);
+}
+
+TEST(QueueTest, PopBatchCoalescesUpToTheCap)
+{
+    RequestQueue queue(16);
+    for (std::uint64_t id = 0; id < 5; ++id)
+        ASSERT_EQ(queue.push(job(id)), PushResult::Ok);
+
+    std::vector<Job> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 3));
+    ASSERT_EQ(batch.size(), 3u); // capped
+    for (std::uint64_t id = 0; id < 3; ++id)
+        EXPECT_EQ(batch[id].request.id, id); // FIFO
+
+    batch.clear();
+    EXPECT_TRUE(queue.popBatch(batch, 3));
+    EXPECT_EQ(batch.size(), 2u); // the remainder, no blocking
+}
+
+TEST(QueueTest, CloseRefusesNewWorkButDrainsAdmitted)
+{
+    RequestQueue queue(8);
+    ASSERT_EQ(queue.push(job(1)), PushResult::Ok);
+    ASSERT_EQ(queue.push(job(2)), PushResult::Ok);
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_EQ(queue.push(job(3)), PushResult::Closed);
+
+    // Everything admitted before close() is still handed out...
+    std::vector<Job> batch;
+    EXPECT_TRUE(queue.popBatch(batch, 8));
+    EXPECT_EQ(batch.size(), 2u);
+
+    // ...and only then does popBatch signal exit.
+    batch.clear();
+    EXPECT_FALSE(queue.popBatch(batch, 8));
+    EXPECT_TRUE(batch.empty());
+}
+
+TEST(QueueTest, CloseWakesABlockedConsumer)
+{
+    RequestQueue queue(4);
+    std::thread consumer([&queue] {
+        std::vector<Job> batch;
+        // Blocks on the empty queue until close() wakes it.
+        EXPECT_FALSE(queue.popBatch(batch, 4));
+    });
+    // Give the consumer a moment to park; close() must unpark it
+    // regardless of whether it had already blocked.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    consumer.join();
+}
+
+TEST(QueueTest, ManyProducersOneConsumerDeliversEverything)
+{
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kPerProducer = 200;
+    RequestQueue queue(kProducers * kPerProducer);
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (std::size_t i = 0; i < kPerProducer; ++i)
+                ASSERT_EQ(queue.push(job(p * kPerProducer + i)),
+                          PushResult::Ok);
+        });
+    }
+
+    std::size_t received = 0;
+    std::vector<bool> seen(kProducers * kPerProducer, false);
+    std::thread consumer([&] {
+        std::vector<Job> batch;
+        while (queue.popBatch(batch, 32)) {
+            for (const Job &j : batch) {
+                ASSERT_LT(j.request.id, seen.size());
+                ASSERT_FALSE(seen[j.request.id]); // no duplication
+                seen[j.request.id] = true;
+            }
+            received += batch.size();
+            batch.clear();
+        }
+    });
+
+    for (std::thread &p : producers)
+        p.join();
+    queue.close();
+    consumer.join();
+    EXPECT_EQ(received, kProducers * kPerProducer); // no loss
+}
+
+} // namespace
+} // namespace wct::serve

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Model-registry tests: content-hash keys, alias lookup, hot reload
+ * that never disturbs in-flight readers, and the non-fatal rejection
+ * of corrupt model files.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/registry.hh"
+#include "tests/serve/serve_support.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+using test::TempDir;
+
+TEST(RegistryTest, LoadFillsInfoAndResolvesEveryWay)
+{
+    TempDir dir("wct_registry_test_load");
+    const ModelTree tree = test::trainedTree();
+    const std::string path = dir.file("cpu.mtree");
+    test::writeTree(tree, path);
+
+    ModelRegistry registry;
+    ModelInfo info;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path, "", &info, &err)) << err;
+    EXPECT_EQ(info.alias, "cpu"); // derived from the file stem
+    EXPECT_EQ(info.sourcePath, path);
+    EXPECT_EQ(info.target, "y");
+    EXPECT_EQ(info.numLeaves, tree.numLeaves());
+    EXPECT_EQ(info.numColumns, tree.schema().size());
+    EXPECT_EQ(info.key.size(), 16u); // fnv1a64 hex
+    EXPECT_EQ(registry.size(), 1u);
+
+    // By alias, by content key, and as the default model.
+    for (const std::string &key : {info.alias, info.key,
+                                   std::string()}) {
+        const auto found = registry.find(key);
+        ASSERT_NE(found, nullptr) << "key='" << key << "'";
+        EXPECT_EQ(found->numLeaves(), tree.numLeaves());
+    }
+    EXPECT_EQ(registry.find("nonsense"), nullptr);
+}
+
+TEST(RegistryTest, CorruptFileIsRejectedNonFatally)
+{
+    TempDir dir("wct_registry_test_corrupt");
+    const std::string path = dir.file("bad.mtree");
+    test::writeGarbage(path);
+
+    ModelRegistry registry;
+    std::string err;
+    EXPECT_FALSE(registry.loadFile(path, "", nullptr, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(registry.size(), 0u);
+
+    std::string missing_err;
+    EXPECT_FALSE(registry.loadFile(dir.file("absent.mtree"), "",
+                                   nullptr, &missing_err));
+    EXPECT_FALSE(missing_err.empty());
+}
+
+TEST(RegistryTest, FailedReloadKeepsPreviousVersionServing)
+{
+    TempDir dir("wct_registry_test_keep");
+    const ModelTree tree = test::trainedTree();
+    const std::string path = dir.file("m.mtree");
+    test::writeTree(tree, path);
+
+    ModelRegistry registry;
+    ModelInfo info;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path, "prod", &info, &err)) << err;
+
+    // The file rots on disk; the reload must fail while the entry
+    // loaded from the good bytes keeps serving.
+    test::writeGarbage(path);
+    EXPECT_FALSE(registry.loadFile(path, "prod", nullptr, &err));
+    EXPECT_EQ(registry.size(), 1u);
+    const auto still = registry.find("prod");
+    ASSERT_NE(still, nullptr);
+    EXPECT_EQ(still->numLeaves(), tree.numLeaves());
+}
+
+TEST(RegistryTest, HotReloadSwapsEntryWithoutInvalidatingReaders)
+{
+    TempDir dir("wct_registry_test_reload");
+    const ModelTree v1 = test::trainedTree(1200, 1);
+    const ModelTree v2 = test::trainedTree(1200, 99);
+    const std::string path = dir.file("m.mtree");
+    test::writeTree(v1, path);
+
+    ModelRegistry registry;
+    ModelInfo info1;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path, "prod", &info1, &err)) << err;
+
+    // An "in-flight batch" holds the old version across the reload.
+    const auto held = registry.find("prod");
+    ASSERT_NE(held, nullptr);
+
+    test::writeTree(v2, path);
+    ModelInfo info2;
+    ASSERT_TRUE(registry.loadFile(path, "prod", &info2, &err)) << err;
+    EXPECT_EQ(registry.size(), 1u); // replaced, not appended
+    EXPECT_NE(info2.key, info1.key);
+
+    const auto fresh = registry.find("prod");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->numLeaves(), v2.numLeaves());
+
+    // The held pointer still answers with v1's predictions.
+    const Dataset probe = test::trainingData(16, 7);
+    for (std::size_t r = 0; r < probe.numRows(); ++r) {
+        EXPECT_DOUBLE_EQ(held->predict(probe.row(r)),
+                         v1.predict(probe.row(r)));
+    }
+
+    // The old content key no longer resolves; the new one does.
+    EXPECT_EQ(registry.find(info1.key), nullptr);
+    EXPECT_NE(registry.find(info2.key), nullptr);
+}
+
+TEST(RegistryTest, ReloadingIdenticalBytesKeepsTheSameKey)
+{
+    TempDir dir("wct_registry_test_same");
+    const std::string path = dir.file("m.mtree");
+    test::writeTree(test::trainedTree(), path);
+
+    ModelRegistry registry;
+    ModelInfo first;
+    ModelInfo second;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path, "m", &first, &err)) << err;
+    ASSERT_TRUE(registry.loadFile(path, "m", &second, &err)) << err;
+    EXPECT_EQ(first.key, second.key); // identity is the content hash
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, EvictForgetsByAliasOrKey)
+{
+    TempDir dir("wct_registry_test_evict");
+    const std::string path_a = dir.file("a.mtree");
+    const std::string path_b = dir.file("b.mtree");
+    test::writeTree(test::trainedTree(1200, 1), path_a);
+    test::writeTree(test::trainedTree(1200, 2), path_b);
+
+    ModelRegistry registry;
+    ModelInfo info_a;
+    ModelInfo info_b;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path_a, "", &info_a, &err)) << err;
+    ASSERT_TRUE(registry.loadFile(path_b, "", &info_b, &err)) << err;
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.list().size(), 2u);
+
+    EXPECT_TRUE(registry.evict("a"));          // by alias
+    EXPECT_FALSE(registry.evict("a"));         // already gone
+    EXPECT_TRUE(registry.evict(info_b.key));   // by content key
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_EQ(registry.find(""), nullptr);
+}
+
+} // namespace
+} // namespace wct::serve

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared fixtures for the serving-subsystem tests: a small trained
+ * tree, a temp workspace, and request builders.
+ */
+
+#ifndef WCT_TESTS_SERVE_SERVE_SUPPORT_HH
+#define WCT_TESTS_SERVE_SERVE_SUPPORT_HH
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "mtree/model_tree.hh"
+#include "mtree/serialize.hh"
+#include "serve/wire.hh"
+#include "util/rng.hh"
+
+namespace wct::serve::test
+{
+
+/** Temp workspace, removed on destruction. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const std::string &name)
+        : path(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return (path / name).string();
+    }
+};
+
+/** Two-regime synthetic dataset with schema {x0, x1, y}. */
+inline Dataset
+trainingData(std::size_t n, std::uint64_t seed)
+{
+    Dataset d({"x0", "x1", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        const double y = x0 <= 0.5 ? 1.0 + 2.0 * x1
+                                   : 8.0 - x1 + rng.normal(0.0, 0.05);
+        d.addRow({x0, x1, y});
+    }
+    return d;
+}
+
+/** Train a small tree on trainingData(n, seed). */
+inline ModelTree
+trainedTree(std::size_t n = 1200, std::uint64_t seed = 1)
+{
+    return ModelTree::train(trainingData(n, seed), "y");
+}
+
+/** Serialize `tree` to `path`. */
+inline void
+writeTree(const ModelTree &tree, const std::string &path)
+{
+    writeModelTreeFile(tree, path);
+}
+
+/** Overwrite `path` with bytes that are not a model tree. */
+inline void
+writeGarbage(const std::string &path)
+{
+    std::ofstream out(path);
+    out << "definitely not a model tree\n";
+}
+
+/** Predict/classify request over the first `nrows` of `data`. */
+inline Request
+inferenceRequest(Opcode op, const Dataset &data, std::size_t nrows,
+                 std::uint64_t id, const std::string &model_key = "")
+{
+    Request request;
+    request.op = op;
+    request.id = id;
+    request.modelKey = model_key;
+    request.schema = data.columnNames();
+    for (std::size_t r = 0; r < nrows; ++r) {
+        const auto row = data.row(r);
+        request.rows.insert(request.rows.end(), row.begin(),
+                            row.end());
+    }
+    return request;
+}
+
+} // namespace wct::serve::test
+
+#endif // WCT_TESTS_SERVE_SERVE_SUPPORT_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Wire-protocol codec tests: round-trips for every opcode, plus the
+ * rejection paths (truncation, corruption, version mismatch,
+ * trailing bytes, hostile counts) that keep a bad client from
+ * crashing or ballooning the server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/binary_io.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+Request
+predictRequest()
+{
+    Request request;
+    request.op = Opcode::Predict;
+    request.id = 42;
+    request.modelKey = "cpu2006";
+    request.schema = {"IPC", "L1D_MISS", "CPI"};
+    request.rows = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    return request;
+}
+
+/** Envelope payload of a frame (strips the envelope via readFrame). */
+std::string
+payloadOf(const std::string &frame)
+{
+    std::istringstream in(frame);
+    const auto payload = readFrame(in);
+    EXPECT_TRUE(payload.has_value());
+    return payload.value_or("");
+}
+
+TEST(WireTest, PredictRequestRoundTrip)
+{
+    const Request request = predictRequest();
+    const std::string frame = encodeRequest(request);
+    const auto decoded = decodeRequest(payloadOf(frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, Opcode::Predict);
+    EXPECT_EQ(decoded->id, 42u);
+    EXPECT_EQ(decoded->modelKey, "cpu2006");
+    EXPECT_EQ(decoded->schema, request.schema);
+    EXPECT_EQ(decoded->rows, request.rows);
+    EXPECT_EQ(decoded->numRows(), 2u);
+}
+
+TEST(WireTest, LoadModelAndControlRequestsRoundTrip)
+{
+    Request load;
+    load.op = Opcode::LoadModel;
+    load.id = 7;
+    load.path = "/models/tree.mtree";
+    load.alias = "prod";
+    const auto decoded_load =
+        decodeRequest(payloadOf(encodeRequest(load)));
+    ASSERT_TRUE(decoded_load.has_value());
+    EXPECT_EQ(decoded_load->path, load.path);
+    EXPECT_EQ(decoded_load->alias, "prod");
+
+    for (Opcode op : {Opcode::Stats, Opcode::Shutdown}) {
+        Request control;
+        control.op = op;
+        control.id = 9;
+        const auto decoded =
+            decodeRequest(payloadOf(encodeRequest(control)));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->op, op);
+        EXPECT_EQ(decoded->id, 9u);
+    }
+}
+
+TEST(WireTest, PredictResponseRoundTrip)
+{
+    Response response;
+    response.op = Opcode::Predict;
+    response.id = 42;
+    response.status = Status::Ok;
+    response.cpi = {1.25, 2.5};
+    response.leaf = {3, 11};
+    const auto decoded =
+        decodeResponse(payloadOf(encodeResponse(response)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->cpi, response.cpi);
+    EXPECT_EQ(decoded->leaf, response.leaf);
+    EXPECT_EQ(decoded->status, Status::Ok);
+}
+
+TEST(WireTest, ErrorResponseRoundTrip)
+{
+    Response response;
+    response.op = Opcode::Classify;
+    response.id = 5;
+    response.status = Status::Overloaded;
+    response.error = "admission queue is full; retry";
+    const auto decoded =
+        decodeResponse(payloadOf(encodeResponse(response)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, Status::Overloaded);
+    EXPECT_EQ(decoded->error, response.error);
+    EXPECT_TRUE(decoded->cpi.empty());
+}
+
+TEST(WireTest, StatsResponseRoundTrip)
+{
+    Response response;
+    response.op = Opcode::Stats;
+    response.id = 1;
+    response.status = Status::Ok;
+    response.stats.requestsByOp[0] = 100;
+    response.stats.batches = 12;
+    response.stats.samplesPredicted = 3000;
+    response.stats.queueDepthPeak = 17;
+    response.stats.requestLatencyUs.bounds.assign(
+        kLatencyBoundsUs.begin(), kLatencyBoundsUs.end());
+    response.stats.requestLatencyUs.counts.assign(
+        kLatencyBoundsUs.size() + 1, 0);
+    response.stats.requestLatencyUs.counts[2] = 100;
+    response.stats.batchSize.bounds.assign(
+        kBatchSizeBounds.begin(), kBatchSizeBounds.end());
+    response.stats.batchSize.counts.assign(
+        kBatchSizeBounds.size() + 1, 0);
+    response.stats.batchSize.counts[0] = 12;
+
+    const auto decoded =
+        decodeResponse(payloadOf(encodeResponse(response)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->stats.requestsByOp[0], 100u);
+    EXPECT_EQ(decoded->stats.batches, 12u);
+    EXPECT_EQ(decoded->stats.samplesPredicted, 3000u);
+    EXPECT_EQ(decoded->stats.queueDepthPeak, 17u);
+    EXPECT_EQ(decoded->stats.requestLatencyUs.counts[2], 100u);
+    EXPECT_DOUBLE_EQ(decoded->stats.requestLatencyUs.quantile(0.5),
+                     200.0);
+}
+
+TEST(WireTest, TruncatedFrameIsRejected)
+{
+    const std::string frame = encodeRequest(predictRequest());
+    for (std::size_t keep :
+         {std::size_t(0), std::size_t(4), std::size_t(19),
+          frame.size() / 2, frame.size() - 1}) {
+        std::istringstream in(frame.substr(0, keep));
+        EXPECT_FALSE(readFrame(in).has_value())
+            << "keep=" << keep;
+    }
+}
+
+TEST(WireTest, CorruptFrameIsRejected)
+{
+    const std::string frame = encodeRequest(predictRequest());
+    // Flip one byte in every region: magic, version, size, payload,
+    // checksum. All must fail the envelope checks.
+    for (std::size_t pos : {std::size_t(0), std::size_t(9),
+                            std::size_t(13), frame.size() / 2,
+                            frame.size() - 1}) {
+        std::string corrupt = frame;
+        corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+        std::istringstream in(corrupt);
+        EXPECT_FALSE(readFrame(in).has_value()) << "pos=" << pos;
+    }
+}
+
+TEST(WireTest, VersionMismatchIsRejected)
+{
+    // Re-seal the same payload under a future wire version: the
+    // reader must refuse it even though the checksum is valid.
+    const std::string payload =
+        payloadOf(encodeRequest(predictRequest()));
+    std::ostringstream future;
+    writeEnvelope(future, std::string_view(kWireMagic, 8),
+                  kWireFormatVersion + 1, payload);
+    std::istringstream in(future.str());
+    EXPECT_FALSE(readFrame(in).has_value());
+}
+
+TEST(WireTest, TrailingBytesAreRejected)
+{
+    const std::string payload =
+        payloadOf(encodeRequest(predictRequest()));
+    EXPECT_FALSE(decodeRequest(payload + "x").has_value());
+}
+
+TEST(WireTest, HostileRowCountIsRejected)
+{
+    // A payload claiming 2^20 rows of 3 columns but carrying none:
+    // the decoder must fail fast instead of allocating gigabytes.
+    ByteSink sink;
+    sink.putU8(static_cast<std::uint8_t>(Opcode::Predict));
+    sink.putU64(1);
+    sink.putString("");
+    sink.putU64(3);
+    for (const char *name : {"a", "b", "c"})
+        sink.putString(name);
+    sink.putU64(1u << 20);
+    std::string err;
+    EXPECT_FALSE(decodeRequest(sink.bytes(), &err).has_value());
+    EXPECT_NE(err.find("row count"), std::string::npos);
+}
+
+TEST(WireTest, BadOpcodeIsRejected)
+{
+    ByteSink sink;
+    sink.putU8(99);
+    sink.putU64(1);
+    EXPECT_FALSE(decodeRequest(sink.bytes()).has_value());
+}
+
+TEST(WireTest, OpcodeAndStatusNames)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Predict), "predict");
+    EXPECT_STREQ(opcodeName(Opcode::Shutdown), "shutdown");
+    EXPECT_STREQ(statusName(Status::Ok), "ok");
+    EXPECT_STREQ(statusName(Status::MalformedFrame),
+                 "malformedFrame");
+}
+
+} // namespace
+} // namespace wct::serve
