@@ -540,6 +540,12 @@ cmdQuery(const Options &options, std::ostream &out)
         if (options.has("out")) {
             const Dataset data =
                 loadModelingData(require(options, "data"));
+            // The response rows index the local dataset below; a
+            // buggy server must fail here, not read out of bounds.
+            if (response->leaf.size() != data.numRows())
+                wct_fatal("server returned ",
+                          response->leaf.size(), " rows for ",
+                          data.numRows(), " samples");
             std::vector<std::string> names = data.columnNames();
             if (response->op == serve::Opcode::Predict)
                 names.push_back("PredictedCPI");

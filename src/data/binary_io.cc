@@ -148,7 +148,7 @@ writeEnvelope(std::ostream &out, std::string_view magic8,
 
 std::optional<std::string>
 readEnvelope(std::istream &in, std::string_view magic8,
-             std::uint32_t version)
+             std::uint32_t version, std::uint64_t maxPayload)
 {
     wct_assert(magic8.size() == 8, "envelope magic must be 8 bytes");
     char magic[8];
@@ -163,9 +163,9 @@ readEnvelope(std::istream &in, std::string_view magic8,
     std::uint64_t size = 0;
     if (!in.read(reinterpret_cast<char *>(&size), sizeof size))
         return std::nullopt;
-    // Refuse absurd sizes before allocating (a corrupt length field
-    // must not turn into a bad_alloc).
-    if (size > (1ull << 40))
+    // Refuse oversized claims before allocating (a corrupt or
+    // hostile length field must not turn into a bad_alloc).
+    if (size > maxPayload)
         return std::nullopt;
     std::string payload(size, '\0');
     if (size > 0 &&

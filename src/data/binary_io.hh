@@ -98,11 +98,16 @@ void writeEnvelope(std::ostream &out, std::string_view magic8,
 
 /**
  * Read and verify one envelope; nullopt on bad magic, version
- * mismatch, truncation, or checksum failure.
+ * mismatch, truncation, or checksum failure. A claimed payload size
+ * above `maxPayload` is rejected before any allocation, so a corrupt
+ * or hostile length field can never trigger a huge alloc; the
+ * default is a loose sanity cap for trusted on-disk files, and
+ * network-facing callers must pass their own tight budget.
  */
-std::optional<std::string> readEnvelope(std::istream &in,
-                                        std::string_view magic8,
-                                        std::uint32_t version);
+std::optional<std::string>
+readEnvelope(std::istream &in, std::string_view magic8,
+             std::uint32_t version,
+             std::uint64_t maxPayload = 1ull << 40);
 
 /** Append a dataset (schema + row-major cells) to a payload. */
 void appendDataset(ByteSink &sink, const Dataset &data);

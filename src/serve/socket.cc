@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <streambuf>
 
@@ -200,6 +201,7 @@ SocketServer::acceptLoop()
 {
     while (!stopping_.load(std::memory_order_acquire) &&
            !server_.shuttingDown()) {
+        reapFinished();
         pollfd pfd = {listenFd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
         if (ready <= 0)
@@ -209,54 +211,83 @@ SocketServer::acceptLoop()
             continue;
         std::lock_guard lock(connectionsMutex_);
         if (server_.shuttingDown() ||
-            activeConnections_ >= config_.maxConnections) {
+            connections_.size() >= config_.maxConnections) {
             closeFd(fd); // client sees EOF: connection-level backpressure
             continue;
         }
-        ++activeConnections_;
-        connectionFds_.push_back(fd);
-        connectionThreads_.emplace_back(
-            [this, fd] { connectionLoop(fd); });
+        connections_.emplace_back();
+        const auto conn = std::prev(connections_.end());
+        conn->fd = fd;
+        conn->thread =
+            std::thread([this, conn] { connectionLoop(conn); });
     }
 }
 
 void
-SocketServer::connectionLoop(int fd)
+SocketServer::connectionLoop(std::list<Connection>::iterator conn)
 {
+    const int fd = conn->fd;
     FdStreambuf buf(fd);
     std::istream in(&buf);
     std::ostream out(&buf);
-    while (true) {
-        const auto payload = readFrame(in);
-        if (!payload) {
-            // A clean EOF between frames is a normal disconnect; any
-            // other framing failure earns one diagnostic response
-            // (framing cannot resync, so the connection closes).
-            if (!in.eof() || in.gcount() != 0)
-                writeFrame(out, server_.malformedResponse(
-                                    "bad frame envelope (magic, "
-                                    "version, or checksum)"));
-            break;
+    try {
+        while (true) {
+            const auto payload = readFrame(in);
+            if (!payload) {
+                // A clean EOF between frames is a normal disconnect;
+                // any other framing failure earns one diagnostic
+                // response (framing cannot resync, so the connection
+                // closes).
+                if (!in.eof() || in.gcount() != 0)
+                    writeFrame(out, server_.malformedResponse(
+                                        "bad frame envelope (magic, "
+                                        "version, size, or "
+                                        "checksum)"));
+                break;
+            }
+            writeFrame(out, server_.handlePayload(*payload));
+            if (server_.shuttingDown())
+                break; // response (e.g. the shutdown ack) was sent
         }
-        writeFrame(out, server_.handlePayload(*payload));
-        if (server_.shuttingDown())
-            break; // response (e.g. the shutdown ack) was sent
+    } catch (const std::bad_alloc &) {
+        // Even capped frames can fail to allocate under memory
+        // pressure; one client's frame must drop the connection, not
+        // the server.
+        writeFrame(out, server_.malformedResponse(
+                            "out of memory handling frame"));
+    }
+    // Park the thread handle for the accept loop (or stop()) to
+    // join — a thread cannot join itself. The fd is closed only
+    // after the node leaves connections_, so shutdownReads can never
+    // touch a closed (possibly recycled) descriptor.
+    {
+        std::lock_guard lock(connectionsMutex_);
+        finished_.splice(finished_.end(), connections_, conn);
+        connectionsCv_.notify_all();
     }
     closeFd(fd);
-    std::lock_guard lock(connectionsMutex_);
-    --activeConnections_;
-    for (int &open : connectionFds_)
-        if (open == fd)
-            open = -1;
 }
 
 void
-SocketServer::forceCloseConnections()
+SocketServer::reapFinished()
+{
+    // Splice out under the lock, join outside it: the joined threads
+    // have already done their exit bookkeeping (the splice above).
+    std::list<Connection> done;
+    {
+        std::lock_guard lock(connectionsMutex_);
+        done.splice(done.end(), finished_);
+    }
+    for (Connection &conn : done)
+        conn.thread.join();
+}
+
+void
+SocketServer::shutdownReads()
 {
     std::lock_guard lock(connectionsMutex_);
-    for (int fd : connectionFds_)
-        if (fd >= 0)
-            ::shutdown(fd, SHUT_RDWR); // parked reads return EOF
+    for (Connection &conn : connections_)
+        ::shutdown(conn.fd, SHUT_RD);
 }
 
 void
@@ -267,16 +298,17 @@ SocketServer::stop()
     stopping_.store(true, std::memory_order_release);
     if (acceptThread_.joinable())
         acceptThread_.join();
-    forceCloseConnections();
-    // Joining under the lock would deadlock with connectionLoop's
-    // exit bookkeeping; swap the vector out first.
-    std::vector<std::thread> threads;
+    // SHUT_RD — not RDWR — wakes connections parked in read (they
+    // see EOF) while an in-flight response can still drain to its
+    // client; each worker then finishes its current request, writes
+    // the response, and parks itself on the finished list.
+    shutdownReads();
     {
-        std::lock_guard lock(connectionsMutex_);
-        threads.swap(connectionThreads_);
+        std::unique_lock lock(connectionsMutex_);
+        connectionsCv_.wait(
+            lock, [this] { return connections_.empty(); });
     }
-    for (std::thread &thread : threads)
-        thread.join();
+    reapFinished();
     closeFd(listenFd_);
     listenFd_ = -1;
     if (!config_.unixPath.empty())

@@ -15,21 +15,25 @@
  *
  * Shutdown: once the Server enters draining (a shutdown frame or
  * stop()), the acceptor stops accepting and every parked connection
- * read is forced out with ::shutdown on its descriptor. In-flight
- * requests still complete — the queue drains before the engine
- * stops.
+ * read is forced out with ::shutdown(SHUT_RD) on its descriptor —
+ * read-only, so a response still in flight drains to its client
+ * before the worker exits and is joined. Worker threads that finish
+ * earlier park their handles on a finished list that the accept loop
+ * joins every poll tick, so a long-running server does not
+ * accumulate exited-thread stacks.
  */
 
 #ifndef WCT_SERVE_SOCKET_HH
 #define WCT_SERVE_SOCKET_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
-#include <vector>
 
 #include "serve/server.hh"
 #include "serve/wire.hh"
@@ -83,9 +87,20 @@ class SocketServer
     int boundPort() const { return boundPort_; }
 
   private:
+    /** One worker thread bound to one accepted descriptor. The node
+     * lives in connections_ while the thread runs; on exit the
+     * thread splices its own node onto finished_, where the accept
+     * loop (or stop()) joins it — so handles never accumulate. */
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+    };
+
     void acceptLoop();
-    void connectionLoop(int fd);
-    void forceCloseConnections();
+    void connectionLoop(std::list<Connection>::iterator conn);
+    void reapFinished();
+    void shutdownReads();
 
     Server &server_;
     SocketConfig config_;
@@ -94,9 +109,9 @@ class SocketServer
     std::atomic<bool> stopping_{false};
     std::thread acceptThread_;
     std::mutex connectionsMutex_;
-    std::vector<std::thread> connectionThreads_;
-    std::vector<int> connectionFds_;
-    std::size_t activeConnections_ = 0;
+    std::condition_variable connectionsCv_;
+    std::list<Connection> connections_; ///< live worker threads
+    std::list<Connection> finished_;    ///< exited, awaiting join
 };
 
 /**

@@ -12,9 +12,13 @@ namespace wct::serve
 namespace
 {
 
-/** Sanity caps so a corrupt count never turns into a huge alloc. */
+/** Sanity caps so a corrupt count never turns into a huge alloc.
+ * The row cap is sized so a full predict response (16 bytes/row)
+ * stays under kMaxFramePayload. */
 constexpr std::uint64_t kMaxColumns = 1u << 16;
-constexpr std::uint64_t kMaxRowsPerRequest = 1u << 24;
+constexpr std::uint64_t kMaxRowsPerRequest = 1u << 23;
+static_assert(kMaxRowsPerRequest * 16 < kMaxFramePayload,
+              "a maximal predict response must fit in one frame");
 
 std::string_view
 magic()
@@ -297,7 +301,8 @@ decodeResponse(std::string_view payload, std::string *err)
 std::optional<std::string>
 readFrame(std::istream &in)
 {
-    return readEnvelope(in, magic(), kWireFormatVersion);
+    return readEnvelope(in, magic(), kWireFormatVersion,
+                        kMaxFramePayload);
 }
 
 void

@@ -50,6 +50,16 @@ constexpr char kWireMagic[] = "WCTSERV";
 /** Wire format version; a mismatch rejects the whole frame. */
 constexpr std::uint32_t kWireFormatVersion = 1;
 
+/**
+ * Hard cap on one frame's payload bytes, both directions. Frames are
+ * read from untrusted sockets, so readFrame refuses a claimed size
+ * above this before allocating anything — a hostile 20-byte header
+ * cannot turn into a giant allocation. Sized to fit the largest
+ * legal predict response (kMaxRowsPerRequest rows of cpi+leaf) with
+ * room to spare.
+ */
+constexpr std::uint64_t kMaxFramePayload = 1ull << 28; // 256 MiB
+
 /** Operation selector, first payload byte of every message. */
 enum class Opcode : std::uint8_t
 {
@@ -138,8 +148,9 @@ std::optional<Response> decodeResponse(std::string_view payload,
 
 /**
  * Read one frame (envelope) from a stream and return its payload;
- * nullopt on EOF, truncation, bad magic, version mismatch, or
- * checksum failure.
+ * nullopt on EOF, truncation, bad magic, version mismatch, checksum
+ * failure, or a claimed payload size above kMaxFramePayload (checked
+ * before any allocation).
  */
 std::optional<std::string> readFrame(std::istream &in);
 

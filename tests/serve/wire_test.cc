@@ -207,6 +207,26 @@ TEST(WireTest, HostileRowCountIsRejected)
     EXPECT_NE(err.find("row count"), std::string::npos);
 }
 
+TEST(WireTest, OversizedFrameClaimIsRejected)
+{
+    // A 20-byte header claiming a near-terabyte payload: readFrame
+    // must refuse it (before any allocation) instead of zero-filling
+    // the claimed size and dying on bad_alloc / the OOM killer.
+    for (std::uint64_t claimed :
+         {kMaxFramePayload + 1, std::uint64_t(1) << 39}) {
+        std::ostringstream hostile;
+        hostile.write(kWireMagic, 8);
+        hostile.write(
+            reinterpret_cast<const char *>(&kWireFormatVersion),
+            sizeof kWireFormatVersion);
+        hostile.write(reinterpret_cast<const char *>(&claimed),
+                      sizeof claimed);
+        std::istringstream in(hostile.str());
+        EXPECT_FALSE(readFrame(in).has_value())
+            << "claimed=" << claimed;
+    }
+}
+
 TEST(WireTest, BadOpcodeIsRejected)
 {
     ByteSink sink;
