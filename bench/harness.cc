@@ -2,11 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <map>
-#include <sstream>
 
-#include "data/csv.hh"
+#include "pipeline/plans.hh"
+#include "pipeline/stages.hh"
 #include "workload/suites.hh"
 
 namespace wct
@@ -18,60 +17,17 @@ namespace
 {
 
 /**
- * Collection runs are cached as one CSV per benchmark under
- * $WCT_BENCH_CACHE (default .wct_cache), keyed by the collection
- * parameters, so the ten table/figure binaries share one simulation
- * pass. Delete the directory to force re-simulation.
+ * The experiment binaries share one artifact store under
+ * $WCT_BENCH_CACHE (default .wct_cache) — the same content-addressed
+ * store `wct run`/`wct cache` operate on, so the ten table/figure
+ * binaries and the CLI plans share one simulation pass. Delete the
+ * directory (or `wct cache gc` it) to force re-simulation.
  */
-std::filesystem::path
-cacheDir(const std::string &suite_name, const CollectionConfig &config)
+ArtifactStore
+benchStore()
 {
     const char *base = std::getenv("WCT_BENCH_CACHE");
-    std::ostringstream key;
-    key << suite_name << "-i" << config.intervalInstructions << "-b"
-        << config.baseIntervals << "-w" << config.warmupInstructions
-        << "-m" << (config.multiplexed ? 1 : 0) << "-s" << std::hex
-        << config.seed;
-    return std::filesystem::path(base ? base : ".wct_cache") /
-        key.str();
-}
-
-bool
-loadCached(const std::filesystem::path &dir, const SuiteProfile &suite,
-           SuiteData &out)
-{
-    if (!std::filesystem::is_directory(dir))
-        return false;
-    out.suiteName = suite.name;
-    out.benchmarks.clear();
-    for (const BenchmarkProfile &bench : suite.benchmarks) {
-        const auto file = dir / (bench.name + ".csv");
-        if (!std::filesystem::is_regular_file(file))
-            return false;
-        BenchmarkData data;
-        data.name = bench.name;
-        data.instructionWeight = bench.instructionWeight;
-        data.samples = readCsvFile(file.string());
-        if (data.samples.columnNames() != metricColumnNames())
-            return false; // stale format
-        out.benchmarks.push_back(std::move(data));
-    }
-    return true;
-}
-
-void
-storeCache(const std::filesystem::path &dir, const SuiteData &data)
-{
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    if (ec) {
-        std::fprintf(stderr, "[harness] cannot create cache %s: %s\n",
-                     dir.string().c_str(), ec.message().c_str());
-        return;
-    }
-    for (const BenchmarkData &bench : data.benchmarks)
-        writeCsvFile(bench.samples,
-                     (dir / (bench.name + ".csv")).string());
+    return ArtifactStore(base ? base : ".wct_cache");
 }
 
 } // namespace
@@ -79,25 +35,13 @@ storeCache(const std::filesystem::path &dir, const SuiteData &data)
 CollectionConfig
 standardCollection()
 {
-    CollectionConfig config;
-    config.intervalInstructions = 8192;
-    config.baseIntervals = 700;
-    config.warmupInstructions = 1'500'000;
-    config.multiplexed = true;
-    config.seed = 0x5eed;
-    return config;
+    return pipeline::standardCollection();
 }
 
 SuiteModelConfig
 standardModelConfig()
 {
-    SuiteModelConfig config;
-    config.trainFraction = 0.10;
-    config.tree.minLeafInstances = 25;
-    config.tree.minLeafFraction = 0.025;
-    config.tree.sdThresholdFraction = 0.05;
-    config.seed = 0xcafe;
-    return config;
+    return pipeline::standardModelConfig();
 }
 
 const SuiteData &
@@ -106,26 +50,13 @@ collectedSuite(const std::string &name)
     static std::map<std::string, SuiteData> cache;
     auto it = cache.find(name);
     if (it == cache.end()) {
-        const SuiteProfile &suite = suiteByName(name);
-        const CollectionConfig config = standardCollection();
-        const auto dir = cacheDir(name, config);
-
-        SuiteData data;
-        if (loadCached(dir, suite, data)) {
-            std::fprintf(stderr, "[harness] %s: %zu samples from "
-                                 "cache %s\n",
-                         name.c_str(), data.totalSamples(),
-                         dir.string().c_str());
-        } else {
-            std::fprintf(stderr, "[harness] collecting %s ...\n",
-                         name.c_str());
-            data = collectSuite(suite, config);
-            storeCache(dir, data);
-            std::fprintf(stderr, "[harness] %s: %zu samples "
-                                 "(cached to %s)\n",
-                         name.c_str(), data.totalSamples(),
-                         dir.string().c_str());
-        }
+        pipeline::Pipeline pipe{benchStore()};
+        SuiteData data = pipeline::collectStage(
+            pipe, suiteByName(name), standardCollection());
+        std::fprintf(stderr, "[harness] %s: %zu samples (%s)\n",
+                     name.c_str(), data.totalSamples(),
+                     pipe.runs().back().cached ? "from cache"
+                                               : "collected");
         it = cache.emplace(name, std::move(data)).first;
     }
     return it->second;
@@ -137,9 +68,14 @@ suiteModel(const std::string &name)
     static std::map<std::string, SuiteModel> cache;
     auto it = cache.find(name);
     if (it == cache.end()) {
+        const SuiteData &data = collectedSuite(name);
+        const std::uint64_t collect_key = pipeline::collectStageKey(
+            suiteByName(name), standardCollection());
+        pipeline::Pipeline pipe{benchStore()};
         it = cache
-                 .emplace(name, buildSuiteModel(collectedSuite(name),
-                                                standardModelConfig()))
+                 .emplace(name,
+                          pipeline::trainStage(pipe, data, collect_key,
+                                               standardModelConfig()))
                  .first;
     }
     return it->second;

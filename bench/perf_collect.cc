@@ -33,7 +33,7 @@
 #include <thread>
 
 #include "core/collect.hh"
-#include "core/collect_cache.hh"
+#include "core/suite_io.hh"
 #include "util/thread_pool.hh"
 #include "workload/suites.hh"
 

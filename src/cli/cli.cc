@@ -1,21 +1,21 @@
 #include "cli/cli.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <filesystem>
-#include <map>
 #include <ostream>
 
+#include "cli/options.hh"
 #include "core/collect.hh"
-#include "core/collect_cache.hh"
 #include "core/phase_report.hh"
 #include "core/profile_table.hh"
 #include "core/similarity.hh"
 #include "core/subset.hh"
 #include "core/transferability.hh"
+#include "data/artifact_store.hh"
 #include "data/binary_io.hh"
 #include "data/csv.hh"
 #include "mtree/serialize.hh"
+#include "pipeline/plans.hh"
 #include "serve/server.hh"
 #include "serve/socket.hh"
 #include "util/logging.hh"
@@ -29,91 +29,192 @@ namespace wct
 namespace
 {
 
-/** Parsed --flag value pairs plus positional arguments. */
-struct Options
-{
-    std::map<std::string, std::string> values;
-    std::vector<std::string> positional;
+using cli::CommandSpec;
+using cli::FlagType;
+using cli::ParsedOptions;
 
-    bool has(const std::string &key) const
-    {
-        return values.count(key) != 0;
-    }
+// ---- Command declarations (the parser and `wct help` share these;
+// see cli/options.hh). ----
 
-    std::string
-    get(const std::string &key, const std::string &fallback = "") const
-    {
-        auto it = values.find(key);
-        return it == values.end() ? fallback : it->second;
-    }
+const CommandSpec kSuitesSpec{"suites", {}, {}, 0, 0};
 
-    std::uint64_t
-    getUint(const std::string &key, std::uint64_t fallback) const
+const CommandSpec kCollectSpec{
+    "collect",
     {
-        auto it = values.find(key);
-        if (it == values.end())
-            return fallback;
-        char *end = nullptr;
-        const auto parsed =
-            std::strtoull(it->second.c_str(), &end, 10);
-        if (end == it->second.c_str() || *end != '\0')
-            wct_fatal("--", key, " expects an integer, got '",
-                      it->second, "'");
-        return parsed;
-    }
+        {"suite", FlagType::String, true, "S"},
+        {"out", FlagType::String, true, "DIR"},
+        {"benchmark", FlagType::String, false, "B"},
+        {"intervals", FlagType::Uint, false, "N"},
+        {"interval-length", FlagType::Uint, false, "L"},
+        {"warmup", FlagType::Uint, false, "W"},
+        {"exact", FlagType::Bool, false, ""},
+        {"seed", FlagType::Uint, false, "S"},
+        {"shards", FlagType::Uint, false, "N"},
+        {"cache-dir", FlagType::String, false, "DIR"},
+        {"no-cache", FlagType::Bool, false, ""},
+    },
+    {},
+    0,
+    0};
 
-    double
-    getDouble(const std::string &key, double fallback) const
+const CommandSpec kTrainSpec{
+    "train",
     {
-        auto it = values.find(key);
-        if (it == values.end())
-            return fallback;
-        char *end = nullptr;
-        const double parsed = std::strtod(it->second.c_str(), &end);
-        if (end == it->second.c_str() || *end != '\0')
-            wct_fatal("--", key, " expects a number, got '",
-                      it->second, "'");
-        return parsed;
-    }
+        {"data", FlagType::String, true, "CSV|DIR"},
+        {"out", FlagType::String, true, "MODEL"},
+        {"target", FlagType::String, false, "COL"},
+        {"min-leaf", FlagType::Uint, false, "N"},
+        {"min-leaf-frac", FlagType::Double, false, "F"},
+        {"no-smooth", FlagType::Bool, false, ""},
+        {"no-prune", FlagType::Bool, false, ""},
+        {"constant-leaves", FlagType::Bool, false, ""},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kShowSpec{"show",
+                            {
+                                {"model", FlagType::String, true,
+                                 "MODEL"},
+                                {"dot", FlagType::Bool, false, ""},
+                            },
+                            {},
+                            0,
+                            0};
+
+const CommandSpec kPredictSpec{
+    "predict",
+    {
+        {"model", FlagType::String, true, "MODEL"},
+        {"data", FlagType::String, true, "CSV|DIR"},
+        {"out", FlagType::String, false, "CSV"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kTransferSpec{
+    "transfer",
+    {
+        {"model", FlagType::String, true, "MODEL"},
+        {"train", FlagType::String, true, "CSV|DIR"},
+        {"target", FlagType::String, true, "CSV|DIR"},
+        {"alpha", FlagType::Double, false, "A"},
+        {"min-c", FlagType::Double, false, "C"},
+        {"max-mae", FlagType::Double, false, "M"},
+        {"bootstrap", FlagType::Uint, false, "N"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kProfileSpec{
+    "profile",
+    {
+        {"model", FlagType::String, true, "MODEL"},
+        {"data", FlagType::String, true, "DIR"},
+        {"similarity", FlagType::Bool, false, ""},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kSubsetSpec{
+    "subset",
+    {
+        {"model", FlagType::String, true, "MODEL"},
+        {"data", FlagType::String, true, "DIR"},
+        {"k", FlagType::Uint, false, "K"},
+        {"method", FlagType::String, false, "greedy|medoids|pca"},
+        {"seed", FlagType::Uint, false, "S"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kPhasesSpec{
+    "phases",
+    {
+        {"model", FlagType::String, true, "MODEL"},
+        {"data", FlagType::String, true, "CSV|DIR"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kRunSpec{
+    "run",
+    {
+        {"cache-dir", FlagType::String, false, "DIR"},
+        {"intervals", FlagType::Uint, false, "N"},
+        {"interval-length", FlagType::Uint, false, "L"},
+        {"warmup", FlagType::Uint, false, "W"},
+    },
+    {"PLAN"},
+    1,
+    1};
+
+const CommandSpec kCacheSpec{
+    "cache",
+    {
+        {"cache-dir", FlagType::String, true, "DIR"},
+        {"plan", FlagType::String, false, "PLAN"},
+        {"intervals", FlagType::Uint, false, "N"},
+        {"interval-length", FlagType::Uint, false, "L"},
+        {"warmup", FlagType::Uint, false, "W"},
+    },
+    {"ls|rm|gc", "[ID]"},
+    1,
+    2};
+
+const CommandSpec kServeSpec{
+    "serve",
+    {
+        {"model", FlagType::String, false, "MODEL"},
+        {"model-key", FlagType::String, false, "KEY"},
+        {"cache-dir", FlagType::String, false, "DIR"},
+        {"alias", FlagType::String, false, "NAME"},
+        {"unix", FlagType::String, false, "SOCK"},
+        {"port", FlagType::Uint, false, "N"},
+        {"queue-depth", FlagType::Uint, false, "N"},
+        {"max-batch", FlagType::Uint, false, "N"},
+        {"batchers", FlagType::Uint, false, "N"},
+        {"max-connections", FlagType::Uint, false, "N"},
+        {"no-remote-load", FlagType::Bool, false, ""},
+        {"no-remote-shutdown", FlagType::Bool, false, ""},
+        {"stats-text", FlagType::Bool, false, ""},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kQuerySpec{
+    "query",
+    {
+        {"unix", FlagType::String, false, "SOCK"},
+        {"port", FlagType::Uint, false, "N"},
+        {"op", FlagType::String, false,
+         "predict|classify|load|stats|shutdown"},
+        {"model-key", FlagType::String, false, "K"},
+        {"data", FlagType::String, false, "CSV|DIR"},
+        {"out", FlagType::String, false, "CSV"},
+        {"path", FlagType::String, false, "MODEL"},
+        {"alias", FlagType::String, false, "NAME"},
+        {"id", FlagType::Uint, false, "N"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kVersionSpec{"version", {}, {}, 0, 0};
+
+const CommandSpec *const kCommands[] = {
+    &kSuitesSpec, &kCollectSpec, &kTrainSpec,   &kShowSpec,
+    &kPredictSpec, &kTransferSpec, &kProfileSpec, &kSubsetSpec,
+    &kPhasesSpec, &kRunSpec,     &kCacheSpec,   &kServeSpec,
+    &kQuerySpec,  &kVersionSpec,
 };
-
-/** Flags that take no value. */
-const std::vector<std::string> kBooleanFlags = {
-    "exact", "dot", "no-smooth", "no-prune", "constant-leaves",
-    "similarity", "no-cache", "stats-text", "no-remote-load",
-    "no-remote-shutdown",
-};
-
-Options
-parseOptions(const std::vector<std::string> &args, std::size_t begin)
-{
-    Options options;
-    for (std::size_t i = begin; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        if (!startsWith(arg, "--")) {
-            options.positional.push_back(arg);
-            continue;
-        }
-        const std::string key = arg.substr(2);
-        if (std::find(kBooleanFlags.begin(), kBooleanFlags.end(),
-                      key) != kBooleanFlags.end()) {
-            options.values[key] = "1";
-            continue;
-        }
-        if (i + 1 >= args.size())
-            wct_fatal("--", key, " needs a value");
-        options.values[key] = args[++i];
-    }
-    return options;
-}
-
-std::string
-require(const Options &options, const std::string &key)
-{
-    if (!options.has(key))
-        wct_fatal("missing required --", key);
-    return options.get(key);
-}
 
 /**
  * Load a "suite directory" (one CSV per benchmark, as written by
@@ -159,7 +260,7 @@ loadModelingData(const std::string &path)
 }
 
 CollectionConfig
-collectionFromOptions(const Options &options)
+collectionFromOptions(const ParsedOptions &options)
 {
     CollectionConfig config;
     config.intervalInstructions =
@@ -172,6 +273,20 @@ collectionFromOptions(const Options &options)
     if (config.shards == 0)
         wct_fatal("--shards must be at least 1");
     return config;
+}
+
+/** The standard plan protocol with the run/cache scale overrides. */
+pipeline::PlanProtocol
+protocolFromOptions(const ParsedOptions &options)
+{
+    pipeline::PlanProtocol protocol;
+    protocol.collection.intervalInstructions = options.getUint(
+        "interval-length", protocol.collection.intervalInstructions);
+    protocol.collection.baseIntervals = options.getUint(
+        "intervals", protocol.collection.baseIntervals);
+    protocol.collection.warmupInstructions = options.getUint(
+        "warmup", protocol.collection.warmupInstructions);
+    return protocol;
 }
 
 /** Human-readable name of a data path: the last meaningful stem. */
@@ -203,10 +318,10 @@ cmdSuites(std::ostream &out)
 }
 
 int
-cmdCollect(const Options &options, std::ostream &err)
+cmdCollect(const ParsedOptions &options, std::ostream &err)
 {
-    const SuiteProfile &full = suiteByName(require(options, "suite"));
-    const std::string out_dir = require(options, "out");
+    const SuiteProfile &full = suiteByName(options.get("suite"));
+    const std::string out_dir = options.get("out");
     const CollectionConfig config = collectionFromOptions(options);
 
     // Filter before collecting: stream seeds derive from benchmark
@@ -225,10 +340,12 @@ cmdCollect(const Options &options, std::ostream &err)
     SuiteData data;
     const std::string cache_dir = options.get("cache-dir");
     if (!cache_dir.empty() && !options.has("no-cache")) {
-        bool cache_hit = false;
-        data = collectSuiteCached(suite, config, cache_dir,
-                                  &cache_hit);
-        if (cache_hit)
+        // The collect stage over the artifact store: a hit is a
+        // byte-identical reload of a previous collection, a corrupt
+        // artifact warns and recomputes.
+        pipeline::Pipeline pipe{ArtifactStore(cache_dir)};
+        data = pipeline::collectStage(pipe, suite, config);
+        if (pipe.runs().back().cached)
             err << "loaded " << data.benchmarks.size()
                 << " benchmarks from cache\n";
         else
@@ -250,9 +367,9 @@ cmdCollect(const Options &options, std::ostream &err)
 }
 
 int
-cmdTrain(const Options &options, std::ostream &out)
+cmdTrain(const ParsedOptions &options, std::ostream &out)
 {
-    const Dataset data = loadModelingData(require(options, "data"));
+    const Dataset data = loadModelingData(options.get("data"));
     const std::string target = options.get("target", "CPI");
 
     ModelTreeConfig config;
@@ -264,7 +381,7 @@ cmdTrain(const Options &options, std::ostream &out)
     config.constantLeaves = options.has("constant-leaves");
 
     const ModelTree tree = ModelTree::train(data, target, config);
-    writeModelTreeFile(tree, require(options, "out"));
+    writeModelTreeFile(tree, options.get("out"));
     out << "trained on " << data.numRows() << " samples: "
         << tree.numLeaves() << " leaves, saved to "
         << options.get("out") << "\n";
@@ -272,20 +389,20 @@ cmdTrain(const Options &options, std::ostream &out)
 }
 
 int
-cmdShow(const Options &options, std::ostream &out)
+cmdShow(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
+        readModelTreeFile(options.get("model"));
     out << (options.has("dot") ? tree.toDot() : tree.describe());
     return 0;
 }
 
 int
-cmdPredict(const Options &options, std::ostream &out)
+cmdPredict(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
-    const Dataset data = loadModelingData(require(options, "data"));
+        readModelTreeFile(options.get("model"));
+    const Dataset data = loadModelingData(options.get("data"));
     const auto predictions = tree.predictAll(data);
     const auto classes = tree.classifyAll(data);
 
@@ -314,13 +431,12 @@ cmdPredict(const Options &options, std::ostream &out)
 }
 
 int
-cmdTransfer(const Options &options, std::ostream &out)
+cmdTransfer(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
-    const Dataset train = loadModelingData(require(options, "train"));
-    const Dataset target =
-        loadModelingData(require(options, "target"));
+        readModelTreeFile(options.get("model"));
+    const Dataset train = loadModelingData(options.get("train"));
+    const Dataset target = loadModelingData(options.get("target"));
 
     TransferabilityConfig config;
     config.alpha = options.getDouble("alpha", 0.05);
@@ -337,12 +453,11 @@ cmdTransfer(const Options &options, std::ostream &out)
 }
 
 int
-cmdProfile(const Options &options, std::ostream &out)
+cmdProfile(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
-    const SuiteData data =
-        loadSuiteDirectory(require(options, "data"));
+        readModelTreeFile(options.get("model"));
+    const SuiteData data = loadSuiteDirectory(options.get("data"));
     const ProfileTable table(data, tree);
     out << table.render();
     if (options.has("similarity")) {
@@ -353,11 +468,11 @@ cmdProfile(const Options &options, std::ostream &out)
 }
 
 int
-cmdPhases(const Options &options, std::ostream &out)
+cmdPhases(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
-    const std::string path = require(options, "data");
+        readModelTreeFile(options.get("model"));
+    const std::string path = options.get("data");
 
     if (std::filesystem::is_directory(path)) {
         const SuiteData data = loadSuiteDirectory(path);
@@ -374,12 +489,11 @@ cmdPhases(const Options &options, std::ostream &out)
 }
 
 int
-cmdSubset(const Options &options, std::ostream &out)
+cmdSubset(const ParsedOptions &options, std::ostream &out)
 {
     const ModelTree tree =
-        readModelTreeFile(require(options, "model"));
-    const SuiteData data =
-        loadSuiteDirectory(require(options, "data"));
+        readModelTreeFile(options.get("model"));
+    const SuiteData data = loadSuiteDirectory(options.get("data"));
     const ProfileTable table(data, tree);
     const auto k = static_cast<std::size_t>(
         options.getUint("k", 4));
@@ -409,19 +523,111 @@ cmdSubset(const Options &options, std::ostream &out)
 }
 
 int
+cmdRun(const ParsedOptions &options, std::ostream &out,
+       std::ostream &err)
+{
+    const std::string &plan = options.positional()[0];
+    if (!pipeline::isPlanName(plan)) {
+        std::string names;
+        for (const std::string &name : pipeline::planNames())
+            names += (names.empty() ? "" : "|") + name;
+        wct_fatal("unknown plan '", plan, "' (", names, ")");
+    }
+    const pipeline::PlanProtocol protocol =
+        protocolFromOptions(options);
+
+    // Plan results go to stdout; the stage report (which carries
+    // timings) to stderr, so repeated runs stay byte-comparable.
+    pipeline::Pipeline pipe{ArtifactStore(options.get("cache-dir"))};
+    pipeline::runPlan(pipe, plan, protocol, out);
+    err << pipe.renderReport();
+    return 0;
+}
+
+/** Parse a `<kind>-<16 hex>` artifact name (as printed by cache ls). */
+ArtifactId
+parseArtifactName(const std::string &name)
+{
+    const auto dash = name.rfind('-');
+    if (dash != std::string::npos) {
+        if (const auto key = parseKeyHex(
+                std::string_view(name).substr(dash + 1)))
+            return {name.substr(0, dash), *key};
+    }
+    wct_fatal("'", name, "' is not a <kind>-<16 hex digits> artifact "
+              "name");
+}
+
+int
+cmdCache(const ParsedOptions &options, std::ostream &out)
+{
+    const std::string &action = options.positional()[0];
+    const ArtifactStore store(options.get("cache-dir"));
+
+    if (action == "ls") {
+        std::uintmax_t total = 0;
+        for (const ArtifactInfo &info : store.list()) {
+            out << info.id.fileName() << "  " << info.fileBytes
+                << " bytes\n";
+            total += info.fileBytes;
+        }
+        out << store.list().size() << " artifacts, " << total
+            << " bytes\n";
+        return 0;
+    }
+    if (action == "rm") {
+        if (options.positional().size() != 2)
+            wct_fatal("cache rm needs an artifact name "
+                      "(<kind>-<16 hex digits>)");
+        const ArtifactId id =
+            parseArtifactName(options.positional()[1]);
+        if (!store.remove(id))
+            wct_fatal("no artifact '", id.fileName(), "' in '",
+                      store.dir(), "'");
+        out << "removed " << id.fileName() << "\n";
+        return 0;
+    }
+    if (action == "gc") {
+        // Live = everything the selected plan (default: every
+        // standard plan) would touch under the given protocol.
+        const pipeline::PlanProtocol protocol =
+            protocolFromOptions(options);
+        std::vector<std::string> plans;
+        if (options.has("plan"))
+            plans.push_back(options.get("plan"));
+        else
+            plans = pipeline::planNames();
+
+        std::vector<ArtifactId> live;
+        for (const std::string &plan : plans)
+            for (ArtifactId &id :
+                 pipeline::planArtifacts(plan, protocol, store))
+                live.push_back(std::move(id));
+        const auto removed = store.gc(live);
+        for (const ArtifactId &id : removed)
+            out << "removed " << id.fileName() << "\n";
+        out << removed.size() << " artifacts removed\n";
+        return 0;
+    }
+    wct_fatal("unknown cache action '", action, "' (ls|rm|gc)");
+}
+
+int
 cmdVersion(std::ostream &out)
 {
     out << "wct " << kWctVersion << "\n"
         << "model-tree format: " << kModelTreeMagicLine << "\n"
         << "dataset format: " << kDatasetMagic << " v"
         << kDatasetFormatVersion << "\n"
+        << "artifact format: " << kArtifactMagic << " v"
+        << kArtifactFormatVersion << "\n"
         << "serve wire format: " << serve::kWireMagic << " v"
         << serve::kWireFormatVersion << "\n";
     return 0;
 }
 
 int
-cmdServe(const Options &options, std::ostream &out,
+cmdServe(const ParsedOptions &options, std::ostream &out,
          std::ostream &err)
 {
     serve::ServerConfig config;
@@ -434,11 +640,27 @@ cmdServe(const Options &options, std::ostream &out,
     serve::Server server(config);
     serve::ModelInfo info;
     std::string load_err;
-    const std::string model_path = require(options, "model");
-    if (!server.loadModel(model_path, options.get("alias"), &info,
-                          &load_err))
-        wct_fatal("cannot load model '", model_path, "': ",
-                  load_err);
+    if (options.has("model")) {
+        const std::string model_path = options.get("model");
+        if (!server.loadModel(model_path, options.get("alias"),
+                              &info, &load_err))
+            wct_fatal("cannot load model '", model_path, "': ",
+                      load_err);
+    } else if (options.has("model-key")) {
+        const std::string key = options.get("model-key");
+        const std::string cache_dir = options.get("cache-dir");
+        if (cache_dir.empty())
+            wct_fatal("--model-key needs --cache-dir DIR (the "
+                      "artifact store holding the model)");
+        if (!server.loadModelFromStore(ArtifactStore(cache_dir), key,
+                                       options.get("alias"), &info,
+                                       &load_err))
+            wct_fatal("cannot load model key '", key, "': ",
+                      load_err);
+    } else {
+        wct_fatal("serve needs --model MODEL or --model-key KEY "
+                  "--cache-dir DIR");
+    }
     err << "loaded model " << info.alias << " (key " << info.key
         << ", target " << info.target << ", " << info.numLeaves
         << " leaves)\n";
@@ -473,7 +695,7 @@ cmdServe(const Options &options, std::ostream &out,
 
 /** Connect a query client per the --unix/--port options. */
 serve::ServeClient
-queryConnect(const Options &options)
+queryConnect(const ParsedOptions &options)
 {
     std::string err;
     std::optional<serve::ServeClient> client;
@@ -491,7 +713,7 @@ queryConnect(const Options &options)
 }
 
 int
-cmdQuery(const Options &options, std::ostream &out)
+cmdQuery(const ParsedOptions &options, std::ostream &out)
 {
     const std::string op = options.get("op", "predict");
     serve::Request request;
@@ -501,8 +723,9 @@ cmdQuery(const Options &options, std::ostream &out)
         request.op = op == "predict" ? serve::Opcode::Predict
                                      : serve::Opcode::Classify;
         request.modelKey = options.get("model-key");
-        const Dataset data =
-            loadModelingData(require(options, "data"));
+        if (!options.has("data"))
+            wct_fatal("missing required --data");
+        const Dataset data = loadModelingData(options.get("data"));
         request.schema = data.columnNames();
         request.rows.reserve(data.numRows() * data.numColumns());
         for (std::size_t r = 0; r < data.numRows(); ++r) {
@@ -512,7 +735,9 @@ cmdQuery(const Options &options, std::ostream &out)
         }
     } else if (op == "load") {
         request.op = serve::Opcode::LoadModel;
-        request.path = require(options, "path");
+        if (!options.has("path"))
+            wct_fatal("missing required --path");
+        request.path = options.get("path");
         request.alias = options.get("alias");
     } else if (op == "stats") {
         request.op = serve::Opcode::Stats;
@@ -539,7 +764,7 @@ cmdQuery(const Options &options, std::ostream &out)
       case serve::Opcode::Classify: {
         if (options.has("out")) {
             const Dataset data =
-                loadModelingData(require(options, "data"));
+                loadModelingData(options.get("data"));
             // The response rows index the local dataset below; a
             // buggy server must fail here, not read out of bounds.
             if (response->leaf.size() != data.numRows())
@@ -591,40 +816,9 @@ cmdQuery(const Options &options, std::ostream &out)
 void
 printUsage(std::ostream &err)
 {
-    err << "usage: wct <command> [options]\n"
-        << "commands:\n"
-        << "  suites\n"
-        << "  collect  --suite S --out DIR [--benchmark B]"
-           " [--intervals N]\n"
-        << "           [--interval-length L] [--warmup W] [--exact]"
-           " [--seed S]\n"
-        << "           [--shards N] [--cache-dir DIR] [--no-cache]\n"
-        << "  train    --data CSV|DIR --out MODEL [--target CPI]\n"
-        << "           [--min-leaf N] [--min-leaf-frac F]"
-           " [--no-smooth]\n"
-        << "           [--no-prune] [--constant-leaves]\n"
-        << "  show     --model MODEL [--dot]\n"
-        << "  predict  --model MODEL --data CSV|DIR [--out CSV]\n"
-        << "  transfer --model MODEL --train CSV|DIR --target "
-           "CSV|DIR\n"
-        << "           [--alpha A] [--min-c C] [--max-mae M]"
-           " [--bootstrap N]\n"
-        << "  profile  --model MODEL --data DIR [--similarity]\n"
-        << "  subset   --model MODEL --data DIR [--k K]"
-           " [--method greedy|medoids|pca]\n"
-        << "  phases   --model MODEL --data CSV|DIR\n"
-        << "  serve    --model MODEL (--unix SOCK | --port N)"
-           " [--alias NAME]\n"
-        << "           [--queue-depth N] [--max-batch N]"
-           " [--batchers N]\n"
-        << "           [--max-connections N] [--no-remote-load]\n"
-        << "           [--no-remote-shutdown] [--stats-text]\n"
-        << "  query    (--unix SOCK | --port N)"
-           " [--op predict|classify|load|stats|shutdown]\n"
-        << "           [--data CSV|DIR] [--model-key K]"
-           " [--out CSV]\n"
-        << "           [--path MODEL --alias NAME] [--id N]\n"
-        << "  version\n";
+    err << "usage: wct <command> [options]\ncommands:\n";
+    for (const CommandSpec *spec : kCommands)
+        err << cli::usageText(*spec);
 }
 
 } // namespace
@@ -640,7 +834,17 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     if (args[0] == "version" || args[0] == "--version")
         return cmdVersion(out);
     const std::string &command = args[0];
-    const Options options = parseOptions(args, 1);
+
+    const CommandSpec *spec = nullptr;
+    for (const CommandSpec *candidate : kCommands)
+        if (candidate->name == command)
+            spec = candidate;
+    if (spec == nullptr) {
+        err << "unknown command '" << command << "'\n";
+        printUsage(err);
+        return 2;
+    }
+    const ParsedOptions options = cli::parseCommand(*spec, args, 1);
 
     if (command == "suites")
         return cmdSuites(out);
@@ -660,14 +864,15 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdSubset(options, out);
     if (command == "phases")
         return cmdPhases(options, out);
+    if (command == "run")
+        return cmdRun(options, out, err);
+    if (command == "cache")
+        return cmdCache(options, out);
     if (command == "serve")
         return cmdServe(options, out, err);
     if (command == "query")
         return cmdQuery(options, out);
-
-    err << "unknown command '" << command << "'\n";
-    printUsage(err);
-    return 2;
+    return cmdVersion(out);
 }
 
 } // namespace wct

@@ -1,0 +1,164 @@
+#include "cli/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace wct::cli
+{
+
+namespace
+{
+
+const FlagSpec *
+findFlag(const CommandSpec &spec, const std::string &name)
+{
+    for (const FlagSpec &flag : spec.flags)
+        if (flag.name == name)
+            return &flag;
+    return nullptr;
+}
+
+std::uint64_t
+parseUint(const std::string &name, const std::string &value)
+{
+    char *end = nullptr;
+    const auto parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        wct_fatal("--", name, " expects an integer, got '", value,
+                  "'");
+    return parsed;
+}
+
+double
+parseDouble(const std::string &name, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        wct_fatal("--", name, " expects a number, got '", value, "'");
+    return parsed;
+}
+
+/** Placeholder text of one flag in a usage line. */
+std::string
+flagUsage(const FlagSpec &flag)
+{
+    std::string text = "--" + flag.name;
+    if (flag.type != FlagType::Bool)
+        text += " " +
+            (flag.valueName.empty() ? std::string("V")
+                                    : flag.valueName);
+    return flag.required ? text : "[" + text + "]";
+}
+
+} // namespace
+
+bool
+ParsedOptions::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+ParsedOptions::get(const std::string &name,
+                   const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t
+ParsedOptions::getUint(const std::string &name,
+                       std::uint64_t fallback) const
+{
+    auto it = uints_.find(name);
+    return it == uints_.end() ? fallback : it->second;
+}
+
+double
+ParsedOptions::getDouble(const std::string &name,
+                         double fallback) const
+{
+    auto it = doubles_.find(name);
+    return it == doubles_.end() ? fallback : it->second;
+}
+
+ParsedOptions
+parseCommand(const CommandSpec &spec,
+             const std::vector<std::string> &args, std::size_t begin)
+{
+    ParsedOptions options;
+    for (std::size_t i = begin; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!startsWith(arg, "--")) {
+            options.positional_.push_back(arg);
+            continue;
+        }
+        const std::string name = arg.substr(2);
+        const FlagSpec *flag = findFlag(spec, name);
+        if (flag == nullptr)
+            wct_fatal("unknown option --", name, " for '", spec.name,
+                      "'");
+        if (flag->type == FlagType::Bool) {
+            options.values_[name] = "1";
+            continue;
+        }
+        if (i + 1 >= args.size())
+            wct_fatal("--", name, " needs a value");
+        const std::string &value = args[++i];
+        options.values_[name] = value;
+        if (flag->type == FlagType::Uint)
+            options.uints_[name] = parseUint(name, value);
+        else if (flag->type == FlagType::Double)
+            options.doubles_[name] = parseDouble(name, value);
+    }
+
+    for (const FlagSpec &flag : spec.flags)
+        if (flag.required && !options.has(flag.name))
+            wct_fatal("missing required --", flag.name);
+
+    if (options.positional_.size() < spec.minPositionals ||
+        options.positional_.size() > spec.maxPositionals) {
+        std::string shape;
+        for (const std::string &p : spec.positionals)
+            shape += " " + p;
+        wct_fatal("'", spec.name, "' expects", shape.empty()
+                      ? " no positional arguments"
+                      : shape);
+    }
+    return options;
+}
+
+std::string
+usageText(const CommandSpec &spec)
+{
+    // "  name POS... required-flags [optional-flags]", wrapped at 70
+    // columns with a hanging indent.
+    std::vector<std::string> words;
+    for (const std::string &p : spec.positionals)
+        words.push_back(p);
+    for (const FlagSpec &flag : spec.flags)
+        if (flag.required)
+            words.push_back(flagUsage(flag));
+    for (const FlagSpec &flag : spec.flags)
+        if (!flag.required)
+            words.push_back(flagUsage(flag));
+
+    std::ostringstream out;
+    std::string line = "  " + spec.name;
+    const std::string indent(spec.name.size() + 4, ' ');
+    for (const std::string &word : words) {
+        if (line.size() + 1 + word.size() > 70) {
+            out << line << "\n";
+            line = indent;
+        }
+        line += " " + word;
+    }
+    out << line << "\n";
+    return std::move(out).str();
+}
+
+} // namespace wct::cli

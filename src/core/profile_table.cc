@@ -60,6 +60,15 @@ ProfileTable::ProfileTable(const SuiteData &data, const ModelTree &tree)
     }
 }
 
+ProfileTable::ProfileTable(std::size_t num_models,
+                           std::vector<BenchmarkProfileRow> rows,
+                           BenchmarkProfileRow suite,
+                           BenchmarkProfileRow average)
+    : numModels_(num_models), rows_(std::move(rows)),
+      suite_(std::move(suite)), average_(std::move(average))
+{
+}
+
 const BenchmarkProfileRow &
 ProfileTable::row(const std::string &name) const
 {

@@ -38,6 +38,16 @@ class ProfileTable
      */
     ProfileTable(const SuiteData &data, const ModelTree &tree);
 
+    /**
+     * Rebuild a table from previously computed rows (the pipeline's
+     * classify-stage artifact decode); the classifying constructor
+     * above is the only producer of such rows.
+     */
+    ProfileTable(std::size_t num_models,
+                 std::vector<BenchmarkProfileRow> rows,
+                 BenchmarkProfileRow suite,
+                 BenchmarkProfileRow average);
+
     /** Number of leaf models (columns). */
     std::size_t numModels() const { return numModels_; }
 

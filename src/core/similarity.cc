@@ -32,6 +32,17 @@ SimilarityMatrix::SimilarityMatrix(const ProfileTable &table,
     }
 }
 
+SimilarityMatrix::SimilarityMatrix(std::vector<std::string> names,
+                                   std::vector<double> matrix,
+                                   std::vector<double> toSuite)
+    : names_(std::move(names)), matrix_(std::move(matrix)),
+      toSuite_(std::move(toSuite))
+{
+    wct_assert(matrix_.size() == names_.size() * names_.size() &&
+                   toSuite_.size() == names_.size(),
+               "similarity matrix arity mismatch");
+}
+
 double
 SimilarityMatrix::at(std::size_t i, std::size_t j) const
 {

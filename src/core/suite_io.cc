@@ -1,0 +1,66 @@
+#include "core/suite_io.hh"
+
+#include "data/binary_io.hh"
+
+namespace wct
+{
+
+namespace
+{
+
+constexpr char kSuiteMagic[] = "WCTSUIT"; ///< 7 chars + NUL = 8 bytes
+
+/** Cap on parsed benchmark counts (a corrupt count must not OOM). */
+constexpr std::uint64_t kMaxReasonableBenchmarks = 1u << 16;
+
+} // namespace
+
+void
+writeSuiteData(std::ostream &out, const SuiteData &data)
+{
+    ByteSink sink;
+    sink.putString(data.suiteName);
+    sink.putU64(data.benchmarks.size());
+    for (const BenchmarkData &bench : data.benchmarks) {
+        sink.putString(bench.name);
+        sink.putDouble(bench.instructionWeight);
+        appendDataset(sink, bench.samples);
+    }
+    writeEnvelope(out, std::string_view(kSuiteMagic, 8),
+                  kSuiteDataFormatVersion, sink.bytes());
+}
+
+std::optional<SuiteData>
+readSuiteData(std::istream &in)
+{
+    const auto payload =
+        readEnvelope(in, std::string_view(kSuiteMagic, 8),
+                     kSuiteDataFormatVersion, kMaxFilePayload);
+    if (!payload)
+        return std::nullopt;
+
+    ByteParser parser(*payload);
+    SuiteData data;
+    std::uint64_t benchmarks = 0;
+    if (!parser.getString(data.suiteName) ||
+        !parser.getU64(benchmarks) ||
+        benchmarks > kMaxReasonableBenchmarks)
+        return std::nullopt;
+    data.benchmarks.reserve(benchmarks);
+    for (std::uint64_t i = 0; i < benchmarks; ++i) {
+        BenchmarkData bench;
+        if (!parser.getString(bench.name) ||
+            !parser.getDouble(bench.instructionWeight))
+            return std::nullopt;
+        auto samples = parseDataset(parser);
+        if (!samples)
+            return std::nullopt;
+        bench.samples = std::move(*samples);
+        data.benchmarks.push_back(std::move(bench));
+    }
+    if (!parser.atEnd())
+        return std::nullopt;
+    return data;
+}
+
+} // namespace wct

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Binary serialization of collected suites (SuiteData), used by the
+ * pipeline's collect stage artifacts and the determinism checks.
+ *
+ * The paper's workflow (Sections IV-VI) re-uses the same collected
+ * suites across table generation, similarity, and transferability
+ * runs, so a collected SuiteData serializes once into a checksummed
+ * binary envelope (data/binary_io) with exact double bit patterns — a
+ * reload is byte-identical to the collection that produced it. The
+ * content addressing that used to live next to this code (PR 3's
+ * collect_cache) is now the pipeline artifact store; see
+ * pipeline/stages.hh for the collect stage key.
+ */
+
+#ifndef WCT_CORE_SUITE_IO_HH
+#define WCT_CORE_SUITE_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "core/collect.hh"
+
+namespace wct
+{
+
+/** Version of the SuiteData envelope; bump on layout changes. */
+constexpr std::uint32_t kSuiteDataFormatVersion = 1;
+
+/** Serialize a collected suite as a checksummed binary stream. */
+void writeSuiteData(std::ostream &out, const SuiteData &data);
+
+/**
+ * Read a serialized suite; nullopt on any corruption, truncation,
+ * version mismatch, or oversized claimed payload (kMaxFilePayload).
+ */
+std::optional<SuiteData> readSuiteData(std::istream &in);
+
+} // namespace wct
+
+#endif // WCT_CORE_SUITE_IO_HH

@@ -1,0 +1,292 @@
+#include "data/artifact_store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace wct
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr char kArtifactExtension[] = ".wctart";
+
+/** Monotonic per-process counter making temp file names unique even
+ * across threads racing on the same key. */
+std::atomic<std::uint64_t> tempCounter{0};
+
+} // namespace
+
+KeyBuilder &
+KeyBuilder::u8(std::uint8_t v)
+{
+    sink_.putU8(v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::u32(std::uint32_t v)
+{
+    sink_.putU32(v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::u64(std::uint64_t v)
+{
+    sink_.putU64(v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::f64(double v)
+{
+    // Canonicalize the one pair of distinct bit patterns that
+    // compares equal: configs that are == must never key apart.
+    sink_.putDouble(v == 0.0 ? 0.0 : v);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::str(const std::string &s)
+{
+    sink_.putString(s);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::bytes(std::string_view raw)
+{
+    sink_.putU64(raw.size());
+    for (char c : raw)
+        sink_.putU8(static_cast<std::uint8_t>(c));
+    return *this;
+}
+
+std::string
+keyHex(std::uint64_t key)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[key & 0xf];
+        key >>= 4;
+    }
+    return out;
+}
+
+std::optional<std::uint64_t>
+parseKeyHex(std::string_view hex)
+{
+    if (hex.size() != 16)
+        return std::nullopt;
+    std::uint64_t key = 0;
+    for (char c : hex) {
+        key <<= 4;
+        if (c >= '0' && c <= '9')
+            key |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            key |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            key |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return std::nullopt;
+    }
+    return key;
+}
+
+std::string
+ArtifactId::fileName() const
+{
+    return kind + "-" + keyHex(key) + kArtifactExtension;
+}
+
+std::string
+ArtifactStore::path(const ArtifactId &id) const
+{
+    return (fs::path(dir_) / id.fileName()).string();
+}
+
+bool
+ArtifactStore::contains(const ArtifactId &id) const
+{
+    return enabled() && fs::exists(path(id));
+}
+
+std::optional<std::string>
+ArtifactStore::load(const ArtifactId &id) const
+{
+    if (!enabled())
+        return std::nullopt;
+    const std::string file = path(id);
+    std::ifstream in(file, std::ios::binary);
+    if (!in)
+        return std::nullopt; // missing: a plain miss, no warning
+
+    const auto envelope = readEnvelope(
+        in, std::string_view(kArtifactMagic, 8), kArtifactFormatVersion,
+        kMaxFilePayload);
+    if (!envelope) {
+        wct_warn("ignoring corrupt or incompatible artifact '", file,
+                 "'; recomputing");
+        return std::nullopt;
+    }
+
+    // The payload self-identifies; a renamed or cross-linked file
+    // must not be served under the wrong key.
+    ByteParser parser(*envelope);
+    std::string kind;
+    std::uint64_t key = 0;
+    if (!parser.getString(kind) || !parser.getU64(key) ||
+        kind != id.kind || key != id.key) {
+        wct_warn("artifact '", file, "' does not match its address (",
+                 id.kind, "-", keyHex(id.key), "); recomputing");
+        return std::nullopt;
+    }
+    std::string payload;
+    if (!parser.getString(payload) || !parser.atEnd()) {
+        wct_warn("ignoring corrupt or incompatible artifact '", file,
+                 "'; recomputing");
+        return std::nullopt;
+    }
+    return payload;
+}
+
+bool
+ArtifactStore::store(const ArtifactId &id,
+                     std::string_view payload) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        wct_warn("cannot create artifact store '", dir_, "': ",
+                 ec.message());
+        return false;
+    }
+
+    ByteSink full;
+    full.putString(id.kind);
+    full.putU64(id.key);
+    full.putString(std::string(payload));
+    std::ostringstream stream;
+    writeEnvelope(stream, std::string_view(kArtifactMagic, 8),
+                  kArtifactFormatVersion, full.bytes());
+
+    // Unique temp name per writer, then an atomic rename: concurrent
+    // writers of one key serialize on the rename (identical content,
+    // last one wins) and a crash never leaves a torn final file.
+    const std::string final_path = path(id);
+    const std::string temp_path =
+        final_path + "." + std::to_string(::getpid()) + "." +
+        std::to_string(
+            tempCounter.fetch_add(1, std::memory_order_relaxed)) +
+        ".tmp";
+    {
+        std::ofstream out(temp_path,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            wct_warn("cannot write artifact file '", temp_path, "'");
+            return false;
+        }
+        out << stream.str();
+        if (!out) {
+            wct_warn("short write to artifact file '", temp_path,
+                     "'");
+            fs::remove(temp_path, ec);
+            return false;
+        }
+    }
+    fs::rename(temp_path, final_path, ec);
+    if (ec) {
+        wct_warn("cannot move artifact into place: ", ec.message());
+        fs::remove(temp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+ArtifactStore::remove(const ArtifactId &id) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    return fs::remove(path(id), ec) && !ec;
+}
+
+std::vector<ArtifactInfo>
+ArtifactStore::list() const
+{
+    std::vector<ArtifactInfo> out;
+    if (!enabled() || !fs::is_directory(dir_))
+        return out;
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != kArtifactExtension)
+            continue;
+        const std::string stem = entry.path().stem().string();
+        const std::size_t dash = stem.rfind('-');
+        if (dash == std::string::npos)
+            continue;
+        const auto key = parseKeyHex(
+            std::string_view(stem).substr(dash + 1));
+        if (!key)
+            continue;
+        ArtifactInfo info;
+        info.id.kind = stem.substr(0, dash);
+        info.id.key = *key;
+        std::error_code ec;
+        info.fileBytes = entry.file_size(ec);
+        info.path = entry.path().string();
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ArtifactInfo &a, const ArtifactInfo &b) {
+                  return a.path < b.path;
+              });
+    return out;
+}
+
+std::vector<ArtifactId>
+ArtifactStore::gc(const std::vector<ArtifactId> &live) const
+{
+    std::vector<ArtifactId> removed;
+    if (!enabled() || !fs::is_directory(dir_))
+        return removed;
+
+    std::vector<std::string> keep;
+    keep.reserve(live.size());
+    for (const ArtifactId &id : live)
+        keep.push_back(id.fileName());
+
+    for (const ArtifactInfo &info : list()) {
+        if (std::find(keep.begin(), keep.end(),
+                      info.id.fileName()) != keep.end())
+            continue;
+        std::error_code ec;
+        if (fs::remove(info.path, ec) && !ec)
+            removed.push_back(info.id);
+    }
+    // Sweep temp droppings of crashed writers.
+    for (const auto &entry : fs::directory_iterator(dir_)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".tmp") {
+            std::error_code ec;
+            fs::remove(entry.path(), ec);
+        }
+    }
+    return removed;
+}
+
+} // namespace wct

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Content-addressed artifact store: the one on-disk cache behind the
+ * staged pipeline (src/pipeline), the CLI cache commands, and the
+ * serving model registry.
+ *
+ * Every cached intermediate — collected SuiteData, trained model
+ * trees, classified profile tables, similarity matrices,
+ * transferability reports — is one *artifact*: a binary-envelope file
+ * (data/binary_io layout, FNV-1a checksummed) addressed by a `kind`
+ * string plus a 64-bit content key. Keys are derived exclusively
+ * through KeyBuilder, the single key-derivation implementation in the
+ * tree: canonical little-endian encodings of every stage input are
+ * hashed with FNV-1a, so two runs share an artifact iff they would
+ * compute identical bytes. (PR 3's collect_cache and PR 4's
+ * ModelRegistry each had a private copy of this scheme; both now go
+ * through here.)
+ *
+ * Layout: `<dir>/<kind>-<16-hex-digit key>.wctart`. Each payload is
+ * prefixed with its own (kind, key) so a renamed or cross-linked file
+ * is detected as a mismatch, not silently served. Corrupt, truncated,
+ * mismatched, or oversized files load as nullopt with a warning —
+ * callers recompute and overwrite. Writes go through a per-writer
+ * temp file plus an atomic rename, so concurrent writers to the same
+ * key are safe (last rename wins with identical bytes) and a crashed
+ * writer never leaves a half-written artifact under the final name.
+ */
+
+#ifndef WCT_DATA_ARTIFACT_STORE_HH
+#define WCT_DATA_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/binary_io.hh"
+
+namespace wct
+{
+
+/** Magic and version of .wctart artifact files. */
+constexpr char kArtifactMagic[] = "WCTARTF"; ///< 7 chars + NUL = 8
+constexpr std::uint32_t kArtifactFormatVersion = 1;
+
+/**
+ * The single key-derivation implementation: canonical little-endian
+ * field encoding (exact double bit patterns — decimal formatting
+ * never enters a key) hashed with FNV-1a. Every stage key, the
+ * collection cache key, and the serving model content key are built
+ * with this type.
+ */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &u8(std::uint8_t v);
+    KeyBuilder &u32(std::uint32_t v);
+    KeyBuilder &u64(std::uint64_t v);
+    KeyBuilder &f64(double v);
+    KeyBuilder &str(const std::string &s);
+    KeyBuilder &bytes(std::string_view raw);
+
+    /** FNV-1a hash of everything appended so far. */
+    std::uint64_t key() const { return sink_.hash(); }
+
+  private:
+    ByteSink sink_;
+};
+
+/** Lower-case 16-hex-digit rendering of a 64-bit key. */
+std::string keyHex(std::uint64_t key);
+
+/** Parse a 16-hex-digit key; nullopt on anything else. */
+std::optional<std::uint64_t> parseKeyHex(std::string_view hex);
+
+/** Address of one artifact: what it is plus the hash of its inputs. */
+struct ArtifactId
+{
+    std::string kind;       ///< e.g. "collect", "train", "mtree"
+    std::uint64_t key = 0;
+
+    /** File name within a store: `<kind>-<16 hex>.wctart`. */
+    std::string fileName() const;
+};
+
+/** Directory-listing entry of one stored artifact. */
+struct ArtifactInfo
+{
+    ArtifactId id;
+    std::uintmax_t fileBytes = 0;
+    std::string path;
+};
+
+/**
+ * The content-addressed store. Default-constructed (or empty-dir)
+ * stores are *disabled*: loads always miss and stores are dropped, so
+ * pipelines run uncached without special-casing.
+ */
+class ArtifactStore
+{
+  public:
+    ArtifactStore() = default;
+    explicit ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Final path of an artifact (whether or not it exists). */
+    std::string path(const ArtifactId &id) const;
+
+    /** True when a (possibly invalid) file exists for this id. */
+    bool contains(const ArtifactId &id) const;
+
+    /**
+     * Load an artifact's payload. nullopt when the store is disabled,
+     * the file is missing, or the file is corrupt / truncated /
+     * oversized / recorded under a different (kind, key) — the
+     * invalid cases additionally warn, and the caller is expected to
+     * recompute and store() over the bad entry.
+     */
+    std::optional<std::string> load(const ArtifactId &id) const;
+
+    /**
+     * Store a payload under its id (atomic write-then-rename; safe
+     * against concurrent writers of the same key). Returns false
+     * (with a warning) on I/O failure — a failed store is a lost
+     * cache entry, never a fatal error.
+     */
+    bool store(const ArtifactId &id, std::string_view payload) const;
+
+    /** Delete one artifact; false when it was not present. */
+    bool remove(const ArtifactId &id) const;
+
+    /** Every .wctart file in the store, sorted by file name. */
+    std::vector<ArtifactInfo> list() const;
+
+    /**
+     * Remove every artifact whose id is not in `live`, plus stale
+     * .tmp files from crashed writers. Returns the ids removed. Never
+     * touches live artifacts, non-store files, or anything when the
+     * store is disabled.
+     */
+    std::vector<ArtifactId> gc(const std::vector<ArtifactId> &live) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace wct
+
+#endif // WCT_DATA_ARTIFACT_STORE_HH

@@ -66,7 +66,7 @@ ByteSink::putDouble(double v)
 }
 
 void
-ByteSink::putString(const std::string &s)
+ByteSink::putString(std::string_view s)
 {
     putU64(s.size());
     bytes_.append(s);

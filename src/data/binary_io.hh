@@ -39,6 +39,15 @@ namespace wct
 /** FNV-1a 64-bit offset basis (the seed of an empty hash). */
 constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
 
+/**
+ * Claimed-size cap for trusted on-disk envelopes (datasets, cached
+ * suites, store artifacts) — the kMaxFramePayload analogue of the
+ * serve wire: a corrupt or hostile length field must fail the read,
+ * never drive a giant allocation. Network-facing readers use their
+ * own, tighter budget.
+ */
+constexpr std::uint64_t kMaxFilePayload = 1ull << 30; // 1 GiB
+
 /** FNV-1a 64-bit hash of a byte range, chainable via `seed`. */
 std::uint64_t fnv1a64(std::string_view bytes,
                       std::uint64_t seed = kFnv1aOffset);
@@ -56,7 +65,7 @@ class ByteSink
     void putU32(std::uint32_t v);
     void putU64(std::uint64_t v);
     void putDouble(double v); ///< IEEE-754 bit pattern, little-endian
-    void putString(const std::string &s); ///< u64 length + bytes
+    void putString(std::string_view s); ///< u64 length + bytes
 
     const std::string &bytes() const { return bytes_; }
     std::uint64_t hash() const { return fnv1a64(bytes_); }

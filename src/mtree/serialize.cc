@@ -1,11 +1,13 @@
 #include "mtree/serialize.hh"
 
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "data/artifact_store.hh"
 #include "util/logging.hh"
 
 namespace wct
@@ -270,12 +272,31 @@ tryReadModelTree(std::istream &in, std::string *err)
 std::optional<ModelTree>
 tryReadModelTreeFile(const std::string &path, std::string *err)
 {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec && bytes > kMaxModelTreeFileBytes) {
+        parseFail(err, "'" + path + "' is too large to be a model "
+                       "tree file");
+        return std::nullopt;
+    }
     std::ifstream in(path);
     if (!in) {
         parseFail(err, "cannot open '" + path + "' for reading");
         return std::nullopt;
     }
     return ModelTree::tryLoad(in, err);
+}
+
+std::uint64_t
+modelTreeContentKey(std::string_view text)
+{
+    return fnv1a64(text);
+}
+
+std::string
+modelTreeContentHex(std::string_view text)
+{
+    return keyHex(modelTreeContentKey(text));
 }
 
 } // namespace wct

@@ -18,9 +18,11 @@
 #ifndef WCT_MTREE_SERIALIZE_HH
 #define WCT_MTREE_SERIALIZE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "mtree/model_tree.hh"
 
@@ -32,6 +34,26 @@ namespace wct
  * trailing number on incompatible changes). `wct version` reports it.
  */
 constexpr char kModelTreeMagicLine[] = "wct-model-tree v1";
+
+/**
+ * Cap on the file size tryReadModelTreeFile will slurp. A real tree
+ * is a few KB of text; anything near this bound is not a model file,
+ * and rejecting it up front keeps a mislabelled giant file from being
+ * read into memory just to fail the parse.
+ */
+constexpr std::uint64_t kMaxModelTreeFileBytes = 1ull << 28; // 256 MiB
+
+/**
+ * Content key of a serialized tree: the FNV-1a hash of the exact text
+ * bytes. This is the identity serving and the artifact store use for
+ * models — two trees share a key iff they serialize identically, i.e.
+ * they compute the same function. (keyHex of data/artifact_store.hh
+ * renders it; modelTreeContentHex composes the two.)
+ */
+std::uint64_t modelTreeContentKey(std::string_view text);
+
+/** 16-hex-digit rendering of modelTreeContentKey. */
+std::string modelTreeContentHex(std::string_view text);
 
 /** Write a trained tree. */
 void writeModelTree(const ModelTree &tree, std::ostream &out);

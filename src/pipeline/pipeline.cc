@@ -1,0 +1,45 @@
+#include "pipeline/pipeline.hh"
+
+#include <sstream>
+
+#include "util/text_table.hh"
+
+namespace wct::pipeline
+{
+
+bool
+Pipeline::allCached() const
+{
+    return cachedCount() == runs_.size();
+}
+
+std::size_t
+Pipeline::cachedCount() const
+{
+    std::size_t hits = 0;
+    for (const StageRun &run : runs_)
+        hits += run.cached;
+    return hits;
+}
+
+std::string
+Pipeline::renderReport() const
+{
+    TextTable table({"Stage", "Artifact", "Cache", "Time (ms)",
+                     "Bytes"});
+    for (const StageRun &run : runs_) {
+        char ms[32];
+        std::snprintf(ms, sizeof ms, "%.1f", run.ms);
+        table.addRow({run.label,
+                      run.id.kind + "-" + keyHex(run.id.key),
+                      run.cached ? "hit" : "miss", ms,
+                      std::to_string(run.payloadBytes)});
+    }
+    std::ostringstream out;
+    out << table.render();
+    out << "stages: " << runs_.size() << ", cache hits: "
+        << cachedCount() << "/" << runs_.size() << "\n";
+    return out.str();
+}
+
+} // namespace wct::pipeline

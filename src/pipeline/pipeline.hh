@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The staged-execution layer: one Pipeline drives the paper's fixed
+ * dataflow — collect PMU intervals, train the suite M5' tree,
+ * classify samples into leaf profiles, compute similarity, assess
+ * transferability — as content-addressed stages over an
+ * ArtifactStore.
+ *
+ * Every stage declares its inputs as a content key (derived with the
+ * store's KeyBuilder from canonical encodings of everything the
+ * output depends on, including upstream stage keys) and its output as
+ * a binary artifact payload. Pipeline::run() then gives each stage
+ * the same lifecycle: look the key up in the store, decode on a hit,
+ * compute + encode + store on a miss, and warn-and-recompute when the
+ * artifact on disk is corrupt or mismatched. Each execution is
+ * recorded as a StageRun (key, hit/miss, wall time, artifact size),
+ * which `wct run` and bench/perf_pipeline render as the per-stage
+ * cache report.
+ *
+ * Because stage keys chain (a train key hashes the collect key it
+ * consumes), changing any parameter re-runs exactly the stages
+ * downstream of the change — regenerating Table III after a tweak
+ * re-collects nothing that is still valid.
+ */
+
+#ifndef WCT_PIPELINE_PIPELINE_HH
+#define WCT_PIPELINE_PIPELINE_HH
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/artifact_store.hh"
+#include "util/logging.hh"
+
+namespace wct::pipeline
+{
+
+/** Record of one executed stage. */
+struct StageRun
+{
+    std::string label;  ///< human name, e.g. "collect:cpu2006"
+    ArtifactId id;      ///< where the output lives in the store
+    bool cached = false; ///< artifact hit (no recompute)
+    double ms = 0.0;     ///< wall time incl. decode or compute+store
+    std::size_t payloadBytes = 0;
+};
+
+/** One staged execution over a store; see the file comment. */
+class Pipeline
+{
+  public:
+    /** A disabled (default) store runs every stage uncached. */
+    explicit Pipeline(ArtifactStore store = {})
+        : store_(std::move(store))
+    {
+    }
+
+    const ArtifactStore &store() const { return store_; }
+
+    /** Stages executed so far, in order. */
+    const std::vector<StageRun> &runs() const { return runs_; }
+
+    /** True when every executed stage was served from the store. */
+    bool allCached() const;
+
+    /** Number of cache hits among the executed stages. */
+    std::size_t cachedCount() const;
+
+    /** Render the per-stage cache/hit/timing report. */
+    std::string renderReport() const;
+
+    /**
+     * Execute one stage. `encode` serializes a computed value into an
+     * artifact payload; `decode` must reject any byte sequence it did
+     * not produce (returning nullopt falls back to recompute, with a
+     * warning). The value is returned either way; the StageRun is
+     * appended to runs().
+     */
+    template <typename T>
+    T
+    run(const std::string &label, const ArtifactId &id,
+        const std::function<std::string(const T &)> &encode,
+        const std::function<std::optional<T>(std::string_view)>
+            &decode,
+        const std::function<T()> &compute)
+    {
+        StageRun record;
+        record.label = label;
+        record.id = id;
+        const auto start = std::chrono::steady_clock::now();
+
+        std::optional<T> value;
+        if (auto payload = store_.load(id)) {
+            value = decode(*payload);
+            if (value) {
+                record.cached = true;
+                record.payloadBytes = payload->size();
+            } else {
+                wct_warn("artifact '", id.fileName(),
+                         "' failed to decode; recomputing stage ",
+                         label);
+            }
+        }
+        if (!value) {
+            value = compute();
+            const std::string payload = encode(*value);
+            record.payloadBytes = payload.size();
+            store_.store(id, payload);
+        }
+
+        const auto stop = std::chrono::steady_clock::now();
+        record.ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        runs_.push_back(record);
+        return std::move(*value);
+    }
+
+  private:
+    ArtifactStore store_;
+    std::vector<StageRun> runs_;
+};
+
+} // namespace wct::pipeline
+
+#endif // WCT_PIPELINE_PIPELINE_HH

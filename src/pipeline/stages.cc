@@ -1,0 +1,588 @@
+#include "pipeline/stages.hh"
+
+#include <sstream>
+
+#include "core/suite_io.hh"
+#include "mtree/serialize.hh"
+
+namespace wct::pipeline
+{
+
+namespace
+{
+
+// ---- Caps on decoded counts: a corrupt artifact must fail the
+// decode, never drive a giant allocation. ----
+constexpr std::uint64_t kMaxReasonableRows = 1u << 16;
+constexpr std::uint64_t kMaxReasonableLeaves = 1u << 16;
+
+void
+appendCacheConfig(KeyBuilder &key, const CacheConfig &config)
+{
+    key.u64(config.sizeBytes)
+        .u32(config.lineBytes)
+        .u32(config.ways)
+        .u32(static_cast<std::uint32_t>(config.policy));
+}
+
+void
+appendTlbConfig(KeyBuilder &key, const TlbConfig &config)
+{
+    key.u32(config.pageBytes)
+        .u32(config.entries)
+        .u32(config.ways)
+        .f64(config.walkCycles)
+        .f64(config.shortWalkCycles)
+        .u32(config.pdeEntries);
+}
+
+void
+appendMachineConfig(KeyBuilder &key, const CoreConfig &machine)
+{
+    appendCacheConfig(key, machine.l1d);
+    appendCacheConfig(key, machine.l1i);
+    appendCacheConfig(key, machine.l2);
+    appendTlbConfig(key, machine.dtlb);
+    appendTlbConfig(key, machine.itlb);
+    key.u32(machine.branch.tableBits)
+        .u32(machine.branch.historyBits)
+        .u32(machine.storeBuffer.entries)
+        .u32(machine.storeBuffer.lifetime)
+        .u32(machine.storeBuffer.staResolveAge)
+        .u32(machine.storeBuffer.stdResolveAge)
+        .f64(machine.issueWidth)
+        .f64(machine.mulExtraCycles)
+        .f64(machine.divExtraCycles)
+        .f64(machine.simdExtraCycles)
+        .f64(machine.l1dMissCycles)
+        .f64(machine.l1dMissExposed)
+        .f64(machine.l2MissCycles)
+        .f64(machine.l1iMissCycles)
+        .f64(machine.l2iMissCycles)
+        .f64(machine.mispredictCycles)
+        .f64(machine.ldBlkStaCycles)
+        .f64(machine.ldBlkStdCycles)
+        .f64(machine.ldBlkOlpCycles)
+        .f64(machine.splitCycles)
+        .f64(machine.misalignCycles)
+        .f64(machine.fpAssistCycles)
+        .f64(machine.robWindowCycles)
+        .f64(machine.mlpFactor)
+        .u8(machine.prefetchEnabled ? 1 : 0)
+        .u32(machine.prefetchStreak)
+        .u32(machine.prefetchStreams)
+        .u32(machine.prefetchDepth)
+        .f64(machine.prefetchBandwidthDivisor);
+}
+
+void
+appendPhaseProfile(KeyBuilder &key, const PhaseProfile &phase)
+{
+    key.str(phase.name)
+        .f64(phase.weight)
+        .f64(phase.loadFrac)
+        .f64(phase.storeFrac)
+        .f64(phase.branchFrac)
+        .f64(phase.mulFrac)
+        .f64(phase.divFrac)
+        .f64(phase.simdFrac)
+        .u64(phase.dataFootprint)
+        .u64(phase.hotBytes)
+        .f64(phase.hotFrac)
+        .f64(phase.streamFrac)
+        .f64(phase.pointerChaseFrac)
+        .u8(phase.accessSize)
+        .f64(phase.misalignFrac)
+        .f64(phase.splitFrac)
+        .f64(phase.aliasFrac)
+        .f64(phase.overlapFrac)
+        .f64(phase.slowStoreAddrFrac)
+        .f64(phase.slowStoreDataFrac)
+        .f64(phase.branchEntropy)
+        .f64(phase.takenBias)
+        .u64(phase.codeFootprint)
+        .u64(phase.hotCodeBytes)
+        .f64(phase.hotCodeFrac)
+        .f64(phase.fpAssistFrac);
+}
+
+void
+appendTestResult(ByteSink &sink, const TestResult &test)
+{
+    sink.putDouble(test.statistic);
+    sink.putDouble(test.df);
+    sink.putDouble(test.pValue);
+    sink.putDouble(test.stderror);
+}
+
+bool
+parseTestResult(ByteParser &parser, TestResult &test)
+{
+    return parser.getDouble(test.statistic) &&
+        parser.getDouble(test.df) && parser.getDouble(test.pValue) &&
+        parser.getDouble(test.stderror);
+}
+
+void
+appendInterval(ByteSink &sink, const ConfidenceInterval &ci)
+{
+    sink.putDouble(ci.lower);
+    sink.putDouble(ci.upper);
+    sink.putDouble(ci.pointEstimate);
+}
+
+bool
+parseInterval(ByteParser &parser, ConfidenceInterval &ci)
+{
+    return parser.getDouble(ci.lower) && parser.getDouble(ci.upper) &&
+        parser.getDouble(ci.pointEstimate);
+}
+
+void
+appendProfileRow(ByteSink &sink, const BenchmarkProfileRow &row)
+{
+    sink.putString(row.name);
+    sink.putU64(row.percent.size());
+    for (double p : row.percent)
+        sink.putDouble(p);
+    sink.putDouble(row.meanCpi);
+}
+
+bool
+parseProfileRow(ByteParser &parser, BenchmarkProfileRow &row)
+{
+    std::uint64_t leaves = 0;
+    if (!parser.getString(row.name) || !parser.getU64(leaves) ||
+        leaves > kMaxReasonableLeaves)
+        return false;
+    row.percent.resize(leaves);
+    for (double &p : row.percent)
+        if (!parser.getDouble(p))
+            return false;
+    return parser.getDouble(row.meanCpi);
+}
+
+} // namespace
+
+void
+appendSuiteProfile(KeyBuilder &key, const SuiteProfile &suite)
+{
+    key.str(suite.name).u64(suite.benchmarks.size());
+    for (const BenchmarkProfile &bench : suite.benchmarks) {
+        key.str(bench.name)
+            .str(bench.language)
+            .u8(bench.integer ? 1 : 0)
+            .f64(bench.instructionWeight)
+            .u64(bench.phaseRunLength)
+            .u64(bench.phases.size());
+        for (const PhaseProfile &phase : bench.phases)
+            appendPhaseProfile(key, phase);
+    }
+}
+
+void
+appendCollectionConfig(KeyBuilder &key, const CollectionConfig &config)
+{
+    key.u64(config.intervalInstructions)
+        .u64(config.baseIntervals)
+        .u64(config.warmupInstructions)
+        .u8(config.multiplexed ? 1 : 0);
+    appendMachineConfig(key, config.machine);
+    key.u64(config.seed).u64(config.shards);
+}
+
+void
+appendSuiteModelConfig(KeyBuilder &key, const SuiteModelConfig &config)
+{
+    // config.tree.builder is deliberately not hashed: every builder
+    // produces byte-identical trees (builder-equivalence test).
+    key.f64(config.trainFraction)
+        .str(config.target)
+        .u64(config.tree.minLeafInstances)
+        .f64(config.tree.minLeafFraction)
+        .f64(config.tree.sdThresholdFraction)
+        .u64(config.tree.maxDepth)
+        .u8(config.tree.prune ? 1 : 0)
+        .u8(config.tree.smooth ? 1 : 0)
+        .f64(config.tree.smoothingK)
+        .u8(config.tree.simplifyModels ? 1 : 0)
+        .u8(config.tree.clampPredictions ? 1 : 0)
+        .u8(config.tree.constantLeaves ? 1 : 0)
+        .u64(config.seed);
+}
+
+void
+appendTransferabilityConfig(KeyBuilder &key,
+                            const TransferabilityConfig &config)
+{
+    key.f64(config.alpha)
+        .f64(config.minCorrelation)
+        .f64(config.maxMae)
+        .u8(config.nonParametric ? 1 : 0)
+        .u64(config.bootstrapReplicates)
+        .f64(config.bootstrapConfidence)
+        .u64(config.bootstrapSeed)
+        .str(config.modelName)
+        .str(config.targetName);
+}
+
+std::uint64_t
+collectStageKey(const SuiteProfile &suite,
+                const CollectionConfig &config)
+{
+    KeyBuilder key;
+    key.str("collect").u32(kSuiteDataFormatVersion);
+    appendSuiteProfile(key, suite);
+    appendCollectionConfig(key, config);
+    return key.key();
+}
+
+std::uint64_t
+trainStageKey(std::uint64_t collectKey, const SuiteModelConfig &config)
+{
+    KeyBuilder key;
+    key.str("train").u32(kTrainPayloadVersion).u64(collectKey);
+    appendSuiteModelConfig(key, config);
+    return key.key();
+}
+
+std::uint64_t
+profileStageKey(std::uint64_t trainKey)
+{
+    KeyBuilder key;
+    key.str("profile").u32(kProfilePayloadVersion).u64(trainKey);
+    return key.key();
+}
+
+std::uint64_t
+similarityStageKey(std::uint64_t profileKey,
+                   const std::vector<std::string> &subset)
+{
+    KeyBuilder key;
+    key.str("similarity")
+        .u32(kSimilarityPayloadVersion)
+        .u64(profileKey)
+        .u64(subset.size());
+    for (const std::string &name : subset)
+        key.str(name);
+    return key.key();
+}
+
+std::uint64_t
+transferStageKey(std::uint64_t modelTrainKey,
+                 std::uint64_t targetTrainKey,
+                 std::string_view targetSelector,
+                 const TransferabilityConfig &config)
+{
+    KeyBuilder key;
+    key.str("transfer")
+        .u32(kTransferPayloadVersion)
+        .u64(modelTrainKey)
+        .u64(targetTrainKey)
+        .bytes(targetSelector);
+    appendTransferabilityConfig(key, config);
+    return key.key();
+}
+
+// ---- Codecs. ----
+
+std::string
+encodeSuiteData(const SuiteData &data)
+{
+    std::ostringstream out;
+    writeSuiteData(out, data);
+    return std::move(out).str();
+}
+
+std::optional<SuiteData>
+decodeSuiteData(std::string_view payload)
+{
+    std::istringstream in{std::string(payload)};
+    return readSuiteData(in);
+}
+
+std::string
+encodeSuiteModel(const SuiteModel &model)
+{
+    std::ostringstream tree_text;
+    writeModelTree(model.tree, tree_text);
+
+    ByteSink sink;
+    sink.putString(model.suiteName);
+    sink.putString(std::move(tree_text).str());
+    appendDataset(sink, model.train);
+    appendDataset(sink, model.test);
+    sink.putDouble(model.meanCpi);
+    return sink.bytes();
+}
+
+std::optional<SuiteModel>
+decodeSuiteModel(std::string_view payload)
+{
+    ByteParser parser(payload);
+    SuiteModel model;
+    std::string tree_text;
+    if (!parser.getString(model.suiteName) ||
+        !parser.getString(tree_text))
+        return std::nullopt;
+
+    std::istringstream tree_in(std::move(tree_text));
+    auto tree = tryReadModelTree(tree_in);
+    if (!tree)
+        return std::nullopt;
+    model.tree = std::move(*tree);
+
+    auto train = parseDataset(parser);
+    if (!train)
+        return std::nullopt;
+    model.train = std::move(*train);
+    auto test = parseDataset(parser);
+    if (!test)
+        return std::nullopt;
+    model.test = std::move(*test);
+
+    if (!parser.getDouble(model.meanCpi) || !parser.atEnd())
+        return std::nullopt;
+    return model;
+}
+
+std::string
+encodeProfileTable(const ProfileTable &table)
+{
+    ByteSink sink;
+    sink.putU64(table.numModels());
+    sink.putU64(table.rows().size());
+    for (const BenchmarkProfileRow &row : table.rows())
+        appendProfileRow(sink, row);
+    appendProfileRow(sink, table.suiteRow());
+    appendProfileRow(sink, table.averageRow());
+    return sink.bytes();
+}
+
+std::optional<ProfileTable>
+decodeProfileTable(std::string_view payload)
+{
+    ByteParser parser(payload);
+    std::uint64_t models = 0;
+    std::uint64_t count = 0;
+    if (!parser.getU64(models) || models > kMaxReasonableLeaves ||
+        !parser.getU64(count) || count > kMaxReasonableRows)
+        return std::nullopt;
+
+    std::vector<BenchmarkProfileRow> rows(count);
+    for (BenchmarkProfileRow &row : rows)
+        if (!parseProfileRow(parser, row))
+            return std::nullopt;
+    BenchmarkProfileRow suite;
+    BenchmarkProfileRow average;
+    if (!parseProfileRow(parser, suite) ||
+        !parseProfileRow(parser, average) || !parser.atEnd())
+        return std::nullopt;
+    return ProfileTable(models, std::move(rows), std::move(suite),
+                        std::move(average));
+}
+
+std::string
+encodeSimilarity(const SimilarityMatrix &matrix)
+{
+    ByteSink sink;
+    const std::size_t n = matrix.names().size();
+    sink.putU64(n);
+    for (const std::string &name : matrix.names())
+        sink.putString(name);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            sink.putDouble(matrix.at(i, j));
+    for (std::size_t i = 0; i < n; ++i)
+        sink.putDouble(matrix.distanceToSuite(i));
+    return sink.bytes();
+}
+
+std::optional<SimilarityMatrix>
+decodeSimilarity(std::string_view payload)
+{
+    ByteParser parser(payload);
+    std::uint64_t n = 0;
+    if (!parser.getU64(n) || n < 2 || n > kMaxReasonableRows)
+        return std::nullopt;
+
+    std::vector<std::string> names(n);
+    for (std::string &name : names)
+        if (!parser.getString(name))
+            return std::nullopt;
+    std::vector<double> cells(n * n);
+    for (double &cell : cells)
+        if (!parser.getDouble(cell))
+            return std::nullopt;
+    std::vector<double> to_suite(n);
+    for (double &d : to_suite)
+        if (!parser.getDouble(d))
+            return std::nullopt;
+    if (!parser.atEnd())
+        return std::nullopt;
+    return SimilarityMatrix(std::move(names), std::move(cells),
+                            std::move(to_suite));
+}
+
+std::string
+encodeTransferReport(const TransferabilityReport &report)
+{
+    ByteSink sink;
+    sink.putString(report.modelName);
+    sink.putString(report.targetName);
+    appendTestResult(sink, report.cpiTest);
+    appendTestResult(sink, report.predictionTest);
+    appendTestResult(sink, report.mannWhitney);
+    appendTestResult(sink, report.levene);
+    sink.putDouble(report.accuracy.correlation);
+    sink.putDouble(report.accuracy.meanAbsoluteError);
+    sink.putDouble(report.accuracy.rootMeanSquaredError);
+    sink.putDouble(report.accuracy.relativeAbsoluteError);
+    sink.putDouble(report.accuracy.rootRelativeSquaredError);
+    appendInterval(sink, report.correlationCi);
+    appendInterval(sink, report.maeCi);
+    sink.putU8(report.hasBootstrap ? 1 : 0);
+    sink.putU64(report.trainCount);
+    sink.putU64(report.targetCount);
+    sink.putDouble(report.trainMeanCpi);
+    sink.putDouble(report.targetMeanCpi);
+    sink.putDouble(report.predictedMeanCpi);
+    sink.putDouble(report.trainSdCpi);
+    sink.putDouble(report.targetSdCpi);
+    sink.putDouble(report.predictedSdCpi);
+    sink.putDouble(report.config.alpha);
+    sink.putDouble(report.config.minCorrelation);
+    sink.putDouble(report.config.maxMae);
+    sink.putU8(report.config.nonParametric ? 1 : 0);
+    sink.putU64(report.config.bootstrapReplicates);
+    sink.putDouble(report.config.bootstrapConfidence);
+    sink.putU64(report.config.bootstrapSeed);
+    sink.putString(report.config.modelName);
+    sink.putString(report.config.targetName);
+    return sink.bytes();
+}
+
+std::optional<TransferabilityReport>
+decodeTransferReport(std::string_view payload)
+{
+    ByteParser parser(payload);
+    TransferabilityReport report;
+    std::uint8_t has_bootstrap = 0;
+    std::uint8_t non_parametric = 0;
+    std::uint64_t train_count = 0;
+    std::uint64_t target_count = 0;
+    std::uint64_t replicates = 0;
+    const bool ok = parser.getString(report.modelName) &&
+        parser.getString(report.targetName) &&
+        parseTestResult(parser, report.cpiTest) &&
+        parseTestResult(parser, report.predictionTest) &&
+        parseTestResult(parser, report.mannWhitney) &&
+        parseTestResult(parser, report.levene) &&
+        parser.getDouble(report.accuracy.correlation) &&
+        parser.getDouble(report.accuracy.meanAbsoluteError) &&
+        parser.getDouble(report.accuracy.rootMeanSquaredError) &&
+        parser.getDouble(report.accuracy.relativeAbsoluteError) &&
+        parser.getDouble(report.accuracy.rootRelativeSquaredError) &&
+        parseInterval(parser, report.correlationCi) &&
+        parseInterval(parser, report.maeCi) &&
+        parser.getU8(has_bootstrap) && parser.getU64(train_count) &&
+        parser.getU64(target_count) &&
+        parser.getDouble(report.trainMeanCpi) &&
+        parser.getDouble(report.targetMeanCpi) &&
+        parser.getDouble(report.predictedMeanCpi) &&
+        parser.getDouble(report.trainSdCpi) &&
+        parser.getDouble(report.targetSdCpi) &&
+        parser.getDouble(report.predictedSdCpi) &&
+        parser.getDouble(report.config.alpha) &&
+        parser.getDouble(report.config.minCorrelation) &&
+        parser.getDouble(report.config.maxMae) &&
+        parser.getU8(non_parametric) &&
+        parser.getU64(replicates) &&
+        parser.getDouble(report.config.bootstrapConfidence) &&
+        parser.getU64(report.config.bootstrapSeed) &&
+        parser.getString(report.config.modelName) &&
+        parser.getString(report.config.targetName);
+    if (!ok || !parser.atEnd())
+        return std::nullopt;
+    report.hasBootstrap = has_bootstrap != 0;
+    report.trainCount = train_count;
+    report.targetCount = target_count;
+    report.config.nonParametric = non_parametric != 0;
+    report.config.bootstrapReplicates = replicates;
+    return report;
+}
+
+// ---- Stages. ----
+
+SuiteData
+collectStage(Pipeline &pipe, const SuiteProfile &suite,
+             const CollectionConfig &config)
+{
+    const ArtifactId id{"collect", collectStageKey(suite, config)};
+    return pipe.run<SuiteData>(
+        "collect:" + suite.name, id, encodeSuiteData, decodeSuiteData,
+        [&] { return collectSuite(suite, config); });
+}
+
+SuiteModel
+trainStage(Pipeline &pipe, const SuiteData &data,
+           std::uint64_t collectKey, const SuiteModelConfig &config)
+{
+    const ArtifactId id{"train", trainStageKey(collectKey, config)};
+    SuiteModel model = pipe.run<SuiteModel>(
+        "train:" + data.suiteName, id, encodeSuiteModel,
+        decodeSuiteModel, [&] { return buildSuiteModel(data, config); });
+
+    // Publish the tree text under its content hash so the serving
+    // registry can resolve the model without the training inputs.
+    std::ostringstream text;
+    writeModelTree(model.tree, text);
+    const std::string tree_text = std::move(text).str();
+    const ArtifactId tree_id{"mtree",
+                             modelTreeContentKey(tree_text)};
+    if (!pipe.store().contains(tree_id))
+        pipe.store().store(tree_id, tree_text);
+    return model;
+}
+
+ProfileTable
+profileStage(Pipeline &pipe, const SuiteData &data,
+             const ModelTree &tree, std::uint64_t trainKey)
+{
+    const ArtifactId id{"profile", profileStageKey(trainKey)};
+    return pipe.run<ProfileTable>(
+        "profile:" + data.suiteName, id, encodeProfileTable,
+        decodeProfileTable, [&] { return ProfileTable(data, tree); });
+}
+
+SimilarityMatrix
+similarityStage(Pipeline &pipe, const ProfileTable &table,
+                std::uint64_t profileKey,
+                const std::vector<std::string> &subset)
+{
+    const ArtifactId id{"similarity",
+                        similarityStageKey(profileKey, subset)};
+    return pipe.run<SimilarityMatrix>(
+        "similarity", id, encodeSimilarity, decodeSimilarity,
+        [&] { return SimilarityMatrix(table, subset); });
+}
+
+TransferabilityReport
+transferStage(Pipeline &pipe, const SuiteModel &model,
+              std::uint64_t modelTrainKey, const Dataset &target,
+              std::uint64_t targetTrainKey,
+              std::string_view targetSelector,
+              const TransferabilityConfig &config)
+{
+    const ArtifactId id{
+        "transfer", transferStageKey(modelTrainKey, targetTrainKey,
+                                     targetSelector, config)};
+    return pipe.run<TransferabilityReport>(
+        "transfer:" + config.modelName + "->" + config.targetName, id,
+        encodeTransferReport, decodeTransferReport, [&] {
+            return assessTransferability(model.tree, model.train,
+                                         target, config);
+        });
+}
+
+} // namespace wct::pipeline

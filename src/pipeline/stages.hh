@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The typed stages of the paper's dataflow, each one a content key
+ * derivation plus an artifact codec over Pipeline::run():
+ *
+ *   collect    SuiteProfile + CollectionConfig  -> SuiteData
+ *   train      SuiteData + SuiteModelConfig     -> SuiteModel
+ *   profile    SuiteData + SuiteModel           -> ProfileTable
+ *   similarity ProfileTable + subset            -> SimilarityMatrix
+ *   transfer   SuiteModel + target dataset      -> TransferabilityReport
+ *
+ * Stage keys chain: a stage hashes the keys of the artifacts it
+ * consumes rather than their bytes, so a plan's full artifact set is
+ * computable without executing anything (`wct cache gc` uses this to
+ * decide liveness) and a parameter change re-runs exactly the stages
+ * downstream of it. Every key goes through KeyBuilder — the single
+ * key-derivation implementation — and starts with the stage kind and
+ * its payload format version, so a codec change can never resurrect
+ * stale bytes.
+ *
+ * The train stage additionally publishes the tree's *text* under
+ * ("mtree", modelTreeContentKey(text)): the serving registry resolves
+ * models from the store by that content hash (see serve/registry.hh),
+ * which addresses the tree by what it computes rather than by the
+ * inputs that produced it.
+ */
+
+#ifndef WCT_PIPELINE_STAGES_HH
+#define WCT_PIPELINE_STAGES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/collect.hh"
+#include "core/profile_table.hh"
+#include "core/similarity.hh"
+#include "core/suite_model.hh"
+#include "core/transferability.hh"
+#include "pipeline/pipeline.hh"
+
+namespace wct::pipeline
+{
+
+// ---- Payload format versions (bump on codec layout changes; each
+// one is hashed into its stage key, so old artifacts simply miss). --
+constexpr std::uint32_t kTrainPayloadVersion = 1;
+constexpr std::uint32_t kProfilePayloadVersion = 1;
+constexpr std::uint32_t kSimilarityPayloadVersion = 1;
+constexpr std::uint32_t kTransferPayloadVersion = 1;
+
+// ---- Canonical input encoders (exact bit patterns; shared by every
+// key derivation — exposed for the key-coverage tests). ----
+void appendSuiteProfile(KeyBuilder &key, const SuiteProfile &suite);
+void appendCollectionConfig(KeyBuilder &key,
+                            const CollectionConfig &config);
+void appendSuiteModelConfig(KeyBuilder &key,
+                            const SuiteModelConfig &config);
+void appendTransferabilityConfig(KeyBuilder &key,
+                                 const TransferabilityConfig &config);
+
+// ---- Stage keys. ----
+
+/** Key of a collected suite (covers every input the samples depend
+ * on, including the SuiteData payload format version). */
+std::uint64_t collectStageKey(const SuiteProfile &suite,
+                              const CollectionConfig &config);
+
+/** Key of a trained suite model. `builder` is deliberately excluded
+ * from the model-config encoding: all builders produce byte-identical
+ * trees (pinned by the builder-equivalence test). */
+std::uint64_t trainStageKey(std::uint64_t collectKey,
+                            const SuiteModelConfig &config);
+
+/** Key of the leaf-profile table of a trained model's suite. */
+std::uint64_t profileStageKey(std::uint64_t trainKey);
+
+/** Key of a similarity matrix over a profile subset. */
+std::uint64_t
+similarityStageKey(std::uint64_t profileKey,
+                   const std::vector<std::string> &subset);
+
+/**
+ * Key of a transferability assessment: model (by train key) applied
+ * to a target dataset named by the (train key, selector) pair of the
+ * stage that produced it — e.g. (omp train key, "test").
+ */
+std::uint64_t transferStageKey(std::uint64_t modelTrainKey,
+                               std::uint64_t targetTrainKey,
+                               std::string_view targetSelector,
+                               const TransferabilityConfig &config);
+
+// ---- Artifact codecs (exposed for the store tests and the serving
+// registry; decode rejects anything encode did not produce). ----
+std::string encodeSuiteData(const SuiteData &data);
+std::optional<SuiteData> decodeSuiteData(std::string_view payload);
+
+std::string encodeSuiteModel(const SuiteModel &model);
+std::optional<SuiteModel> decodeSuiteModel(std::string_view payload);
+
+std::string encodeProfileTable(const ProfileTable &table);
+std::optional<ProfileTable>
+decodeProfileTable(std::string_view payload);
+
+std::string encodeSimilarity(const SimilarityMatrix &matrix);
+std::optional<SimilarityMatrix>
+decodeSimilarity(std::string_view payload);
+
+std::string encodeTransferReport(const TransferabilityReport &report);
+std::optional<TransferabilityReport>
+decodeTransferReport(std::string_view payload);
+
+// ---- The stages themselves. Each takes its inputs eagerly (a warm
+// plan run therefore reports a hit for every stage) and appends one
+// StageRun to the pipeline. ----
+
+/** Collect a suite, cached under ("collect", collectStageKey). */
+SuiteData collectStage(Pipeline &pipe, const SuiteProfile &suite,
+                       const CollectionConfig &config);
+
+/**
+ * Train the suite model, cached under ("train", trainStageKey), and
+ * ensure the tree text exists under ("mtree", its content key).
+ */
+SuiteModel trainStage(Pipeline &pipe, const SuiteData &data,
+                      std::uint64_t collectKey,
+                      const SuiteModelConfig &config);
+
+/** Classify the suite into leaf profiles, cached under ("profile"). */
+ProfileTable profileStage(Pipeline &pipe, const SuiteData &data,
+                          const ModelTree &tree,
+                          std::uint64_t trainKey);
+
+/** Similarity matrix over `subset`, cached under ("similarity"). */
+SimilarityMatrix
+similarityStage(Pipeline &pipe, const ProfileTable &table,
+                std::uint64_t profileKey,
+                const std::vector<std::string> &subset);
+
+/** Transferability assessment, cached under ("transfer"). */
+TransferabilityReport
+transferStage(Pipeline &pipe, const SuiteModel &model,
+              std::uint64_t modelTrainKey, const Dataset &target,
+              std::uint64_t targetTrainKey,
+              std::string_view targetSelector,
+              const TransferabilityConfig &config = {});
+
+} // namespace wct::pipeline
+
+#endif // WCT_PIPELINE_STAGES_HH

@@ -5,47 +5,17 @@
 #include <mutex>
 #include <sstream>
 
-#include "data/binary_io.hh"
 #include "mtree/serialize.hh"
 
 namespace wct::serve
 {
 
-namespace
-{
-
-/** Lower-case hex rendering of a 64-bit hash. */
-std::string
-hashHex(std::uint64_t hash)
-{
-    static const char digits[] = "0123456789abcdef";
-    std::string out(16, '0');
-    for (int i = 15; i >= 0; --i) {
-        out[i] = digits[hash & 0xf];
-        hash >>= 4;
-    }
-    return out;
-}
-
-} // namespace
-
 bool
-ModelRegistry::loadFile(const std::string &path,
-                        const std::string &alias, ModelInfo *info,
-                        std::string *err)
+ModelRegistry::registerText(const std::string &text,
+                            const std::string &alias,
+                            const std::string &sourcePath,
+                            ModelInfo *info, std::string *err)
 {
-    // Read the whole file once: the same bytes feed the parser and
-    // the content hash, so the key always matches what was parsed.
-    std::ifstream in(path);
-    if (!in) {
-        if (err != nullptr)
-            *err = "cannot open '" + path + "' for reading";
-        return false;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
     std::istringstream stream(text);
     std::string parse_err;
     auto tree = tryReadModelTree(stream, &parse_err);
@@ -56,13 +26,9 @@ ModelRegistry::loadFile(const std::string &path,
     }
 
     Entry entry;
-    entry.info.key = hashHex(fnv1a64(text));
-    entry.info.alias =
-        alias.empty() ? std::filesystem::path(path).stem().string()
-                      : alias;
-    if (entry.info.alias.empty())
-        entry.info.alias = entry.info.key;
-    entry.info.sourcePath = path;
+    entry.info.key = modelTreeContentHex(text);
+    entry.info.alias = alias.empty() ? entry.info.key : alias;
+    entry.info.sourcePath = sourcePath;
     entry.info.target = tree->targetName();
     entry.info.numLeaves = tree->numLeaves();
     entry.info.numColumns = tree->schema().size();
@@ -85,6 +51,60 @@ ModelRegistry::loadFile(const std::string &path,
     if (info != nullptr)
         *info = entry.info;
     return true;
+}
+
+bool
+ModelRegistry::loadFile(const std::string &path,
+                        const std::string &alias, ModelInfo *info,
+                        std::string *err)
+{
+    // Read the whole file once: the same bytes feed the parser and
+    // the content hash, so the key always matches what was parsed.
+    std::ifstream in(path);
+    if (!in) {
+        if (err != nullptr)
+            *err = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string derived = alias;
+    if (derived.empty())
+        derived = std::filesystem::path(path).stem().string();
+    return registerText(std::move(buffer).str(), derived, path, info,
+                        err);
+}
+
+bool
+ModelRegistry::loadFromStore(const ArtifactStore &store,
+                             const std::string &keyHex,
+                             const std::string &alias,
+                             ModelInfo *info, std::string *err)
+{
+    const auto key = parseKeyHex(keyHex);
+    if (!key) {
+        if (err != nullptr)
+            *err = "'" + keyHex + "' is not a 16-hex-digit model key";
+        return false;
+    }
+    const ArtifactId id{"mtree", *key};
+    const auto text = store.load(id);
+    if (!text) {
+        if (err != nullptr)
+            *err = "no model artifact '" + id.fileName() + "' in '" +
+                store.dir() + "'";
+        return false;
+    }
+    // The store already checksums the envelope; this re-derivation
+    // guards the (kind, key) header itself being stale.
+    if (modelTreeContentHex(*text) != keyHex) {
+        if (err != nullptr)
+            *err = "model artifact '" + id.fileName() +
+                "' does not hash to its key";
+        return false;
+    }
+    return registerText(*text, alias, store.path(id), info, err);
 }
 
 std::shared_ptr<const ModelTree>

@@ -5,8 +5,10 @@
  *
  * Loading is strictly non-fatal (tryReadModelTree): a corrupt or
  * stale model file is an error *response*, never a dead server. Each
- * successful load computes the FNV-1a hash of the serialized text —
- * the model's identity on the wire — plus a human alias (explicit or
+ * successful load records modelTreeContentHex of the serialized text
+ * — the same content key the pipeline's artifact store files the tree
+ * under, so a served model and a cached ("mtree", key) artifact with
+ * equal keys are byte-identical — plus a human alias (explicit or
  * the file stem). Reloading an alias atomically swaps the entry; the
  * previous tree stays alive through its shared_ptr until the last
  * in-flight batch that resolved it finishes, so hot reload never
@@ -25,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "data/artifact_store.hh"
 #include "mtree/model_tree.hh"
 
 namespace wct::serve
@@ -33,7 +36,7 @@ namespace wct::serve
 /** Immutable description of one registered model. */
 struct ModelInfo
 {
-    std::string key;   ///< fnv1a64 hex of the serialized tree
+    std::string key;   ///< modelTreeContentHex of the serialized tree
     std::string alias; ///< user-facing name (unique)
     std::string sourcePath;
     std::string target;
@@ -54,6 +57,18 @@ class ModelRegistry
      */
     bool loadFile(const std::string &path, const std::string &alias,
                   ModelInfo *info, std::string *err);
+
+    /**
+     * Load a tree from a pipeline artifact store by its 16-hex-digit
+     * content key — the ("mtree", key) artifact the train stage
+     * publishes. Same semantics as loadFile; additionally fails when
+     * the key does not parse, the artifact is absent/corrupt, or the
+     * stored bytes hash to a different key than requested.
+     */
+    bool loadFromStore(const ArtifactStore &store,
+                       const std::string &keyHex,
+                       const std::string &alias, ModelInfo *info,
+                       std::string *err);
 
     /**
      * Resolve a model by content hash or alias; an empty key means
@@ -78,6 +93,13 @@ class ModelRegistry
         ModelInfo info;
         std::shared_ptr<const ModelTree> tree;
     };
+
+    /** Parse `text`, build the entry, and swap it in under `alias`;
+     * the shared tail of loadFile and loadFromStore. */
+    bool registerText(const std::string &text,
+                      const std::string &alias,
+                      const std::string &sourcePath, ModelInfo *info,
+                      std::string *err);
 
     mutable std::shared_mutex mutex_;
     std::vector<Entry> entries_; ///< load order; aliases unique

@@ -46,6 +46,18 @@ Server::loadModel(const std::string &path, const std::string &alias,
     return ok;
 }
 
+bool
+Server::loadModelFromStore(const ArtifactStore &store,
+                           const std::string &keyHex,
+                           const std::string &alias, ModelInfo *info,
+                           std::string *err)
+{
+    const bool ok =
+        registry_.loadFromStore(store, keyHex, alias, info, err);
+    metrics_.countModelLoad(ok);
+    return ok;
+}
+
 std::string
 Server::handleFrame(std::string_view frame)
 {

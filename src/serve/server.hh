@@ -69,6 +69,13 @@ class Server
     bool loadModel(const std::string &path, const std::string &alias,
                    ModelInfo *info, std::string *err);
 
+    /** Load a model from a pipeline artifact store by content key
+     * (`wct serve --model-key`); see ModelRegistry::loadFromStore. */
+    bool loadModelFromStore(const ArtifactStore &store,
+                            const std::string &keyHex,
+                            const std::string &alias, ModelInfo *info,
+                            std::string *err);
+
     /**
      * The loopback transport: one encoded request frame in, one
      * encoded response frame out. Safe to call from any number of

@@ -152,11 +152,11 @@ TEST(CliTest, CollectCacheDirWarmRunIsByteIdentical)
     EXPECT_EQ(run(args, nullptr, &err), 0);
     EXPECT_NE(err.find("cache updated"), std::string::npos);
 
-    // One .wctsuite file appeared in the cache directory.
+    // One .wctart artifact appeared in the cache directory.
     std::size_t cached = 0;
     for (const auto &entry :
          fs::directory_iterator(dir.file("cache")))
-        cached += entry.path().extension() == ".wctsuite";
+        cached += entry.path().extension() == ".wctart";
     EXPECT_EQ(cached, 1u);
 
     // Warm run: loaded from cache, byte-identical CSV output.
@@ -202,7 +202,7 @@ TEST(CliTest, CollectCorruptCacheFileFallsBackGracefully)
     fs::path cached;
     for (const auto &entry :
          fs::directory_iterator(dir.file("cache")))
-        if (entry.path().extension() == ".wctsuite")
+        if (entry.path().extension() == ".wctart")
             cached = entry.path();
     ASSERT_FALSE(cached.empty());
     const std::string bytes = slurp(cached.string());
@@ -334,6 +334,103 @@ TEST(CliTest, PhasesRendersTimeline)
                   &out),
               0);
     EXPECT_NE(out.find("330.art_m"), std::string::npos);
+}
+
+/** Scaled-down plan flags keeping `wct run` inside test budgets. */
+std::vector<std::string>
+runPlanArgs(const std::string &cache_dir)
+{
+    return {"run",      "omp2001",           "--cache-dir",
+            cache_dir,  "--intervals",       "12",
+            "--interval-length", "2048",     "--warmup",
+            "20000"};
+}
+
+TEST(CliTest, RunPlanColdThenWarmIsByteIdenticalAndAllHits)
+{
+    TempDir dir("wct_cli_run");
+    const auto args = runPlanArgs(dir.file("cache"));
+
+    std::string cold_out, cold_err;
+    EXPECT_EQ(run(args, &cold_out, &cold_err), 0);
+    EXPECT_NE(cold_out.find("SPEC OMP2001"), std::string::npos);
+    EXPECT_NE(cold_err.find("cache hits: 0/"), std::string::npos)
+        << cold_err;
+
+    std::string warm_out, warm_err;
+    EXPECT_EQ(run(args, &warm_out, &warm_err), 0);
+    EXPECT_EQ(warm_out, cold_out); // results identical cold vs warm
+    // Every stage served from the store on the warm run.
+    EXPECT_NE(warm_err.find("cache hits: 4/4"), std::string::npos)
+        << warm_err;
+}
+
+TEST(CliTest, CacheLsRmGcManageThePlanArtifacts)
+{
+    TempDir dir("wct_cli_cachecmd");
+    const std::string cache_dir = dir.file("cache");
+    EXPECT_EQ(run(runPlanArgs(cache_dir)), 0);
+
+    // ls: the four stage artifacts plus the published model tree.
+    std::string ls_out;
+    EXPECT_EQ(run({"cache", "ls", "--cache-dir", cache_dir},
+                  &ls_out),
+              0);
+    EXPECT_NE(ls_out.find("5 artifacts"), std::string::npos)
+        << ls_out;
+    EXPECT_NE(ls_out.find("collect-"), std::string::npos);
+    EXPECT_NE(ls_out.find("train-"), std::string::npos);
+    EXPECT_NE(ls_out.find("mtree-"), std::string::npos);
+
+    // gc at the same protocol: everything is live, nothing removed.
+    std::string gc_out;
+    EXPECT_EQ(run({"cache", "gc", "--cache-dir", cache_dir,
+                   "--intervals", "12", "--interval-length", "2048",
+                   "--warmup", "20000"},
+                  &gc_out),
+              0);
+    EXPECT_NE(gc_out.find("0 artifacts removed"), std::string::npos)
+        << gc_out;
+
+    // rm: drop the similarity artifact by its listed name; the next
+    // run recomputes just that stage (3/4 hits).
+    const std::size_t pos = ls_out.find("similarity-");
+    ASSERT_NE(pos, std::string::npos) << ls_out;
+    const std::string name = ls_out.substr(pos, 11 + 16);
+    std::string rm_out;
+    EXPECT_EQ(run({"cache", "rm", name, "--cache-dir", cache_dir},
+                  &rm_out),
+              0);
+    EXPECT_NE(rm_out.find("removed " + name), std::string::npos);
+    std::string err;
+    EXPECT_EQ(run(runPlanArgs(cache_dir), nullptr, &err), 0);
+    EXPECT_NE(err.find("cache hits: 3/4"), std::string::npos) << err;
+
+    // gc at the *standard* protocol: the scaled artifacts are dead.
+    EXPECT_EQ(run({"cache", "gc", "--cache-dir", cache_dir},
+                  &gc_out),
+              0);
+    EXPECT_EQ(gc_out.find("0 artifacts removed"), std::string::npos)
+        << gc_out;
+    std::size_t left = 0;
+    for (const auto &entry : fs::directory_iterator(cache_dir))
+        left += entry.path().extension() == ".wctart";
+    EXPECT_EQ(left, 0u);
+}
+
+TEST(CliDeathTest, UnknownPlanIsFatal)
+{
+    std::ostringstream out, err;
+    EXPECT_EXIT(runCli({"run", "spec95", "--cache-dir", "/tmp/x"},
+                       out, err),
+                ::testing::ExitedWithCode(1), "unknown plan");
+}
+
+TEST(CliDeathTest, UnknownOptionIsFatal)
+{
+    std::ostringstream out, err;
+    EXPECT_EXIT(runCli({"suites", "--frobnicate"}, out, err),
+                ::testing::ExitedWithCode(1), "unknown option");
 }
 
 TEST(CliDeathTest, MissingRequiredFlagIsFatal)

@@ -10,7 +10,7 @@
 #include <sstream>
 
 #include "core/collect.hh"
-#include "core/collect_cache.hh"
+#include "core/suite_io.hh"
 #include "data/binary_io.hh"
 #include "pmu/collector.hh"
 #include "uarch/core.hh"

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "data/artifact_store.hh"
+#include "mtree/serialize.hh"
 #include "serve/registry.hh"
 #include "tests/serve/serve_support.hh"
 
@@ -163,6 +167,88 @@ TEST(RegistryTest, EvictForgetsByAliasOrKey)
     EXPECT_TRUE(registry.evict(info_b.key));   // by content key
     EXPECT_EQ(registry.size(), 0u);
     EXPECT_EQ(registry.find(""), nullptr);
+}
+
+/** Serialize a tree and publish it in `store` the way the train
+ * stage does: under ("mtree", content key of the text). */
+std::string
+publishTree(const ArtifactStore &store, const ModelTree &tree)
+{
+    std::ostringstream text;
+    writeModelTree(tree, text);
+    const std::string hex = modelTreeContentHex(text.str());
+    EXPECT_TRUE(store.store(
+        {"mtree", modelTreeContentKey(text.str())}, text.str()));
+    return hex;
+}
+
+TEST(RegistryTest, LoadFromStoreResolvesByContentKey)
+{
+    TempDir dir("wct_registry_test_store");
+    const ArtifactStore store(dir.file("cache"));
+    const ModelTree tree = test::trainedTree();
+    const std::string hex = publishTree(store, tree);
+
+    ModelRegistry registry;
+    ModelInfo info;
+    std::string err;
+    ASSERT_TRUE(registry.loadFromStore(store, hex, "", &info, &err))
+        << err;
+    // The registry key IS the store key: one hash implementation.
+    EXPECT_EQ(info.key, hex);
+    EXPECT_EQ(info.alias, hex); // no alias given
+    EXPECT_EQ(info.sourcePath, store.path({"mtree",
+                                           *parseKeyHex(hex)}));
+    const auto found = registry.find(hex);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->numLeaves(), tree.numLeaves());
+
+    ModelInfo aliased;
+    ASSERT_TRUE(
+        registry.loadFromStore(store, hex, "prod", &aliased, &err))
+        << err;
+    EXPECT_EQ(aliased.alias, "prod");
+}
+
+TEST(RegistryTest, LoadFromStoreRejectsBadKeysNonFatally)
+{
+    TempDir dir("wct_registry_test_store_bad");
+    const ArtifactStore store(dir.file("cache"));
+    ModelRegistry registry;
+    std::string err;
+
+    // Not hex at all.
+    EXPECT_FALSE(
+        registry.loadFromStore(store, "nope", "", nullptr, &err));
+    EXPECT_NE(err.find("not a 16-hex-digit"), std::string::npos);
+
+    // Well-formed but absent.
+    err.clear();
+    EXPECT_FALSE(registry.loadFromStore(
+        store, "0123456789abcdef", "", nullptr, &err));
+    EXPECT_NE(err.find("no model artifact"), std::string::npos);
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryTest, LoadFromStoreRejectsMismatchedContent)
+{
+    // An artifact whose bytes do not hash to the requested key (a
+    // hand-edited or cross-linked store entry) must be refused even
+    // though its envelope checksum is internally consistent.
+    TempDir dir("wct_registry_test_store_mismatch");
+    const ArtifactStore store(dir.file("cache"));
+    std::ostringstream text;
+    writeModelTree(test::trainedTree(), text);
+
+    const ArtifactId wrong{"mtree", 0x0123456789abcdefull};
+    ASSERT_TRUE(store.store(wrong, text.str()));
+    ModelRegistry registry;
+    std::string err;
+    EXPECT_FALSE(registry.loadFromStore(store, "0123456789abcdef",
+                                        "", nullptr, &err));
+    EXPECT_NE(err.find("does not hash to its key"),
+              std::string::npos);
+    EXPECT_EQ(registry.size(), 0u);
 }
 
 } // namespace
