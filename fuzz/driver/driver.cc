@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Standalone driver for the fuzz harnesses (see driver.hh): linked
+ * instead of libFuzzer when the toolchain has no -fsanitize=fuzzer.
+ *
+ * Modes, chosen by the command line:
+ *
+ *  - Replay: every positional argument is a corpus file or directory;
+ *    each regular file (dotfiles skipped) is fed to the harness once.
+ *    This is the `fuzz-regress` ctest mode.
+ *  - Mutation fuzzing: -runs=N and/or -max_total_time=S additionally
+ *    run a deterministic, corpus-seeded mutation loop after the
+ *    replay. Not coverage-guided — libFuzzer owns that — but the
+ *    stacked byte/block/splice mutations with boundary-value
+ *    injection reach deep into length-prefixed formats, and a fixed
+ *    -seed makes any finding reproducible.
+ *
+ * On a fatal signal the driver writes the input being executed to
+ * ./crash-<fnv1a64 hex> (async-signal-safe file I/O only) before
+ * re-raising, so a finding can be checked straight into
+ * fuzz/crashes/<harness>/ as a regression input.
+ *
+ * Flag syntax follows libFuzzer (-flag=value); unknown flags are
+ * ignored with a note so shared ctest command lines keep working
+ * against either driver.
+ */
+
+#include "fuzz/driver/driver.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Input currently inside the harness, for the crash dumper. */
+const std::uint8_t *gCurrentData = nullptr;
+std::size_t gCurrentSize = 0;
+
+/** splitmix64: tiny, seedable, and plenty for mutation scheduling. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Async-signal-safe: dump the in-flight input, then re-raise. */
+extern "C" void
+crashHandler(int sig)
+{
+    char path[64];
+    std::uint64_t hash = fnv1a(gCurrentData, gCurrentSize);
+    std::memcpy(path, "crash-", 6);
+    for (int i = 15; i >= 0; --i) {
+        path[6 + i] = "0123456789abcdef"[hash & 0xf];
+        hash >>= 4;
+    }
+    path[22] = '\0';
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+        std::size_t done = 0;
+        while (done < gCurrentSize) {
+            const ssize_t n = ::write(fd, gCurrentData + done,
+                                      gCurrentSize - done);
+            if (n <= 0)
+                break;
+            done += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+        const char msg[] = "driver: crashing input written to ./";
+        (void)!::write(2, msg, sizeof msg - 1);
+        (void)!::write(2, path, 22);
+        (void)!::write(2, "\n", 1);
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+runOne(const std::uint8_t *data, std::size_t size)
+{
+    gCurrentData = data;
+    gCurrentSize = size;
+    LLVMFuzzerTestOneInput(data, size);
+}
+
+/** Collect regular files under a path; dotfiles (.gitkeep) skipped. */
+void
+collectFiles(const fs::path &path, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(path, ec)) {
+            if (entry.is_regular_file() &&
+                entry.path().filename().string().front() != '.')
+                out.push_back(entry.path());
+        }
+        return;
+    }
+    if (fs::is_regular_file(path, ec))
+        out.push_back(path);
+    else
+        std::fprintf(stderr, "driver: ignoring missing path '%s'\n",
+                     path.string().c_str());
+}
+
+/** Boundary values a length-prefixed format cares about. */
+constexpr std::uint64_t kInterestingU64[] = {
+    0,
+    1,
+    0x7full,
+    0xffull,
+    0x100ull,
+    0xffffull,
+    1ull << 20,
+    1ull << 23,
+    1ull << 28, // kMaxFramePayload
+    (1ull << 28) + 1,
+    1ull << 30, // kMaxFilePayload
+    (1ull << 30) + 1,
+    1ull << 40,
+    0x7fffffffffffffffull,
+    0xffffffffffffffffull,
+};
+
+/** One stacked mutation step over `bytes`, in place. */
+void
+mutateOnce(std::string &bytes, std::uint64_t &rng,
+           const std::vector<std::string> &corpus)
+{
+    const auto pick = [&](std::size_t bound) {
+        return bound == 0 ? 0 : nextRand(rng) % bound;
+    };
+    switch (nextRand(rng) % 8) {
+      case 0: // flip one bit
+        if (!bytes.empty()) {
+            const std::size_t i = pick(bytes.size());
+            bytes[i] = static_cast<char>(
+                bytes[i] ^ (1u << (nextRand(rng) % 8)));
+        }
+        break;
+      case 1: // overwrite one byte with an extreme
+        if (!bytes.empty())
+            bytes[pick(bytes.size())] = static_cast<char>(
+                kInterestingU64[pick(std::size(kInterestingU64))]);
+        break;
+      case 2: { // overwrite 4 or 8 bytes with an interesting integer
+        const std::size_t width = nextRand(rng) % 2 == 0 ? 4 : 8;
+        if (bytes.size() >= width) {
+            const std::uint64_t v =
+                kInterestingU64[pick(std::size(kInterestingU64))];
+            std::memcpy(bytes.data() + pick(bytes.size() - width + 1),
+                        &v, width);
+        }
+        break;
+      }
+      case 3: // erase a block
+        if (!bytes.empty()) {
+            const std::size_t from = pick(bytes.size());
+            bytes.erase(from, pick(bytes.size() - from) + 1);
+        }
+        break;
+      case 4: { // insert random bytes
+        std::string blob(pick(16) + 1, '\0');
+        for (char &c : blob)
+            c = static_cast<char>(nextRand(rng));
+        bytes.insert(pick(bytes.size() + 1), blob);
+        break;
+      }
+      case 5: // duplicate a block (length-field confusion fodder)
+        if (!bytes.empty()) {
+            const std::size_t from = pick(bytes.size());
+            const std::size_t len =
+                pick(std::min<std::size_t>(bytes.size() - from, 64)) +
+                1;
+            bytes.insert(pick(bytes.size() + 1),
+                         bytes.substr(from, len));
+        }
+        break;
+      case 6: // truncate
+        bytes.resize(pick(bytes.size() + 1));
+        break;
+      case 7: // splice with another corpus entry
+        if (!corpus.empty()) {
+            const std::string &other = corpus[pick(corpus.size())];
+            const std::size_t cut = pick(bytes.size() + 1);
+            bytes = bytes.substr(0, cut) +
+                    other.substr(pick(other.size() + 1));
+        }
+        break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t runs = 0;
+    std::uint64_t maxTotalTime = 0;
+    std::uint64_t seed = 0x5eedf022ull;
+    std::size_t maxLen = 1 << 16;
+    std::vector<fs::path> files;
+
+    if (LLVMFuzzerInitialize != nullptr)
+        LLVMFuzzerInitialize(&argc, &argv);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind('-', 0) != 0) {
+            collectFiles(arg, files);
+            continue;
+        }
+        const auto eq = arg.find('=');
+        const std::string name = arg.substr(0, eq);
+        const std::uint64_t value =
+            eq == std::string::npos
+                ? 0
+                : std::strtoull(arg.c_str() + eq + 1, nullptr, 0);
+        if (name == "-runs")
+            runs = value;
+        else if (name == "-max_total_time")
+            maxTotalTime = value;
+        else if (name == "-seed")
+            seed = value;
+        else if (name == "-max_len")
+            maxLen = std::max<std::size_t>(value, 16);
+        else if (name == "-help") {
+            std::printf(
+                "usage: %s [-runs=N] [-max_total_time=SECONDS] "
+                "[-seed=N] [-max_len=N] [corpus file or dir]...\n"
+                "Replays every corpus input; with -runs or "
+                "-max_total_time, then fuzzes them with stacked "
+                "deterministic mutations.\n",
+                argv[0]);
+            return 0;
+        } else
+            std::fprintf(stderr,
+                         "driver: ignoring unknown flag '%s'\n",
+                         arg.c_str());
+    }
+
+    for (const int sig :
+         {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT})
+        ::signal(sig, crashHandler);
+
+    // Stable order: determinism must not depend on readdir order.
+    std::sort(files.begin(), files.end());
+
+    std::vector<std::string> corpus;
+    corpus.reserve(files.size());
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        runOne(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+               bytes.size());
+        corpus.push_back(std::move(bytes));
+    }
+    std::fprintf(stderr, "driver: replayed %zu corpus inputs\n",
+                 corpus.size());
+
+    std::uint64_t execs = 0;
+    if (runs > 0 || maxTotalTime > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::seconds(maxTotalTime);
+        std::uint64_t rng = seed;
+        std::string input;
+        while (true) {
+            if (runs > 0 && execs >= runs)
+                break;
+            if (maxTotalTime > 0 && execs % 128 == 0 &&
+                std::chrono::steady_clock::now() >= deadline)
+                break;
+            if (runs == 0 && maxTotalTime == 0)
+                break;
+            input = corpus.empty()
+                        ? std::string()
+                        : corpus[nextRand(rng) % corpus.size()];
+            const std::size_t depth = nextRand(rng) % 4 + 1;
+            for (std::size_t d = 0; d < depth; ++d)
+                mutateOnce(input, rng, corpus);
+            if (input.size() > maxLen)
+                input.resize(maxLen);
+            runOne(
+                reinterpret_cast<const std::uint8_t *>(input.data()),
+                input.size());
+            ++execs;
+            if (execs % 100000 == 0)
+                std::fprintf(stderr, "driver: %llu execs\n",
+                             static_cast<unsigned long long>(execs));
+        }
+    }
+    std::fprintf(stderr,
+                 "driver: done (%zu replayed, %llu mutated execs)\n",
+                 corpus.size(),
+                 static_cast<unsigned long long>(execs));
+    return 0;
+}

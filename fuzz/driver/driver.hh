@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared contract between the fuzz harnesses and their driver.
+ *
+ * Every harness under fuzz/harness/ defines exactly one entry point,
+ * LLVMFuzzerTestOneInput, with libFuzzer's signature and semantics:
+ * consume one untrusted byte buffer, return 0, and *never* crash,
+ * leak, or trip a sanitizer on any input. Optional one-time setup
+ * (starting an in-process server, creating a scratch directory) goes
+ * in LLVMFuzzerInitialize.
+ *
+ * Two drivers can sit in front of that entry point:
+ *
+ *  - libFuzzer itself (clang, -fsanitize=fuzzer): coverage-guided
+ *    mutation, the preferred engine when the toolchain has it.
+ *  - fuzz/driver/driver.cc: a standalone main linked when libFuzzer
+ *    is unavailable (e.g. gcc). It replays corpus files/directories
+ *    given as arguments and, when asked via -runs= / -max_total_time=,
+ *    runs a deterministic corpus-seeded mutation loop. It understands
+ *    the subset of libFuzzer flags the ctest wiring uses, so the same
+ *    command line works against either driver.
+ *
+ * The replay mode is what the always-on `fuzz-regress` ctest label
+ * runs: every checked-in seed and every past crash input goes through
+ * the harness in the plain build, so a fixed finding can never
+ * regress silently.
+ */
+
+#ifndef WCT_FUZZ_DRIVER_HH
+#define WCT_FUZZ_DRIVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/**
+ * Harness invariant check: always on, unlike assert(), which
+ * RelWithDebInfo's NDEBUG would silently compile out of every fuzz
+ * run. A failure aborts, so the driver (or libFuzzer) treats it
+ * exactly like a crash and preserves the triggering input.
+ */
+#define WCT_FUZZ_ASSERT(cond) \
+    do { \
+        if (!(cond)) { \
+            std::fprintf(stderr, \
+                         "fuzz invariant failed: %s (%s:%d)\n", \
+                         #cond, __FILE__, __LINE__); \
+            std::abort(); \
+        } \
+    } while (0)
+
+/** The harness entry point (libFuzzer's contract; must return 0). */
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+/**
+ * Optional one-time harness setup, run before the first input. Weak
+ * so harnesses without setup simply omit it (libFuzzer resolves it
+ * the same way).
+ */
+extern "C" __attribute__((weak)) int
+LLVMFuzzerInitialize(int *argc, char ***argv);
+
+#endif // WCT_FUZZ_DRIVER_HH

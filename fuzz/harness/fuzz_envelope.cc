@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fuzz harness for the untrusted on-disk decoders of data/binary_io
+ * and core/suite_io: readEnvelope under every per-caller payload cap,
+ * the dataset file reader, and the suite payload parser.
+ *
+ * Invariants checked on top of "never crash":
+ *  - a payload accepted under cap C never exceeds C bytes;
+ *  - an accepted payload survives a write-then-reread round trip;
+ *  - an accepted dataset re-serializes to bytes that parse back to
+ *    the same dataset (serializer/parser agreement).
+ *
+ * The raw parsers (parseDataset, parseSuiteDataPayload) are driven on
+ * the *unenveloped* input too: mutated bytes almost never carry a
+ * valid FNV-1a checksum, and the checksum must not shield the parsers
+ * behind it from hostile bytes (a corrupt-but-checksummed file is
+ * exactly what a buggy writer produces).
+ */
+
+#include "fuzz/driver/driver.hh"
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/suite_io.hh"
+#include "data/binary_io.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace wct;
+
+void
+checkEnvelope(std::string_view bytes, std::uint64_t cap)
+{
+    std::istringstream in{std::string(bytes)};
+    const auto payload = readEnvelope(
+        in, std::string_view(kDatasetMagic, 8), kDatasetFormatVersion,
+        cap);
+    if (!payload)
+        return;
+    WCT_FUZZ_ASSERT(payload->size() <= cap);
+    // Round trip: re-sealing the payload must re-read identically.
+    std::ostringstream sealed;
+    writeEnvelope(sealed, std::string_view(kDatasetMagic, 8),
+                  kDatasetFormatVersion, *payload);
+    std::istringstream again(sealed.str());
+    const auto reread = readEnvelope(
+        again, std::string_view(kDatasetMagic, 8),
+        kDatasetFormatVersion, cap);
+    WCT_FUZZ_ASSERT(reread.has_value() && *reread == *payload);
+}
+
+void
+checkDatasetFile(std::string_view bytes)
+{
+    std::istringstream in{std::string(bytes)};
+    const auto data = readDatasetBinary(in);
+    if (!data)
+        return;
+    std::ostringstream out;
+    writeDatasetBinary(out, *data);
+    std::istringstream back(out.str());
+    const auto reread = readDatasetBinary(back);
+    WCT_FUZZ_ASSERT(reread.has_value());
+    std::ostringstream out2;
+    writeDatasetBinary(out2, *reread);
+    WCT_FUZZ_ASSERT(out.str() == out2.str());
+}
+
+void
+checkRawParsers(std::string_view bytes)
+{
+    {
+        ByteParser parser(bytes);
+        const auto data = parseDataset(parser);
+        if (data) {
+            ByteSink sink;
+            appendDataset(sink, *data);
+            ByteParser again(sink.bytes());
+            const auto reread = parseDataset(again);
+            WCT_FUZZ_ASSERT(reread.has_value() && again.atEnd());
+        }
+    }
+    {
+        const auto suite = parseSuiteDataPayload(bytes);
+        if (suite) {
+            std::ostringstream out;
+            writeSuiteData(out, *suite);
+            std::istringstream back(out.str());
+            WCT_FUZZ_ASSERT(readSuiteData(back).has_value());
+        }
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    [[maybe_unused]] static const bool quiet = setLogQuiet(true);
+    const std::string_view bytes(
+        reinterpret_cast<const char *>(data), size);
+    // Every cap a real caller passes, plus degenerate tiny ones.
+    for (const std::uint64_t cap :
+         {std::uint64_t(0), std::uint64_t(16), std::uint64_t(4096),
+          kMaxFilePayload})
+        checkEnvelope(bytes, cap);
+    checkDatasetFile(bytes);
+    checkRawParsers(bytes);
+    return 0;
+}

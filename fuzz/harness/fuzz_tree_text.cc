@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fuzz harness for the model-tree text parser (tryReadModelTree):
+ * depth bound, schema-size cap, per-node schema-index validation, and
+ * leaf-model term caps, all against free-form hostile text.
+ *
+ * Invariant on top of "never crash": parse → save → parse → save is
+ * a fixed point. A tree the parser accepts must serialize to text the
+ * parser accepts again, byte-identically — otherwise a model that
+ * round-trips through the registry or the artifact store would change
+ * identity (the content key is the FNV-1a of the exact text bytes).
+ */
+
+#include "fuzz/driver/driver.hh"
+
+#include <sstream>
+#include <string>
+
+#include "mtree/serialize.hh"
+#include "util/logging.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    [[maybe_unused]] static const bool quiet = wct::setLogQuiet(true);
+    std::istringstream in(
+        std::string(reinterpret_cast<const char *>(data), size));
+    const auto tree = wct::tryReadModelTree(in);
+    if (!tree)
+        return 0;
+
+    std::ostringstream first;
+    tree->save(first);
+    std::istringstream again(first.str());
+    const auto reparsed = wct::tryReadModelTree(again);
+    WCT_FUZZ_ASSERT(reparsed.has_value());
+    std::ostringstream second;
+    reparsed->save(second);
+    WCT_FUZZ_ASSERT(first.str() == second.str());
+    return 0;
+}

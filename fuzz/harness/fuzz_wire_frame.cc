@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fuzz harness for the serving wire protocol: readFrame, both payload
+ * decoders, and the full request dispatch path of all five WCTSERV
+ * ops through a live in-process Server (registry lookup, admission,
+ * batch engine, response encoding).
+ *
+ * The input is interpreted twice:
+ *  - as a raw *frame* through Server::handleFrame (envelope checks
+ *    included), and
+ *  - as a bare *payload* through decodeRequest / decodeResponse /
+ *    Server::handlePayload — mutated bytes almost never carry a valid
+ *    checksum, and the decoders may not rely on the envelope to have
+ *    filtered hostile bytes (the loopback transport feeds them
+ *    payloads directly).
+ *
+ * Invariant on top of "never crash": every response the server emits
+ * must itself read back as one well-formed frame — a server that can
+ * be provoked into emitting an undecodable response corrupts its own
+ * clients.
+ */
+
+#include "fuzz/driver/driver.hh"
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "serve/server.hh"
+#include "serve/wire.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace wct;
+using namespace wct::serve;
+
+Server &
+liveServer()
+{
+    // Remote load would turn fuzzer-chosen bytes into file probes and
+    // remote shutdown would wedge every later input in ShuttingDown
+    // responses; both stay exercised as their refusal paths.
+    static Server server([] {
+        ServerConfig config;
+        config.queueDepth = 16;
+        config.maxBatch = 4;
+        config.allowRemoteLoad = false;
+        config.allowRemoteShutdown = false;
+        return config;
+    }());
+    return server;
+}
+
+/** A response frame must always decode; abort the run otherwise. */
+void
+checkResponseFrame(const std::string &frame)
+{
+    WCT_FUZZ_ASSERT(!frame.empty());
+    std::istringstream in(frame);
+    const auto payload = readFrame(in);
+    WCT_FUZZ_ASSERT(payload.has_value());
+    WCT_FUZZ_ASSERT(decodeResponse(*payload).has_value());
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    [[maybe_unused]] static const bool quiet = setLogQuiet(true);
+    Server &server = liveServer();
+    const std::string_view bytes(
+        reinterpret_cast<const char *>(data), size);
+
+    // Frame-level entry: envelope parsing plus dispatch.
+    checkResponseFrame(server.handleFrame(bytes));
+
+    // Payload-level entries: the decoders on naked hostile bytes.
+    std::string err;
+    if (decodeRequest(bytes, &err))
+        checkResponseFrame(server.handlePayload(bytes));
+    decodeResponse(bytes, &err);
+    return 0;
+}

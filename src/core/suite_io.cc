@@ -38,8 +38,13 @@ readSuiteData(std::istream &in)
                      kSuiteDataFormatVersion, kMaxFilePayload);
     if (!payload)
         return std::nullopt;
+    return parseSuiteDataPayload(*payload);
+}
 
-    ByteParser parser(*payload);
+std::optional<SuiteData>
+parseSuiteDataPayload(std::string_view payload)
+{
+    ByteParser parser(payload);
     SuiteData data;
     std::uint64_t benchmarks = 0;
     if (!parser.getString(data.suiteName) ||

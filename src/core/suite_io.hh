@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string_view>
 
 #include "core/collect.hh"
 
@@ -36,6 +37,14 @@ void writeSuiteData(std::ostream &out, const SuiteData &data);
  * version mismatch, or oversized claimed payload (kMaxFilePayload).
  */
 std::optional<SuiteData> readSuiteData(std::istream &in);
+
+/**
+ * Parse a suite payload (the envelope's contents); nullopt on any
+ * malformed byte. Split out from readSuiteData so the fuzz harness
+ * can drive the parser directly, without first forging a valid
+ * envelope checksum around each mutated input.
+ */
+std::optional<SuiteData> parseSuiteDataPayload(std::string_view payload);
 
 } // namespace wct
 

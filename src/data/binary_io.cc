@@ -205,6 +205,12 @@ parseDataset(ByteParser &parser)
     std::uint64_t rows = 0;
     if (!parser.getU64(rows))
         return std::nullopt;
+    // Every row still has to be present as cols*8 payload bytes, so
+    // a claimed count the remaining bytes cannot hold is rejected
+    // here — before reserveRows turns it into a giant allocation.
+    // (cols <= 2^20, so the divisor never overflows.)
+    if (rows > parser.remaining() / (cols * sizeof(double)))
+        return std::nullopt;
     Dataset data(std::move(names));
     data.reserveRows(rows);
     std::vector<double> row(cols);
@@ -230,7 +236,8 @@ std::optional<Dataset>
 readDatasetBinary(std::istream &in)
 {
     const auto payload = readEnvelope(
-        in, std::string_view(kDatasetMagic, 8), kDatasetFormatVersion);
+        in, std::string_view(kDatasetMagic, 8), kDatasetFormatVersion,
+        kMaxFilePayload);
     if (!payload)
         return std::nullopt;
     ByteParser parser(*payload);

@@ -93,6 +93,15 @@ class ByteParser
     bool ok() const { return ok_; }
     bool atEnd() const { return ok_ && pos_ == bytes_.size(); }
 
+    /** Bytes not yet consumed (0 once a getter has failed). Parsers
+     * use this to reject claimed element counts the remaining bytes
+     * cannot possibly hold *before* sizing any container. */
+    std::size_t
+    remaining() const
+    {
+        return ok_ ? bytes_.size() - pos_ : 0;
+    }
+
   private:
     bool take(void *out, std::size_t n);
 
@@ -109,14 +118,15 @@ void writeEnvelope(std::ostream &out, std::string_view magic8,
  * Read and verify one envelope; nullopt on bad magic, version
  * mismatch, truncation, or checksum failure. A claimed payload size
  * above `maxPayload` is rejected before any allocation, so a corrupt
- * or hostile length field can never trigger a huge alloc; the
- * default is a loose sanity cap for trusted on-disk files, and
- * network-facing callers must pass their own tight budget.
+ * or hostile length field can never trigger a huge alloc. There is
+ * deliberately no default: every caller owns a justified budget
+ * (kMaxFilePayload for on-disk artifacts, kMaxFramePayload for
+ * network frames) — see the fuzz harnesses, which drive this reader
+ * with each per-caller cap.
  */
 std::optional<std::string>
 readEnvelope(std::istream &in, std::string_view magic8,
-             std::uint32_t version,
-             std::uint64_t maxPayload = 1ull << 40);
+             std::uint32_t version, std::uint64_t maxPayload);
 
 /** Append a dataset (schema + row-major cells) to a payload. */
 void appendDataset(ByteSink &sink, const Dataset &data);

@@ -1,10 +1,25 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace wct
 {
+
+namespace
+{
+
+/** setLogQuiet state; read by the non-fatal emitters only. */
+std::atomic<bool> logQuiet{false};
+
+} // namespace
+
+bool
+setLogQuiet(bool quiet)
+{
+    return logQuiet.exchange(quiet, std::memory_order_relaxed);
+}
 
 namespace detail
 {
@@ -56,13 +71,15 @@ panicImpl(const char *file, int line, const std::string &message)
 void
 warnImpl(const char *file, int line, const std::string &message)
 {
-    emitLine("warn", message, file, line);
+    if (!logQuiet.load(std::memory_order_relaxed))
+        emitLine("warn", message, file, line);
 }
 
 void
 informImpl(const std::string &message)
 {
-    emitLine("info", message, nullptr, 0);
+    if (!logQuiet.load(std::memory_order_relaxed))
+        emitLine("info", message, nullptr, 0);
 }
 
 } // namespace detail

@@ -64,6 +64,14 @@ void informImpl(const std::string &message);
 
 } // namespace detail
 
+/**
+ * Suppress warn()/inform() output (fatal/panic are never suppressed).
+ * The fuzz harnesses replay millions of hostile inputs whose
+ * *expected* diagnostics would otherwise dominate the run; nothing
+ * else should turn this on. Returns the previous setting.
+ */
+bool setLogQuiet(bool quiet);
+
 } // namespace wct
 
 /** Report an unrecoverable user-level error and exit. */

@@ -102,5 +102,33 @@ TEST(SuiteIoTest, EmptyStreamRejected)
     EXPECT_FALSE(deserialize("").has_value());
 }
 
+TEST(SuiteIoTest, OversizedClaimRejected)
+{
+    // A bare header claiming a multi-terabyte payload: readSuiteData
+    // runs under the kMaxFilePayload budget and must refuse the
+    // claim before sizing any buffer to it.
+    for (const std::uint64_t claimed :
+         {std::uint64_t(1) << 30 | 1, std::uint64_t(1) << 42}) {
+        std::ostringstream hostile;
+        hostile.write("WCTSUIT\0", 8);
+        const std::uint32_t version = kSuiteDataFormatVersion;
+        hostile.write(reinterpret_cast<const char *>(&version),
+                      sizeof version);
+        hostile.write(reinterpret_cast<const char *>(&claimed),
+                      sizeof claimed);
+        EXPECT_FALSE(deserialize(hostile.str()).has_value())
+            << "claimed=" << claimed;
+    }
+}
+
+TEST(SuiteIoTest, EveryStrictPrefixRejected)
+{
+    const SuiteData data = collectSuite(miniSuite(), miniConfig());
+    const std::string bytes = serialize(data);
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep)
+        EXPECT_FALSE(deserialize(bytes.substr(0, keep)).has_value())
+            << keep << " bytes kept";
+}
+
 } // namespace
 } // namespace wct

@@ -170,6 +170,85 @@ TEST(DatasetBinaryTest, TruncationRejected)
     }
 }
 
+TEST(DatasetBinaryTest, EveryStrictPrefixRejected)
+{
+    // Exhaustive truncation sweep across the whole envelope: magic,
+    // version, size, payload, and trailing checksum. No strict
+    // prefix of a sealed stream may parse.
+    std::stringstream stream;
+    writeDatasetBinary(stream, sampleDataset());
+    const std::string bytes = stream.str();
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+        std::istringstream truncated(bytes.substr(0, keep));
+        EXPECT_FALSE(readDatasetBinary(truncated).has_value())
+            << "kept " << keep << " bytes";
+    }
+}
+
+TEST(DatasetBinaryTest, OversizedClaimRejected)
+{
+    // A 20-byte header claiming a payload past kMaxFilePayload must
+    // be refused before any buffer is sized to the claim.
+    for (const std::uint64_t claimed :
+         {kMaxFilePayload + 1, std::uint64_t(1) << 40,
+          ~std::uint64_t(0)}) {
+        std::ostringstream hostile;
+        hostile.write(kDatasetMagic, 8);
+        hostile.write(
+            reinterpret_cast<const char *>(&kDatasetFormatVersion),
+            sizeof kDatasetFormatVersion);
+        hostile.write(reinterpret_cast<const char *>(&claimed),
+                      sizeof claimed);
+        std::istringstream in(hostile.str());
+        EXPECT_FALSE(readDatasetBinary(in).has_value())
+            << "claimed=" << claimed;
+    }
+}
+
+TEST(EnvelopeTest, PayloadCapBoundaryIsExact)
+{
+    // readEnvelope accepts a payload exactly at the caller's cap and
+    // refuses one a single byte past it — the budget is a bound on
+    // accepted sizes, not a fuzzy threshold.
+    const std::string payload(64, 'p');
+    std::ostringstream sealed;
+    writeEnvelope(sealed, std::string_view(kDatasetMagic, 8),
+                  kDatasetFormatVersion, payload);
+    const std::string bytes = sealed.str();
+    {
+        std::istringstream in(bytes);
+        const auto atCap =
+            readEnvelope(in, std::string_view(kDatasetMagic, 8),
+                         kDatasetFormatVersion, payload.size());
+        ASSERT_TRUE(atCap.has_value());
+        EXPECT_EQ(*atCap, payload);
+    }
+    {
+        std::istringstream in(bytes);
+        EXPECT_FALSE(
+            readEnvelope(in, std::string_view(kDatasetMagic, 8),
+                         kDatasetFormatVersion, payload.size() - 1)
+                .has_value());
+    }
+}
+
+TEST(DatasetBinaryTest, HostileRowCountRejected)
+{
+    // A checksummed envelope whose payload claims 2^59 rows it does
+    // not carry: the row-count bound must fire before reserveRows
+    // turns the claim into a giant allocation.
+    ByteSink sink;
+    sink.putU64(2); // columns
+    sink.putString("CPI");
+    sink.putString("IPC");
+    sink.putU64(std::uint64_t(1) << 59); // rows (none present)
+    std::ostringstream sealed;
+    writeEnvelope(sealed, std::string_view(kDatasetMagic, 8),
+                  kDatasetFormatVersion, sink.bytes());
+    std::istringstream in(sealed.str());
+    EXPECT_FALSE(readDatasetBinary(in).has_value());
+}
+
 TEST(FnvHashTest, KnownVectorsAndChaining)
 {
     // Standard FNV-1a 64-bit test vectors.

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "mtree/serialize.hh"
 #include "util/rng.hh"
@@ -186,6 +190,101 @@ TEST(SerializeTest, TryReadBoundsNestingDepth)
     std::string err;
     EXPECT_FALSE(tryReadModelTree(buffer, &err).has_value());
     EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+}
+
+/**
+ * Left-linear chain of `splits` split nodes, every right child a
+ * leaf. The deepest node sits at parse depth == splits, so the text
+ * probes the recursion bound exactly.
+ */
+std::string
+chainTreeText(std::size_t splits)
+{
+    std::string text =
+        "wct-model-tree v1\n"
+        "target y\n"
+        "schema 2 x y\n"
+        "range 0 1 0.5 1\n";
+    for (std::size_t i = 0; i < splits; ++i)
+        text += "node split 0 0.5 10 0.5\n";
+    // Pre-order: the terminal left leaf, then every right leaf.
+    for (std::size_t i = 0; i < splits + 1; ++i)
+        text += "node leaf 5 0.5 0.5 0\n";
+    text += "end\n";
+    return text;
+}
+
+TEST(SerializeTest, NestingDepthBoundIsExact)
+{
+    // Exactly at the documented bound (512) must parse; one level
+    // past it must be refused — the cutoff is a precise contract,
+    // not a fuzzy safety margin.
+    {
+        std::stringstream atCap(chainTreeText(512));
+        std::string err;
+        const auto tree = tryReadModelTree(atCap, &err);
+        ASSERT_TRUE(tree.has_value()) << err;
+        EXPECT_EQ(tree->numLeaves(), 513u);
+    }
+    {
+        std::stringstream pastCap(chainTreeText(513));
+        std::string err;
+        EXPECT_FALSE(tryReadModelTree(pastCap, &err).has_value());
+        EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+    }
+}
+
+TEST(SerializeTest, SchemaSizeCapIsExact)
+{
+    const auto header = [](std::size_t schemaSize) {
+        return "wct-model-tree v1\n"
+               "target y\n"
+               "schema " +
+               std::to_string(schemaSize) + " x y\n";
+    };
+    // One past the 2^20 cap dies on the cap itself.
+    {
+        std::stringstream in(header((1u << 20) + 1));
+        std::string err;
+        EXPECT_FALSE(tryReadModelTree(in, &err).has_value());
+        EXPECT_NE(err.find("implausible schema size"),
+                  std::string::npos);
+    }
+    // Exactly at the cap passes the plausibility gate and then fails
+    // honestly on the names the stream does not carry.
+    {
+        std::stringstream in(header(1u << 20));
+        std::string err;
+        EXPECT_FALSE(tryReadModelTree(in, &err).has_value());
+        EXPECT_NE(err.find("truncated schema"), std::string::npos);
+    }
+}
+
+TEST(SerializeTest, FileByteCapIsExact)
+{
+    // Sparse files probe the kMaxModelTreeFileBytes gate without
+    // writing 256 MiB: one byte past the cap is refused on size
+    // alone; exactly at the cap reaches the parser (and then fails
+    // on the magic line, proving the size gate let it through).
+    namespace fs = std::filesystem;
+    const std::string path = "/tmp/wct_tree_cap_test_" +
+                             std::to_string(::getpid()) + ".mtree";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << "not a tree\n";
+    }
+    std::string err;
+
+    fs::resize_file(path, kMaxModelTreeFileBytes + 1);
+    EXPECT_FALSE(tryReadModelTreeFile(path, &err).has_value());
+    EXPECT_NE(err.find("too large"), std::string::npos);
+
+    fs::resize_file(path, kMaxModelTreeFileBytes);
+    err.clear();
+    EXPECT_FALSE(tryReadModelTreeFile(path, &err).has_value());
+    EXPECT_NE(err.find("magic"), std::string::npos);
+
+    fs::remove(path);
 }
 
 TEST(SerializeTest, TryReadFileVariantReportsOpenFailures)

@@ -155,6 +155,43 @@ TEST(WireTest, TruncatedFrameIsRejected)
     }
 }
 
+TEST(WireTest, EveryStrictFramePrefixIsRejected)
+{
+    // Exhaustive truncation sweep: a valid frame cut at *any* byte
+    // boundary short of the full length must be refused — there is
+    // no prefix of a sealed frame that is itself a sealed frame.
+    const std::string frame = encodeRequest(predictRequest());
+    ASSERT_GT(frame.size(), 28u); // header + checksum at minimum
+    for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+        std::istringstream in(frame.substr(0, keep));
+        EXPECT_FALSE(readFrame(in).has_value()) << "keep=" << keep;
+    }
+}
+
+TEST(WireTest, EveryStrictPayloadPrefixIsRejected)
+{
+    // Same sweep one layer down: every strict prefix of a decoded
+    // request/response payload must fail the body decoder (the
+    // parser either runs dry mid-field or trips the atEnd check).
+    const std::string request =
+        payloadOf(encodeRequest(predictRequest()));
+    for (std::size_t keep = 0; keep < request.size(); ++keep)
+        EXPECT_FALSE(
+            decodeRequest(request.substr(0, keep)).has_value())
+            << "request keep=" << keep;
+
+    Response ok;
+    ok.op = Opcode::Predict;
+    ok.id = 9;
+    ok.cpi = {1.5, 0.5};
+    ok.leaf = {2, 4};
+    const std::string response = payloadOf(encodeResponse(ok));
+    for (std::size_t keep = 0; keep < response.size(); ++keep)
+        EXPECT_FALSE(
+            decodeResponse(response.substr(0, keep)).has_value())
+            << "response keep=" << keep;
+}
+
 TEST(WireTest, CorruptFrameIsRejected)
 {
     const std::string frame = encodeRequest(predictRequest());
