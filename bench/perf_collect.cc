@@ -32,6 +32,7 @@
 #include <string_view>
 #include <thread>
 
+#include "bench/run_meta.hh"
 #include "core/collect.hh"
 #include "core/suite_io.hh"
 #include "util/thread_pool.hh"
@@ -148,6 +149,7 @@ main(int argc, char **argv)
     std::ostringstream json;
     json << "{\n"
          << "  \"benchmark\": \"perf_collect\",\n"
+         << bench::runMetadataJson("  ") << ",\n"
          << "  \"suite\": \"" << suite.name << "\",\n"
          << "  \"benchmarks\": " << suite.benchmarks.size() << ",\n"
          << "  \"base_intervals\": " << intervals << ",\n"

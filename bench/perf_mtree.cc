@@ -34,6 +34,7 @@
 #include <string>
 #include <string_view>
 
+#include "bench/run_meta.hh"
 #include "data/dataset.hh"
 #include "mtree/baselines.hh"
 #include "mtree/model_tree.hh"
@@ -337,6 +338,7 @@ runSmoke(int argc, char **argv)
     std::ostringstream json;
     json << "{\n"
          << "  \"benchmark\": \"perf_mtree --smoke\",\n"
+         << bench::runMetadataJson("  ") << ",\n"
          << "  \"rows\": " << rows << ",\n"
          << "  \"cols\": " << data.numColumns() << ",\n"
          << "  \"threads\": " << threads << ",\n"

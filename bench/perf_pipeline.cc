@@ -33,6 +33,7 @@
 
 #include <unistd.h>
 
+#include "bench/run_meta.hh"
 #include "pipeline/plans.hh"
 
 namespace
@@ -158,6 +159,7 @@ main(int argc, char **argv)
     std::ostringstream json;
     json << "{\n"
          << "  \"benchmark\": \"perf_pipeline\",\n"
+         << bench::runMetadataJson("  ") << ",\n"
          << "  \"plan\": \"" << plan << "\",\n"
          << "  \"base_intervals\": " << intervals << ",\n"
          << "  \"stages\": " << cold.stages << ",\n"

@@ -2,34 +2,41 @@
  * @file
  * Perf smoke of the model-serving subsystem (docs/serving.md).
  *
- * Drives a loopback Server (no sockets: the measurement is admission,
- * coalescing, and batched inference, not kernel I/O) from several
- * client threads under two request shapes over the same total sample
- * count:
+ * Three measurements over the same trained model:
  *
  *   batched    rows-per-request samples in each predict frame
  *   singleton  one sample per predict frame
+ *   raw eval   the inference inner loop alone, single-threaded:
+ *              interpreted per-row descent (classify + predict, the
+ *              PR 4 hot path) vs the flattened CompiledTree's
+ *              branch-free block evaluation (docs/performance.md,
+ *              "Compiled evaluation")
  *
- * and writes BENCH_serve.json with both throughputs and their ratio
- * (batch_speedup), which is what batching buys once per-request
- * overhead — admission lock, promise/future handoff, response
- * encode — is paid per sample instead of amortized.
+ * and writes BENCH_serve.json with the throughputs and two ratios:
+ * batch_speedup (what batching buys over per-sample framing) and
+ * compiled_speedup (what compiling the tree buys over interpreting
+ * it). The batched scenario runs twice — once with the compiled
+ * engine, once with EngineConfig::compiledEval=false — and the two
+ * servers must produce byte-identical response frames, re-checking
+ * the compiled/interpreted equivalence contract end to end.
  *
  *   perf_serve [--rows=R] [--requests=N] [--clients=C] [--threads=T]
  *              [--reps=K] [--out=FILE] [--baseline=FILE]
  *
  * With --baseline, the run fails (exit 1) when batch_speedup drops
- * below 75% of the checked-in baseline's — a machine-independent
- * regression gate (numerator and denominator are measured on the
- * same host), wired into ctest under the perf-smoke label. The run
- * also re-checks the serving determinism contract: every client must
- * read byte-identical response frames for identical request frames.
+ * below 75% of the checked-in baseline's, or when compiled_speedup
+ * drops below max(2.0, 75% of baseline) — compiled evaluation must
+ * beat interpreted by at least 2x on the smoke size, on any machine.
+ * Both ratios are measured numerator-and-denominator on the same
+ * host, so the gates transfer across machines and CI load; they are
+ * wired into ctest under the perf-smoke label.
  */
 
 #include <algorithm>
-#include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -40,7 +47,9 @@
 #include <thread>
 #include <vector>
 
+#include "bench/run_meta.hh"
 #include "data/dataset.hh"
+#include "mtree/compiled_tree.hh"
 #include "mtree/model_tree.hh"
 #include "mtree/serialize.hh"
 #include "serve/server.hh"
@@ -53,21 +62,58 @@ namespace
 using namespace wct;
 using namespace wct::serve;
 
+constexpr std::size_t kPredictors = 10;
+
+/**
+ * Synthetic serving workload with real tree depth: a nested
+ * piecewise structure over ten predictors (1024 regions with
+ * distinct offsets, not expressible by one linear model), so the
+ * trained tree descends many levels per row — the cost the compiled
+ * form exists to cut — instead of the single split a trivially
+ * separable target would produce. The shape matches the paper's
+ * phase-classification use: a deep tree whose per-row cost is the
+ * descent, not the leaf model.
+ */
 Dataset
 syntheticData(std::size_t n, std::uint64_t seed)
 {
-    Dataset d({"x0", "x1", "x2", "y"});
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < kPredictors; ++c)
+        names.push_back("x" + std::to_string(c));
+    names.push_back("y");
+    Dataset d(names);
     Rng rng(seed);
+    std::vector<double> row(kPredictors + 1);
     for (std::size_t i = 0; i < n; ++i) {
-        const double x0 = rng.uniform(0.0, 1.0);
-        const double x1 = rng.uniform(0.0, 1.0);
-        const double x2 = rng.uniform(0.0, 1.0);
-        const double y = x0 <= 0.5 ? 1.0 + 2.0 * x1 + x2
-                                   : 8.0 - x1 + 0.5 * x2 +
-                                         rng.normal(0.0, 0.05);
-        d.addRow({x0, x1, x2, y});
+        double y = 0.0;
+        for (std::size_t b = 0; b < kPredictors; ++b) {
+            row[b] = rng.uniform(0.0, 1.0);
+            // Equal steps keep the residual deviation high until
+            // every predictor has been split on, so the SD-based
+            // stopping rule materializes the full depth.
+            if (row[b] <= 0.5)
+                y += 3.0;
+        }
+        row[kPredictors] = y + rng.normal(0.0, 0.01);
+        d.addRow(row);
     }
     return d;
+}
+
+/**
+ * Deep-tree training config for the serving measurement: fine leaves
+ * (so the 1024 synthetic regions all materialize) with pruning and
+ * smoothing off — the tree is a deep phase classifier, which is the
+ * serving shape the compiled/interpreted ratio is gated on.
+ */
+ModelTreeConfig
+servingModelConfig()
+{
+    ModelTreeConfig config;
+    config.minLeafInstances = 8;
+    config.prune = false;
+    config.smooth = false;
+    return config;
 }
 
 /** Pre-encoded predict frames, `rows` samples each. */
@@ -99,6 +145,7 @@ struct ScenarioResult
 {
     double ms = 0.0; ///< best wall time over the reps
     bool deterministic = true;
+    std::vector<std::string> responses; ///< rep-0 response frames
 };
 
 /**
@@ -110,17 +157,17 @@ struct ScenarioResult
 ScenarioResult
 timeScenario(const std::string &model_path,
              const std::vector<std::string> &frames,
-             std::size_t clients, int reps)
+             std::size_t clients, int reps, bool compiled_eval)
 {
     ScenarioResult result;
     result.ms = std::numeric_limits<double>::infinity();
-    std::vector<std::string> reference(frames.size());
 
     for (int rep = 0; rep < reps; ++rep) {
         ServerConfig config;
         config.queueDepth = 4096;
         config.maxBatch = 64;
         config.batchers = 1;
+        config.compiledEval = compiled_eval;
         Server server(config);
         std::string err;
         if (!server.loadModel(model_path, "bench", nullptr, &err)) {
@@ -149,9 +196,83 @@ timeScenario(const std::string &model_path,
             std::chrono::duration<double, std::milli>(stop - start)
                 .count());
         if (rep == 0)
-            reference = responses;
-        else if (responses != reference)
+            result.responses = std::move(responses);
+        else if (responses != result.responses)
             result.deterministic = false;
+    }
+    return result;
+}
+
+struct RawEvalResult
+{
+    double interpreted_ms = 0.0;
+    double compiled_ms = 0.0;
+    bool identical = true; ///< bitwise CPI + leaf equality
+};
+
+/**
+ * The inference inner loop alone, single-threaded over one flat
+ * row-major buffer: the interpreted serving loop (one classify and
+ * one predict descent per row, as the PR 4 engine ran it) against
+ * CompiledTree::evaluateBlock. Outputs are compared bit for bit.
+ */
+RawEvalResult
+timeRawEval(const ModelTree &tree, const Dataset &probe,
+            std::size_t total_rows, int reps)
+{
+    const std::size_t cols = probe.numColumns();
+    std::vector<double> rows;
+    rows.reserve(total_rows * cols);
+    for (std::size_t r = 0; r < total_rows; ++r) {
+        const auto row = probe.row(r % probe.numRows());
+        rows.insert(rows.end(), row.begin(), row.end());
+    }
+
+    RawEvalResult result;
+    result.interpreted_ms = std::numeric_limits<double>::infinity();
+    result.compiled_ms = std::numeric_limits<double>::infinity();
+
+    std::vector<double> cpi_interp(total_rows);
+    std::vector<std::uint64_t> leaf_interp(total_rows);
+    std::vector<double> cpi_compiled(total_rows);
+    std::vector<std::uint32_t> leaf_compiled(total_rows);
+    const CompiledTree &compiled = tree.compiled();
+
+    for (int rep = 0; rep < reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < total_rows; ++r) {
+            const std::span<const double> row(
+                rows.data() + r * cols, cols);
+            leaf_interp[r] = tree.classify(row) + 1;
+            cpi_interp[r] = tree.predict(row);
+        }
+        auto stop = std::chrono::steady_clock::now();
+        result.interpreted_ms = std::min(
+            result.interpreted_ms,
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+
+        start = std::chrono::steady_clock::now();
+        for (std::size_t base = 0; base < total_rows;
+             base += CompiledTree::kBlockRows) {
+            const std::size_t m = std::min(CompiledTree::kBlockRows,
+                                           total_rows - base);
+            compiled.evaluateBlock(rows.data() + base * cols, cols,
+                                   m, cpi_compiled.data() + base,
+                                   leaf_compiled.data() + base);
+        }
+        stop = std::chrono::steady_clock::now();
+        result.compiled_ms = std::min(
+            result.compiled_ms,
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count());
+    }
+
+    for (std::size_t r = 0; r < total_rows; ++r) {
+        if (std::bit_cast<std::uint64_t>(cpi_interp[r]) !=
+                std::bit_cast<std::uint64_t>(cpi_compiled[r]) ||
+            leaf_interp[r] != leaf_compiled[r] + 1)
+            result.identical = false;
     }
     return result;
 }
@@ -213,9 +334,10 @@ main(int argc, char **argv)
     ThreadPool::resetGlobalForTest(threads <= 1 ? 0 : threads);
 
     // One model on disk (served the way production would) and one
-    // probe set reused by both request shapes.
-    const Dataset training = syntheticData(4000, 1);
-    const ModelTree tree = ModelTree::train(training, "y");
+    // probe set reused by every scenario.
+    const Dataset training = syntheticData(40000, 1);
+    const ModelTree tree =
+        ModelTree::train(training, "y", servingModelConfig());
     const std::string model_path = out_path + ".mtree";
     writeModelTreeFile(tree, model_path);
     const Dataset probe = syntheticData(1024, 2);
@@ -226,10 +348,14 @@ main(int argc, char **argv)
     const std::vector<std::string> singleton_frames =
         buildFrames(probe, 1, total_samples);
 
-    const ScenarioResult batched =
-        timeScenario(model_path, batched_frames, clients, reps);
-    const ScenarioResult singleton =
-        timeScenario(model_path, singleton_frames, clients, reps);
+    const ScenarioResult batched = timeScenario(
+        model_path, batched_frames, clients, reps, true);
+    const ScenarioResult batched_interp = timeScenario(
+        model_path, batched_frames, clients, reps, false);
+    const ScenarioResult singleton = timeScenario(
+        model_path, singleton_frames, clients, reps, true);
+    const RawEvalResult raw =
+        timeRawEval(tree, probe, total_samples, reps);
     std::remove(model_path.c_str());
 
     const double batched_sps =
@@ -237,27 +363,46 @@ main(int argc, char **argv)
     const double singleton_sps =
         1000.0 * static_cast<double>(total_samples) / singleton.ms;
     const double batch_speedup = batched_sps / singleton_sps;
-    const bool deterministic =
-        batched.deterministic && singleton.deterministic;
+    const double compiled_speedup =
+        raw.interpreted_ms / raw.compiled_ms;
+    const double e2e_compiled_speedup =
+        batched_interp.ms / batched.ms;
+    // The two engine modes must agree byte for byte, frame for frame.
+    const bool modes_identical =
+        batched.responses == batched_interp.responses;
+    const bool deterministic = batched.deterministic &&
+        batched_interp.deterministic && singleton.deterministic &&
+        raw.identical && modes_identical;
 
     std::ostringstream json;
     json << "{\n"
          << "  \"benchmark\": \"perf_serve\",\n"
+         << bench::runMetadataJson("  ") << ",\n"
          << "  \"rows_per_request\": " << rows << ",\n"
          << "  \"requests\": " << requests << ",\n"
          << "  \"total_samples\": " << total_samples << ",\n"
          << "  \"clients\": " << clients << ",\n"
          << "  \"threads\": " << threads << ",\n"
-         << "  \"host_cpus\": "
-         << std::thread::hardware_concurrency() << ",\n"
          << "  \"reps\": " << reps << ",\n"
          << "  \"model_leaves\": " << tree.numLeaves() << ",\n"
+         << "  \"compiled_nodes\": " << tree.compiled().numNodes()
+         << ",\n"
+         << "  \"compiled_depth\": " << tree.compiled().depth()
+         << ",\n"
          << "  \"batched_ms\": " << batched.ms << ",\n"
+         << "  \"batched_interpreted_ms\": " << batched_interp.ms
+         << ",\n"
          << "  \"singleton_ms\": " << singleton.ms << ",\n"
+         << "  \"raw_interpreted_ms\": " << raw.interpreted_ms
+         << ",\n"
+         << "  \"raw_compiled_ms\": " << raw.compiled_ms << ",\n"
          << "  \"batched_samples_per_s\": " << batched_sps << ",\n"
          << "  \"singleton_samples_per_s\": " << singleton_sps
          << ",\n"
          << "  \"batch_speedup\": " << batch_speedup << ",\n"
+         << "  \"compiled_speedup\": " << compiled_speedup << ",\n"
+         << "  \"e2e_compiled_speedup\": " << e2e_compiled_speedup
+         << ",\n"
          << "  \"deterministic\": "
          << (deterministic ? "true" : "false") << "\n"
          << "}\n";
@@ -267,9 +412,9 @@ main(int argc, char **argv)
     std::cout << json.str();
 
     if (!deterministic) {
-        std::cerr << "perf_serve: FAIL: identical request frames "
-                     "produced different response frames across "
-                     "reps\n";
+        std::cerr << "perf_serve: FAIL: responses were not "
+                     "deterministic, or compiled and interpreted "
+                     "evaluation disagreed\n";
         return 1;
     }
     if (!baseline_path.empty()) {
@@ -287,9 +432,9 @@ main(int argc, char **argv)
                          "batch_speedup\n";
             return 1;
         }
-        // Gate on the batched/singleton *ratio*, not absolute
-        // throughput: both sides were measured on this host, so the
-        // check transfers across machines and CI load.
+        // Gate on ratios, not absolute throughput: numerator and
+        // denominator of each ratio were measured on this host, so
+        // the checks transfer across machines and CI load.
         const double floor = 0.75 * base;
         if (batch_speedup < floor) {
             std::cerr << "perf_serve: FAIL: batched serving speedup "
@@ -300,6 +445,30 @@ main(int argc, char **argv)
         }
         std::cout << "perf_serve: batch-speedup gate OK ("
                   << batch_speedup << "x >= " << floor
+                  << "x floor)\n";
+
+        const double base_compiled =
+            jsonNumber(buf.str(), "compiled_speedup");
+        if (std::isnan(base_compiled) || base_compiled <= 0.0) {
+            std::cerr << "perf_serve: baseline has no usable "
+                         "compiled_speedup\n";
+            return 1;
+        }
+        // Compiled evaluation must clear 2x over interpreted on the
+        // smoke size regardless of host, and additionally stay
+        // within 75% of the checked-in (derated) baseline ratio.
+        const double compiled_floor =
+            std::max(2.0, 0.75 * base_compiled);
+        if (compiled_speedup < compiled_floor) {
+            std::cerr << "perf_serve: FAIL: compiled/interpreted "
+                         "speedup "
+                      << compiled_speedup << "x fell below the "
+                      << compiled_floor << "x floor (baseline "
+                      << base_compiled << "x)\n";
+            return 1;
+        }
+        std::cout << "perf_serve: compiled-speedup gate OK ("
+                  << compiled_speedup << "x >= " << compiled_floor
                   << "x floor)\n";
     }
     return 0;

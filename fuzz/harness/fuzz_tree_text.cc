@@ -4,20 +4,62 @@
  * depth bound, schema-size cap, per-node schema-index validation, and
  * leaf-model term caps, all against free-form hostile text.
  *
- * Invariant on top of "never crash": parse → save → parse → save is
- * a fixed point. A tree the parser accepts must serialize to text the
- * parser accepts again, byte-identically — otherwise a model that
- * round-trips through the registry or the artifact store would change
- * identity (the content key is the FNV-1a of the exact text bytes).
+ * Invariants on top of "never crash":
+ *
+ *  - parse → save → parse → save is a fixed point. A tree the parser
+ *    accepts must serialize to text the parser accepts again,
+ *    byte-identically — otherwise a model that round-trips through
+ *    the registry or the artifact store would change identity (the
+ *    content key is the FNV-1a of the exact text bytes).
+ *
+ *  - every accepted tree lowers into a CompiledTree whose scalar and
+ *    block evaluation agree *bit for bit* with the interpreted walk
+ *    on a synthetic probe batch (zeros, split-threshold neighborhood
+ *    values, extremes, NaN). Parsing is the only way hostile data
+ *    reaches the compiler, so the equivalence contract is fuzzed at
+ *    the same boundary it is trusted behind (serving answers from
+ *    the compiled form).
  */
 
 #include "fuzz/driver/driver.hh"
 
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 #include "util/logging.hh"
+
+namespace
+{
+
+/** Deterministic probe values cycled across the batch: boundary
+ * magnets (0, ±0.5, 1), extremes, and NaN. */
+constexpr double kProbeValues[] = {
+    0.0,
+    0.5,
+    -0.5,
+    1.0,
+    -1.0,
+    0.49999999,
+    1e6,
+    -1e6,
+    std::numeric_limits<double>::infinity(),
+    std::numeric_limits<double>::quiet_NaN(),
+};
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+        std::bit_cast<std::uint64_t>(b);
+}
+
+} // namespace
 
 extern "C" int
 LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
@@ -37,5 +79,35 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     std::ostringstream second;
     reparsed->save(second);
     WCT_FUZZ_ASSERT(first.str() == second.str());
+
+    // Compiled/interpreted equivalence on the reparsed tree. Wide
+    // schemas make per-row probing quadratic in the input size, so
+    // cap the batch cost, not the schema.
+    const std::size_t cols = reparsed->schema().size();
+    if (cols == 0 || cols > 4096)
+        return 0;
+    const wct::CompiledTree &compiled = reparsed->compiled();
+    const std::size_t rows = 16;
+    std::vector<double> batch(rows * cols);
+    std::size_t v = 0;
+    for (double &cell : batch) {
+        cell = kProbeValues[v % std::size(kProbeValues)];
+        v += 1 + v / 7; // vary the phase so rows differ
+    }
+
+    std::vector<double> cpi(rows);
+    std::vector<std::uint32_t> leaf(rows);
+    compiled.evaluateBlock(batch.data(), cols, rows, cpi.data(),
+                           leaf.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::span<const double> row(batch.data() + r * cols,
+                                          cols);
+        WCT_FUZZ_ASSERT(sameBits(compiled.predict(row),
+                                 reparsed->predict(row)));
+        WCT_FUZZ_ASSERT(compiled.classify(row) ==
+                        reparsed->classify(row));
+        WCT_FUZZ_ASSERT(sameBits(cpi[r], reparsed->predict(row)));
+        WCT_FUZZ_ASSERT(leaf[r] == reparsed->classify(row));
+    }
     return 0;
 }

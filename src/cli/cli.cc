@@ -14,6 +14,7 @@
 #include "data/artifact_store.hh"
 #include "data/binary_io.hh"
 #include "data/csv.hh"
+#include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 #include "pipeline/plans.hh"
 #include "serve/server.hh"
@@ -183,6 +184,7 @@ const CommandSpec kServeSpec{
         {"max-connections", FlagType::Uint, false, "N"},
         {"no-remote-load", FlagType::Bool, false, ""},
         {"no-remote-shutdown", FlagType::Bool, false, ""},
+        {"interpreted", FlagType::Bool, false, ""},
         {"stats-text", FlagType::Bool, false, ""},
     },
     {},
@@ -617,6 +619,8 @@ cmdVersion(std::ostream &out)
 {
     out << "wct " << kWctVersion << "\n"
         << "model-tree format: " << kModelTreeMagicLine << "\n"
+        << "compiled-tree layout: v" << kCompiledTreeLayoutVersion
+        << " (block " << CompiledTree::kBlockRows << " rows)\n"
         << "dataset format: " << kDatasetMagic << " v"
         << kDatasetFormatVersion << "\n"
         << "artifact format: " << kArtifactMagic << " v"
@@ -636,6 +640,10 @@ cmdServe(const ParsedOptions &options, std::ostream &out,
     config.batchers = options.getUint("batchers", 1);
     config.allowRemoteLoad = !options.has("no-remote-load");
     config.allowRemoteShutdown = !options.has("no-remote-shutdown");
+    // Escape hatch for diagnosing a suspected compiled-evaluation
+    // divergence in the field: serve from the interpreted per-row
+    // walk instead (responses are byte-identical by contract).
+    config.compiledEval = !options.has("interpreted");
 
     serve::Server server(config);
     serve::ModelInfo info;

@@ -1,0 +1,172 @@
+#include "mtree/compiled_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mtree/model_tree.hh"
+#include "util/logging.hh"
+
+namespace wct
+{
+
+CompiledTree
+CompiledTree::compile(const ModelTree &tree)
+{
+    wct_assert(tree.root_ != nullptr, "compiling an untrained tree");
+
+    CompiledTree out;
+    out.columns_ = static_cast<std::uint32_t>(tree.schema_.size());
+    out.clamp_ = tree.config_.clampPredictions;
+    // Same arithmetic ModelTree::predict performs per call (margin =
+    // one global sd), hoisted to compile time: one subtraction and
+    // one addition, so the bounds are bit-identical.
+    out.clampLo_ = tree.targetMin_ - tree.globalSd_;
+    out.clampHi_ = tree.targetMax_ + tree.globalSd_;
+
+    // Breadth-first flattening. BFS keeps each level's nodes in one
+    // contiguous index range, which is what the level-synchronous
+    // batch sweep walks; an explicit queue handles the parser's
+    // worst-case 512-deep chains without recursion.
+    struct Item
+    {
+        const ModelTree::Node *node;
+        std::uint32_t level;
+    };
+    std::vector<Item> queue = {{tree.root_.get(), 0}};
+    // Indices are assigned in queue order, so a node's children land
+    // at the then-current tail: reserve ids as we enqueue.
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const Item item = queue[head];
+        const ModelTree::Node *node = item.node;
+        const std::uint32_t self =
+            static_cast<std::uint32_t>(head);
+        if (node->isLeaf) {
+            out.attrs_.push_back(0);
+            out.thresholds_.push_back(
+                std::numeric_limits<double>::infinity());
+            out.left_.push_back(self);
+            out.right_.push_back(self);
+            out.leafOf_.push_back(
+                static_cast<std::uint32_t>(node->leafIndex));
+        } else {
+            const std::uint32_t next =
+                static_cast<std::uint32_t>(queue.size());
+            out.attrs_.push_back(
+                static_cast<std::uint32_t>(node->splitAttr));
+            out.thresholds_.push_back(node->splitValue);
+            out.left_.push_back(next);
+            out.right_.push_back(next + 1);
+            out.leafOf_.push_back(kInterior);
+            queue.push_back({node->left.get(), item.level + 1});
+            queue.push_back({node->right.get(), item.level + 1});
+            out.depth_ = std::max(out.depth_, item.level + 1);
+        }
+        wct_assert(queue.size() <
+                       std::numeric_limits<std::uint32_t>::max(),
+                   "tree too large to flatten with 32-bit indices");
+    }
+
+    // Leaf models in leaf-numbering order. leafNodes_ is the
+    // in-order (left-to-right) list collectLeaves built, which is
+    // exactly the order leafIndex values were assigned in.
+    out.leafIntercepts_.reserve(tree.leafNodes_.size());
+    out.termOffsets_.reserve(tree.leafNodes_.size() + 1);
+    out.termOffsets_.push_back(0);
+    for (const ModelTree::Node *leaf : tree.leafNodes_) {
+        out.leafIntercepts_.push_back(leaf->model.intercept);
+        for (std::size_t i = 0; i < leaf->model.attributes.size();
+             ++i) {
+            out.termAttrs_.push_back(static_cast<std::uint32_t>(
+                leaf->model.attributes[i]));
+            out.termCoefs_.push_back(leaf->model.coefficients[i]);
+        }
+        out.termOffsets_.push_back(
+            static_cast<std::uint32_t>(out.termAttrs_.size()));
+    }
+    return out;
+}
+
+double
+CompiledTree::leafValue(std::uint32_t leaf, const double *row) const
+{
+    // Exact replica of LinearModel::predict's accumulation: the same
+    // terms, in the same stored order, folded left to right — then
+    // the same std::clamp ModelTree::predict applies. Any change to
+    // the operation order here breaks the bit-exactness contract.
+    double y = leafIntercepts_[leaf];
+    const std::uint32_t begin = termOffsets_[leaf];
+    const std::uint32_t end = termOffsets_[leaf + 1];
+    for (std::uint32_t k = begin; k < end; ++k)
+        y += termCoefs_[k] * row[termAttrs_[k]];
+    if (!clamp_)
+        return y;
+    return std::clamp(y, clampLo_, clampHi_);
+}
+
+double
+CompiledTree::predict(std::span<const double> row) const
+{
+    wct_assert(row.size() == columns_, "row arity ", row.size(),
+               " != compiled schema ", columns_);
+    std::uint32_t idx = 0;
+    while (leafOf_[idx] == kInterior)
+        idx = row[attrs_[idx]] <= thresholds_[idx] ? left_[idx]
+                                                   : right_[idx];
+    return leafValue(leafOf_[idx], row.data());
+}
+
+std::size_t
+CompiledTree::classify(std::span<const double> row) const
+{
+    wct_assert(row.size() == columns_, "row arity ", row.size(),
+               " != compiled schema ", columns_);
+    std::uint32_t idx = 0;
+    while (leafOf_[idx] == kInterior)
+        idx = row[attrs_[idx]] <= thresholds_[idx] ? left_[idx]
+                                                   : right_[idx];
+    return leafOf_[idx];
+}
+
+void
+CompiledTree::evaluateBlock(const double *rows, std::size_t stride,
+                            std::size_t n, double *cpi,
+                            std::uint32_t *leaf) const
+{
+    wct_assert(cpi != nullptr || leaf != nullptr,
+               "evaluateBlock with no outputs requested");
+    wct_assert(stride >= columns_, "row stride ", stride,
+               " narrower than schema ", columns_);
+
+    std::uint32_t idx[kBlockRows];
+    for (std::size_t base = 0; base < n; base += kBlockRows) {
+        const std::size_t m = std::min(kBlockRows, n - base);
+        const double *tile = rows + base * stride;
+
+        // Level-synchronous branch-free descent: every row advances
+        // one level per inner iteration via a select (leaves
+        // self-loop, so finished rows are no-ops). The loop body has
+        // no data-dependent control flow — the compare feeds a
+        // conditional move, not a branch — and rows are independent,
+        // so the compiler can unroll/vectorize across i.
+        std::fill_n(idx, m, 0u);
+        for (std::uint32_t level = 0; level < depth_; ++level) {
+            for (std::size_t i = 0; i < m; ++i) {
+                const std::uint32_t node = idx[i];
+                const double v = tile[i * stride + attrs_[node]];
+                idx[i] = v <= thresholds_[node] ? left_[node]
+                                                : right_[node];
+            }
+        }
+
+        if (leaf != nullptr)
+            for (std::size_t i = 0; i < m; ++i)
+                leaf[base + i] = leafOf_[idx[i]];
+        if (cpi != nullptr)
+            for (std::size_t i = 0; i < m; ++i)
+                cpi[base + i] =
+                    leafValue(leafOf_[idx[i]], tile + i * stride);
+    }
+}
+
+} // namespace wct

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Flattened, pointer-free evaluation form of a trained M5' model
+ * tree — the serving hot path's answer to pointer-chasing descent.
+ *
+ * ModelTree::predict walks heap-allocated Node objects one row at a
+ * time: every level is a dependent load from wherever the allocator
+ * put the child, and a served Predict request pays that walk twice
+ * (classify + predict). A CompiledTree lowers the same tree into
+ * contiguous arrays once, at train/load time:
+ *
+ *   - interior nodes in breadth-first order (attribute index,
+ *     threshold, left/right child indices), so a level-synchronous
+ *     descent touches one compact index range per level;
+ *   - leaves as self-looping sentinel nodes (left == right == self),
+ *     so a batch can sweep exactly depth() levels with a branch-free
+ *     select per row — rows that reached a leaf early just spin in
+ *     place, and the inner loop over a tile of rows has no
+ *     data-dependent branches for the compiler to mispredict;
+ *   - leaf OLS models as dense coefficient rows in one CSR-style
+ *     (offsets / attribute / coefficient) triple, evaluated in the
+ *     exact term order the sparse LinearModel stores.
+ *
+ * Bit-exactness contract: for every row, predict() and classify()
+ * return byte-identical results to the interpreted ModelTree. Every
+ * floating-point operation is replicated in the same order with the
+ * same operands — the `value <= threshold` descent compare, the
+ * term-order coefficient sum, and the final std::clamp against the
+ * training-range bounds — so compiled serving, training-side
+ * evaluation, and the differential property suite can swap forms
+ * freely. The property test compiled_tree_prop_test and the
+ * fuzz_tree_text harness pin this contract.
+ *
+ * Thread-safety: a CompiledTree is immutable after compile(); any
+ * number of threads may evaluate concurrently. Batch entry points
+ * write only caller-provided slots, so parallel callers partition
+ * outputs by row range and results are byte-deterministic at any
+ * WCT_THREADS (see docs/performance.md, "Compiled evaluation").
+ */
+
+#ifndef WCT_MTREE_COMPILED_TREE_HH
+#define WCT_MTREE_COMPILED_TREE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wct
+{
+
+class ModelTree;
+
+/**
+ * Version of the flattened layout (node arrays + CSR leaf models).
+ * Bumped when the in-memory form or its evaluation semantics change;
+ * `wct version` reports it so compiled-form compatibility is
+ * diagnosable from the CLI.
+ */
+constexpr int kCompiledTreeLayoutVersion = 1;
+
+/** Flattened branch-free tree evaluator; see file comment. */
+class CompiledTree
+{
+  public:
+    /**
+     * Rows per descent tile of the batch entry points. Sized so the
+     * per-tile node-index buffer stays in L1 alongside a tile of
+     * narrow rows; tiling is invisible in the results (every row is
+     * evaluated independently).
+     */
+    static constexpr std::size_t kBlockRows = 256;
+
+    CompiledTree() = default;
+
+    /**
+     * Lower a trained (or deserialized) tree. Fatal on an untrained
+     * tree; accepts any tree the text parser accepts, including
+     * degenerate deep chains (iterative, no recursion).
+     */
+    static CompiledTree compile(const ModelTree &tree);
+
+    /** Interior + leaf entries of the flattened node arrays. */
+    std::size_t numNodes() const { return thresholds_.size(); }
+
+    /** Leaf (linear model) count; equals the source tree's. */
+    std::size_t numLeaves() const { return leafIntercepts_.size(); }
+
+    /** Arity of the rows this tree evaluates (training schema). */
+    std::size_t numColumns() const { return columns_; }
+
+    /** Levels a full descent sweeps (0 for a single-leaf tree). */
+    std::size_t depth() const { return depth_; }
+
+    /** Whether predictions clamp to the training target range. */
+    bool clampsPredictions() const { return clamp_; }
+
+    /**
+     * Predict one row (bit-identical to ModelTree::predict). The row
+     * must have numColumns() cells.
+     */
+    double predict(std::span<const double> row) const;
+
+    /** 0-based leaf index of one row (== ModelTree::classify). */
+    std::size_t classify(std::span<const double> row) const;
+
+    /**
+     * Evaluate `n` row-major rows starting at `rows` (stride doubles
+     * apart, stride >= numColumns()). Writes cpi[i] (when non-null)
+     * and 0-based leaf[i] (when non-null) for row i; one descent per
+     * row serves both outputs. Either output may be null, not both.
+     */
+    void evaluateBlock(const double *rows, std::size_t stride,
+                       std::size_t n, double *cpi,
+                       std::uint32_t *leaf) const;
+
+  private:
+    /** Leaf model + clamp, in LinearModel::predict's exact order. */
+    double leafValue(std::uint32_t leaf, const double *row) const;
+
+    /** Sentinel in leafOf_ marking an interior node. */
+    static constexpr std::uint32_t kInterior = 0xffffffffu;
+
+    std::uint32_t columns_ = 0;
+    std::uint32_t depth_ = 0;
+    bool clamp_ = false;
+    double clampLo_ = 0.0;
+    double clampHi_ = 0.0;
+
+    // Flattened nodes, breadth-first, root at index 0. Leaves are
+    // self-loops (left_[i] == right_[i] == i) so a fixed-depth sweep
+    // parks every row on its leaf.
+    std::vector<std::uint32_t> attrs_;
+    std::vector<double> thresholds_;
+    std::vector<std::uint32_t> left_;
+    std::vector<std::uint32_t> right_;
+    std::vector<std::uint32_t> leafOf_; ///< leaf index or kInterior
+
+    // Leaf models: intercepts plus CSR (offsets/attr/coef) terms in
+    // stored sparse order — the order LinearModel::predict sums in.
+    std::vector<double> leafIntercepts_;
+    std::vector<std::uint32_t> termOffsets_; ///< numLeaves() + 1
+    std::vector<std::uint32_t> termAttrs_;
+    std::vector<double> termCoefs_;
+};
+
+} // namespace wct
+
+#endif // WCT_MTREE_COMPILED_TREE_HH

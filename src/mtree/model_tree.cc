@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "mtree/compiled_tree.hh"
 #include "mtree/split_search.hh"
 #include "util/logging.hh"
 #include "util/radix_sort.hh"
@@ -609,8 +610,24 @@ ModelTree::train(const Dataset &data, const std::string &target,
         tree.targetMin_ = std::min(tree.targetMin_, y);
         tree.targetMax_ = std::max(tree.targetMax_, y);
     }
-    tree.collectLeaves(tree.root_.get());
+    tree.finalize();
     return tree;
+}
+
+void
+ModelTree::finalize()
+{
+    collectLeaves(root_.get());
+    compiled_ = std::make_shared<const CompiledTree>(
+        CompiledTree::compile(*this));
+}
+
+const CompiledTree &
+ModelTree::compiled() const
+{
+    wct_assert(compiled_ != nullptr,
+               "compiled form requested on an untrained tree");
+    return *compiled_;
 }
 
 void
@@ -671,14 +688,69 @@ ModelTree::classify(std::span<const double> row) const
     return descend(row)->leafIndex;
 }
 
+namespace
+{
+
+/**
+ * Rows per parallel task of the batch evaluators below. A multiple
+ * of CompiledTree::kBlockRows so tasks tile evenly; sizing is a
+ * scheduling knob only — each task writes its own output slots, so
+ * results are byte-identical at any WCT_THREADS.
+ */
+constexpr std::size_t kEvalChunkRows = 4 * CompiledTree::kBlockRows;
+
+} // namespace
+
+std::vector<double>
+ModelTree::predictAll(const Dataset &data) const
+{
+    checkSchema(data);
+    // Compiled batch evaluation in contiguous chunks: bit-identical
+    // to the per-row interpreted loop (the compiled_tree property
+    // suite pins this), but branch-free and cache-linear.
+    const CompiledTree &compiled_form = compiled();
+    const std::size_t n = data.numRows();
+    const std::size_t cols = data.numColumns();
+    std::vector<double> out(n);
+    const std::size_t chunks =
+        (n + kEvalChunkRows - 1) / kEvalChunkRows;
+    parallelFor(
+        chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * kEvalChunkRows;
+            const std::size_t hi =
+                std::min(n, lo + kEvalChunkRows);
+            compiled_form.evaluateBlock(data.row(lo).data(), cols,
+                                        hi - lo, out.data() + lo,
+                                        nullptr);
+        },
+        ThreadPool::global(), /*min_chunk=*/1);
+    return out;
+}
+
 std::vector<std::size_t>
 ModelTree::classifyAll(const Dataset &data) const
 {
     checkSchema(data);
-    std::vector<std::size_t> out;
-    out.reserve(data.numRows());
-    for (std::size_t r = 0; r < data.numRows(); ++r)
-        out.push_back(classify(data.row(r)));
+    const CompiledTree &compiled_form = compiled();
+    const std::size_t n = data.numRows();
+    const std::size_t cols = data.numColumns();
+    std::vector<std::size_t> out(n);
+    const std::size_t chunks =
+        (n + kEvalChunkRows - 1) / kEvalChunkRows;
+    parallelFor(
+        chunks,
+        [&](std::size_t c) {
+            const std::size_t lo = c * kEvalChunkRows;
+            const std::size_t hi =
+                std::min(n, lo + kEvalChunkRows);
+            std::uint32_t leaves[kEvalChunkRows];
+            compiled_form.evaluateBlock(data.row(lo).data(), cols,
+                                        hi - lo, nullptr, leaves);
+            for (std::size_t i = lo; i < hi; ++i)
+                out[i] = leaves[i - lo];
+        },
+        ThreadPool::global(), /*min_chunk=*/1);
     return out;
 }
 

@@ -22,6 +22,8 @@
 namespace wct
 {
 
+class CompiledTree;
+
 /**
  * Which training engine ModelTree::train uses. All engines produce
  * byte-identical trees (same serialize output) for the same dataset
@@ -150,8 +152,12 @@ class ModelTree : public Regressor
                            const std::string &target,
                            const ModelTreeConfig &config = {});
 
-    // Regressor interface.
+    // Regressor interface. predict() is the interpreted reference
+    // walk (the differential oracle the compiled form is pinned
+    // against); predictAll() routes whole datasets through the
+    // compiled evaluator in parallel blocks.
     double predict(std::span<const double> row) const override;
+    std::vector<double> predictAll(const Dataset &data) const override;
     const std::string &targetName() const override { return target_; }
     const std::vector<std::string> &schema() const override
     {
@@ -205,6 +211,21 @@ class ModelTree : public Regressor
     static std::optional<ModelTree> tryLoad(std::istream &in,
                                             std::string *err);
 
+    /**
+     * The flattened branch-free evaluation form, built once when the
+     * tree is trained or (re)loaded and cached alongside the
+     * interpreted tree — so serving hot-reload rebuilds it on every
+     * model swap for free. Bit-identical to predict()/classify() per
+     * row (see mtree/compiled_tree.hh).
+     */
+    const CompiledTree &compiled() const;
+
+    /** Shared handle to the compiled form (outlives this tree). */
+    std::shared_ptr<const CompiledTree> compiledShared() const
+    {
+        return compiled_;
+    }
+
   private:
     struct Node
     {
@@ -228,8 +249,13 @@ class ModelTree : public Regressor
     };
 
     class Builder;
+    friend class CompiledTree; ///< compile() walks root_/leafNodes_
 
     const Node *descend(std::span<const double> row) const;
+
+    /** Post-build step shared by train() and tryLoad(): number the
+     * leaves, then lower the tree into its compiled form. */
+    void finalize();
     void collectLeaves(Node *node);
     void describeNode(const Node *node, int depth,
                       std::string &out) const;
@@ -244,6 +270,7 @@ class ModelTree : public Regressor
     std::vector<std::string> schema_;
     double globalSd_ = 0.0;
     ModelTreeConfig config_;
+    std::shared_ptr<const CompiledTree> compiled_;
 };
 
 } // namespace wct

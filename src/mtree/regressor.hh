@@ -40,9 +40,13 @@ class Regressor
 
     /**
      * Predict every row of a dataset; fatal if the dataset's schema
-     * does not match the training schema.
+     * does not match the training schema. The default implementation
+     * calls predict() per row over the thread pool; implementations
+     * with a batch-optimized form (ModelTree's compiled evaluator)
+     * override it — the override must stay byte-identical to the
+     * per-row loop.
      */
-    std::vector<double> predictAll(const Dataset &data) const;
+    virtual std::vector<double> predictAll(const Dataset &data) const;
 
     /** Panic helper shared by implementations. */
     void checkSchema(const Dataset &data) const;

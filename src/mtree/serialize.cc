@@ -216,7 +216,10 @@ ModelTree::tryLoad(std::istream &in, std::string *err)
         return std::nullopt;
     }
 
-    tree.collectLeaves(tree.root_.get());
+    // finalize() also lowers the parsed tree into its compiled form,
+    // so every load path — files, the serving registry's hot reload,
+    // loadFromStore — rebuilds the flattened evaluator with the swap.
+    tree.finalize();
     return tree;
 }
 

@@ -10,7 +10,11 @@
  * work — the actual tree descents — goes through parallelFor on the
  * global pool, the same path predictAll uses for offline datasets,
  * so a single 10k-row request saturates the machine just like ten
- * 1k-row requests do.
+ * 1k-row requests do. By default rows are evaluated in blocks
+ * through the model's flattened CompiledTree (branch-free descent,
+ * one pass for CPI + leaf; mtree/compiled_tree.hh); the interpreted
+ * per-row walk survives behind EngineConfig::compiledEval = false
+ * as the differential and perf baseline.
  *
  * Results are deterministic by construction: every row's (CPI, leaf)
  * is a pure function of the row and the model snapshot resolved at
@@ -39,6 +43,16 @@ struct EngineConfig
 
     /** Most jobs coalesced into one batch. */
     std::size_t maxBatch = 64;
+
+    /**
+     * Evaluate rows through the model's flattened CompiledTree
+     * (mtree/compiled_tree.hh): one branch-free descent per row
+     * serves both the CPI and the leaf number. Off = the interpreted
+     * per-row tree walk, kept as the differential baseline and the
+     * denominator of perf_serve's compiled-vs-interpreted gate. Both
+     * modes produce byte-identical responses.
+     */
+    bool compiledEval = true;
 };
 
 /** Owns the batcher threads; see file comment. */

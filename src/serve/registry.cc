@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 
 namespace wct::serve
@@ -32,6 +33,12 @@ ModelRegistry::registerText(const std::string &text,
     entry.info.target = tree->targetName();
     entry.info.numLeaves = tree->numLeaves();
     entry.info.numColumns = tree->schema().size();
+    // tryReadModelTree already lowered the parse into its flattened
+    // form (ModelTree::finalize), so a hot reload swaps tree and
+    // compiled evaluator together — in-flight batches keep the old
+    // pair alive through their shared_ptr.
+    entry.info.compiledNodes = tree->compiled().numNodes();
+    entry.info.compiledDepth = tree->compiled().depth();
     entry.tree =
         std::make_shared<const ModelTree>(std::move(*tree));
 

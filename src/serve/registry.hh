@@ -42,6 +42,12 @@ struct ModelInfo
     std::string target;
     std::size_t numLeaves = 0;
     std::size_t numColumns = 0;
+
+    /** Shape of the flattened evaluation form rebuilt with this
+     * load/swap (mtree/compiled_tree.hh): flat node entries and
+     * descent depth. Serving always answers from this form. */
+    std::size_t compiledNodes = 0;
+    std::size_t compiledDepth = 0;
 };
 
 /** Thread-safe registry of loaded model trees. */

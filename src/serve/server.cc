@@ -27,7 +27,8 @@ Server::Server(ServerConfig config)
     : config_(config), queue_(std::max<std::size_t>(
                            1, config.queueDepth)),
       engine_(queue_, metrics_,
-              EngineConfig{config.batchers, config.maxBatch})
+              EngineConfig{config.batchers, config.maxBatch,
+                           config.compiledEval})
 {
     engine_.start();
 }

@@ -46,6 +46,10 @@ struct ServerConfig
     /** Batcher (consumer) threads. */
     std::size_t batchers = 1;
 
+    /** Engine evaluation mode (see EngineConfig::compiledEval);
+     * off = interpreted per-row descent (`wct serve --interpreted`). */
+    bool compiledEval = true;
+
     /** Permit loadModel frames (off for untrusted clients). */
     bool allowRemoteLoad = true;
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests of the flattened CompiledTree (mtree/compiled_tree.hh):
+ * structural invariants of the lowering, the degenerate single-leaf
+ * tree, clamp and NaN behavior, tiling boundaries, and the rebuild-
+ * on-load path. The randomized bit-exactness sweep lives in
+ * tests/prop/compiled_tree_prop_test.cc; these are the directed
+ * cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "mtree/compiled_tree.hh"
+#include "mtree/model_tree.hh"
+#include "util/rng.hh"
+
+namespace wct
+{
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+        std::bit_cast<std::uint64_t>(b);
+}
+
+/** Piecewise dataset that trains to a multi-leaf tree. */
+Dataset
+piecewiseData(std::size_t n, std::uint64_t seed)
+{
+    Dataset d({"x0", "x1", "y"});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 1.0);
+        const double x1 = rng.uniform(0.0, 1.0);
+        const double y = (x0 <= 0.5 ? 2.0 : -3.0) +
+            (x1 <= 0.5 ? 5.0 : 0.0) + 0.5 * x1 +
+            rng.normal(0.0, 0.05);
+        d.addRow({x0, x1, y});
+    }
+    return d;
+}
+
+TEST(CompiledTree, LoweringHasFullBinaryShape)
+{
+    const Dataset data = piecewiseData(400, 1);
+    const ModelTree tree = ModelTree::train(data, "y");
+    const CompiledTree &compiled = tree.compiled();
+
+    ASSERT_GT(tree.numLeaves(), 1u);
+    EXPECT_EQ(compiled.numLeaves(), tree.numLeaves());
+    // An M5' tree is a full binary tree: n leaves, n-1 splits.
+    EXPECT_EQ(compiled.numNodes(), 2 * tree.numLeaves() - 1);
+    EXPECT_EQ(compiled.numColumns(), tree.schema().size());
+    EXPECT_GE(compiled.depth(), 1u);
+    EXPECT_TRUE(compiled.clampsPredictions());
+}
+
+TEST(CompiledTree, SingleLeafTreeIsDepthZero)
+{
+    // Constant target: no split ever pays, the tree is one leaf and
+    // the compiled form must still answer (descent of zero levels).
+    Dataset d({"x", "y"});
+    for (int i = 0; i < 32; ++i)
+        d.addRow({static_cast<double>(i), 7.0});
+    const ModelTree tree = ModelTree::train(d, "y");
+    ASSERT_EQ(tree.numLeaves(), 1u);
+
+    const CompiledTree &compiled = tree.compiled();
+    EXPECT_EQ(compiled.numNodes(), 1u);
+    EXPECT_EQ(compiled.depth(), 0u);
+
+    const std::vector<double> row = {3.0, 0.0};
+    EXPECT_TRUE(
+        sameBits(compiled.predict(row), tree.predict(row)));
+    EXPECT_EQ(compiled.classify(row), 0u);
+}
+
+TEST(CompiledTree, LoadedTreeCarriesACompiledForm)
+{
+    const Dataset data = piecewiseData(400, 2);
+    const ModelTree tree = ModelTree::train(data, "y");
+    std::stringstream buffer;
+    tree.save(buffer);
+    const ModelTree loaded = ModelTree::load(buffer);
+
+    // Every load path re-lowers (ModelTree::finalize), so serving
+    // hot-reload always swaps tree and compiled form together.
+    const CompiledTree &compiled = loaded.compiled();
+    EXPECT_EQ(compiled.numNodes(), tree.compiled().numNodes());
+    for (std::size_t r = 0; r < data.numRows(); ++r) {
+        EXPECT_TRUE(sameBits(compiled.predict(data.row(r)),
+                             tree.predict(data.row(r))));
+        EXPECT_EQ(compiled.classify(data.row(r)),
+                  tree.classify(data.row(r)));
+    }
+}
+
+TEST(CompiledTree, ClampEngagesOutsideTheTrainingRange)
+{
+    const Dataset data = piecewiseData(400, 3);
+    const ModelTree tree = ModelTree::train(data, "y");
+    const CompiledTree &compiled = tree.compiled();
+
+    // Far outside the training box the leaf model extrapolates
+    // wildly; both evaluators must clamp to the same envelope.
+    const std::vector<double> far = {1e6, -1e6, 0.0};
+    const double interpreted = tree.predict(far);
+    EXPECT_TRUE(sameBits(compiled.predict(far), interpreted));
+    EXPECT_TRUE(std::isfinite(interpreted));
+}
+
+TEST(CompiledTree, NanRowsDescendLikeTheInterpreter)
+{
+    const Dataset data = piecewiseData(400, 4);
+    const ModelTree tree = ModelTree::train(data, "y");
+    const CompiledTree &compiled = tree.compiled();
+
+    // NaN fails `row[attr] <= threshold` in the interpreter and goes
+    // right; the branch-free select must take the same side.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<std::vector<double>> rows = {
+        {nan, 0.25, 0.0}, {0.25, nan, 0.0}, {nan, nan, 0.0}};
+    for (const auto &row : rows) {
+        EXPECT_EQ(compiled.classify(row), tree.classify(row));
+        EXPECT_TRUE(
+            sameBits(compiled.predict(row), tree.predict(row)));
+    }
+}
+
+TEST(CompiledTree, BlockEvaluationCrossesTileBoundaries)
+{
+    const Dataset data = piecewiseData(400, 5);
+    const ModelTree tree = ModelTree::train(data, "y");
+    const CompiledTree &compiled = tree.compiled();
+
+    // More rows than one tile, not a multiple of the tile size, so
+    // the loop exercises full tiles plus a ragged tail.
+    const std::size_t n = CompiledTree::kBlockRows * 2 + 37;
+    const Dataset probe = piecewiseData(n, 6);
+    std::vector<double> cpi(n);
+    std::vector<std::uint32_t> leaf(n);
+    compiled.evaluateBlock(probe.row(0).data(),
+                           probe.numColumns(), n, cpi.data(),
+                           leaf.data());
+    for (std::size_t r = 0; r < n; ++r) {
+        EXPECT_TRUE(sameBits(cpi[r], tree.predict(probe.row(r))))
+            << "row " << r;
+        EXPECT_EQ(leaf[r], tree.classify(probe.row(r)))
+            << "row " << r;
+    }
+}
+
+TEST(CompiledTree, BlockOutputsAreIndividuallyOptional)
+{
+    const Dataset data = piecewiseData(400, 7);
+    const ModelTree tree = ModelTree::train(data, "y");
+    const CompiledTree &compiled = tree.compiled();
+    const Dataset probe = piecewiseData(64, 8);
+    const std::size_t n = probe.numRows();
+
+    // Classify-only traffic skips the leaf-model arithmetic; predict
+    // -only traffic skips the leaf export. Either output pointer may
+    // be null (not both), and each must match the dual-output call.
+    std::vector<double> cpi_both(n), cpi_only(n);
+    std::vector<std::uint32_t> leaf_both(n), leaf_only(n);
+    compiled.evaluateBlock(probe.row(0).data(), probe.numColumns(),
+                           n, cpi_both.data(), leaf_both.data());
+    compiled.evaluateBlock(probe.row(0).data(), probe.numColumns(),
+                           n, cpi_only.data(), nullptr);
+    compiled.evaluateBlock(probe.row(0).data(), probe.numColumns(),
+                           n, nullptr, leaf_only.data());
+    for (std::size_t r = 0; r < n; ++r) {
+        EXPECT_TRUE(sameBits(cpi_only[r], cpi_both[r]));
+        EXPECT_EQ(leaf_only[r], leaf_both[r]);
+    }
+}
+
+} // namespace
+} // namespace wct

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The compiled-evaluation contract, checked over randomized trees and
+ * datasets: CompiledTree — scalar, block, and through the parallel
+ * predictAll/classifyAll fronts at several pool sizes — must be
+ * *bit-identical* to the interpreted ModelTree walk. Not "close":
+ * identical. The serving determinism guarantee (docs/serving.md) and
+ * the artifact-store reproducibility story both stand on this, so the
+ * comparison is on std::bit_cast'd payloads, never on |a - b|.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtree/compiled_tree.hh"
+#include "mtree/model_tree.hh"
+#include "tests/support/prop.hh"
+#include "util/thread_pool.hh"
+
+namespace wct
+{
+namespace
+{
+
+using prop::CheckResult;
+using prop::Config;
+
+/** Small-leaf config so modest random datasets still grow trees. */
+ModelTreeConfig
+smallTreeConfig()
+{
+    ModelTreeConfig config;
+    config.minLeafInstances = 6;
+    return config;
+}
+
+prop::DatasetGenConfig
+defaultShape()
+{
+    prop::DatasetGenConfig shape;
+    shape.minRows = 30;
+    shape.maxRows = 160;
+    shape.noise = 0.1;
+    return shape;
+}
+
+bool
+sameBits(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+        std::bit_cast<std::uint64_t>(b);
+}
+
+/**
+ * Probe rows: the training rows plus deterministic perturbations
+ * that push rows across split boundaries and outside the training
+ * range (where the clamp engages).
+ */
+Dataset
+probeRows(const Dataset &data)
+{
+    Dataset probe = data;
+    const std::size_t p = data.numColumns() - 1;
+    for (std::size_t r = 0; r < data.numRows(); ++r) {
+        std::vector<double> shifted(data.row(r).begin(),
+                                    data.row(r).end());
+        std::vector<double> extreme = shifted;
+        for (std::size_t c = 0; c < p; ++c) {
+            shifted[c] += 0.37 * (c % 2 == 0 ? 1.0 : -1.0);
+            extreme[c] *= 100.0;
+        }
+        probe.addRow(shifted);
+        probe.addRow(extreme);
+    }
+    return probe;
+}
+
+TEST(CompiledTreeProp, ScalarAndBlockMatchInterpretedBitForBit)
+{
+    const Config config = Config::fromEnv(0xc0de, 100);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const ModelTree tree =
+                ModelTree::train(data, "y", smallTreeConfig());
+            const CompiledTree &compiled = tree.compiled();
+            const Dataset probe = probeRows(data);
+            const std::size_t n = probe.numRows();
+            const std::size_t cols = probe.numColumns();
+
+            // Scalar front.
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto row = probe.row(r);
+                if (!sameBits(tree.predict(row),
+                              compiled.predict(row)))
+                    return "scalar predict differs on row " +
+                        std::to_string(r) + ": interpreted " +
+                        prop::showDouble(tree.predict(row)) +
+                        " vs compiled " +
+                        prop::showDouble(compiled.predict(row));
+                if (tree.classify(row) != compiled.classify(row))
+                    return "scalar classify differs on row " +
+                        std::to_string(r);
+            }
+
+            // Block front, in one call spanning several tiles.
+            std::vector<double> cpi(n);
+            std::vector<std::uint32_t> leaf(n);
+            compiled.evaluateBlock(probe.row(0).data(), cols, n,
+                                   cpi.data(), leaf.data());
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto row = probe.row(r);
+                if (!sameBits(cpi[r], tree.predict(row)))
+                    return "block predict differs on row " +
+                        std::to_string(r);
+                if (leaf[r] != tree.classify(row))
+                    return "block classify differs on row " +
+                        std::to_string(r);
+            }
+            return std::nullopt;
+        });
+    WCT_EXPECT_PROP(result, config);
+}
+
+TEST(CompiledTreeProp, ParallelFrontsAreThreadCountInvariant)
+{
+    // predictAll/classifyAll fan blocks over the global pool; the
+    // result must be the interpreted per-row answer bit for bit at
+    // *any* worker count (WCT_THREADS 1, 4, and the configured
+    // value), because every row writes a pre-sized slot of its own.
+    const Config config = Config::fromEnv(0xb10c, 60);
+    const CheckResult result = prop::check<Dataset>(
+        config, prop::datasets(defaultShape()),
+        [](const Dataset &data) -> std::optional<std::string> {
+            const ModelTree tree =
+                ModelTree::train(data, "y", smallTreeConfig());
+            const Dataset probe = probeRows(data);
+
+            std::vector<double> want(probe.numRows());
+            std::vector<std::size_t> want_leaf(probe.numRows());
+            for (std::size_t r = 0; r < probe.numRows(); ++r) {
+                want[r] = tree.predict(probe.row(r));
+                want_leaf[r] = tree.classify(probe.row(r));
+            }
+
+            const std::size_t pool_sizes[] = {
+                0, 4, ThreadPool::configuredThreads()};
+            for (const std::size_t workers : pool_sizes) {
+                ThreadPool::resetGlobalForTest(workers);
+                const std::vector<double> got =
+                    tree.predictAll(probe);
+                const std::vector<std::size_t> got_leaf =
+                    tree.classifyAll(probe);
+                for (std::size_t r = 0; r < probe.numRows(); ++r) {
+                    if (!sameBits(got[r], want[r]))
+                        return "predictAll differs at " +
+                            std::to_string(workers) +
+                            " workers on row " + std::to_string(r) +
+                            ": " + prop::showDouble(want[r]) +
+                            " vs " + prop::showDouble(got[r]);
+                    if (got_leaf[r] != want_leaf[r])
+                        return "classifyAll differs at " +
+                            std::to_string(workers) +
+                            " workers on row " + std::to_string(r);
+                }
+            }
+            return std::nullopt;
+        });
+    // Leave the pool the way other tests expect to find it.
+    ThreadPool::resetGlobalForTest(
+        ThreadPool::configuredThreads() <= 1
+            ? 0
+            : ThreadPool::configuredThreads());
+    WCT_EXPECT_PROP(result, config);
+}
+
+} // namespace
+} // namespace wct

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "data/artifact_store.hh"
+#include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 #include "serve/registry.hh"
 #include "tests/serve/serve_support.hh"
@@ -127,6 +128,42 @@ TEST(RegistryTest, HotReloadSwapsEntryWithoutInvalidatingReaders)
     // The old content key no longer resolves; the new one does.
     EXPECT_EQ(registry.find(info1.key), nullptr);
     EXPECT_NE(registry.find(info2.key), nullptr);
+}
+
+TEST(RegistryTest, HotReloadRebuildsTheCompiledForm)
+{
+    // A reload must swap the flattened evaluator together with the
+    // tree: the entry's compiled shape follows the new model, and
+    // predictions through the fresh compiled form are the new
+    // tree's, bit for bit.
+    TempDir dir("wct_registry_test_compiled");
+    const ModelTree v1 = test::trainedTree(1200, 1);
+    const ModelTree v2 = test::trainedTree(1200, 99);
+    ASSERT_NE(v1.numLeaves(), v2.numLeaves());
+    const std::string path = dir.file("m.mtree");
+    test::writeTree(v1, path);
+
+    ModelRegistry registry;
+    ModelInfo info1;
+    std::string err;
+    ASSERT_TRUE(registry.loadFile(path, "prod", &info1, &err)) << err;
+    EXPECT_EQ(info1.compiledNodes, v1.compiled().numNodes());
+    EXPECT_EQ(info1.compiledDepth, v1.compiled().depth());
+
+    test::writeTree(v2, path);
+    ModelInfo info2;
+    ASSERT_TRUE(registry.loadFile(path, "prod", &info2, &err)) << err;
+    EXPECT_EQ(info2.compiledNodes, v2.compiled().numNodes());
+    EXPECT_EQ(info2.compiledDepth, v2.compiled().depth());
+    EXPECT_NE(info2.compiledNodes, info1.compiledNodes);
+
+    const auto fresh = registry.find("prod");
+    ASSERT_NE(fresh, nullptr);
+    const Dataset probe = test::trainingData(16, 7);
+    for (std::size_t r = 0; r < probe.numRows(); ++r) {
+        EXPECT_DOUBLE_EQ(fresh->compiled().predict(probe.row(r)),
+                         v2.predict(probe.row(r)));
+    }
 }
 
 TEST(RegistryTest, ReloadingIdenticalBytesKeepsTheSameKey)
