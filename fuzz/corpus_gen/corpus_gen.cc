@@ -22,6 +22,7 @@
 #include "core/suite_io.hh"
 #include "data/artifact_store.hh"
 #include "data/binary_io.hh"
+#include "data/store_wire.hh"
 #include "mtree/model_tree.hh"
 #include "mtree/serialize.hh"
 #include "serve/wire.hh"
@@ -246,6 +247,85 @@ artifactSeeds(const fs::path &root)
     fs::remove_all(scratch);
 }
 
+void
+storeSeeds(const fs::path &root)
+{
+    // WCTSTOR frames through the real encoders, plus whole hostile
+    // session streams, mirroring the fuzz_serve_session layout.
+    StoreRequest load;
+    load.op = StoreOp::Load;
+    load.id = 1;
+    load.artifact = {"collect-shard", 0x1122334455667788ull};
+    StoreRequest store;
+    store.op = StoreOp::Store;
+    store.id = 2;
+    store.artifact = {"mtree", fnv1a64("stored tree text")};
+    store.payload = "stored tree text";
+    StoreRequest gc;
+    gc.op = StoreOp::Gc;
+    gc.id = 3;
+    gc.graceSeconds = 300;
+    gc.live = {{"collect-shard", 0x1122334455667788ull},
+               {"train", 0xfeedull}};
+    StoreRequest ping;
+    ping.op = StoreOp::Ping;
+    ping.id = 4;
+    StoreRequest shutdown;
+    shutdown.op = StoreOp::Shutdown;
+    shutdown.id = 5;
+    StoreRequest list;
+    list.op = StoreOp::List;
+    list.id = 6;
+
+    const auto payloadOf = [](const std::string &frame) {
+        std::istringstream in(frame);
+        return readStoreFrame(in).value();
+    };
+    const auto seedBoth = [&](const std::string &name,
+                              const std::string &frame) {
+        emit(root, "fuzz_store_wire", name + "-frame", frame);
+        emit(root, "fuzz_store_wire", name + "-payload",
+             payloadOf(frame));
+    };
+    seedBoth("req-load", encodeStoreRequest(load));
+    seedBoth("req-store", encodeStoreRequest(store));
+    seedBoth("req-gc", encodeStoreRequest(gc));
+    seedBoth("req-ping", encodeStoreRequest(ping));
+    seedBoth("req-shutdown", encodeStoreRequest(shutdown));
+    seedBoth("req-list", encodeStoreRequest(list));
+
+    StoreResponse loaded;
+    loaded.op = StoreOp::Load;
+    loaded.id = 1;
+    loaded.payload = "artifact bytes";
+    seedBoth("resp-load", encodeStoreResponse(loaded));
+    StoreResponse missing;
+    missing.op = StoreOp::Load;
+    missing.id = 2;
+    missing.status = StoreStatus::NotFound;
+    missing.error = "no such artifact";
+    seedBoth("resp-not-found", encodeStoreResponse(missing));
+    StoreResponse listing;
+    listing.op = StoreOp::List;
+    listing.id = 6;
+    ArtifactInfo info;
+    info.id = {"train", 0xfeedull};
+    info.fileBytes = 512;
+    listing.artifacts.push_back(info);
+    seedBoth("resp-list", encodeStoreResponse(listing));
+
+    // Session streams: whole client conversations, valid and broken.
+    const std::string storeFrame = encodeStoreRequest(store);
+    emit(root, "fuzz_store_wire", "session-store-then-load",
+         storeFrame + encodeStoreRequest(load));
+    emit(root, "fuzz_store_wire", "session-ping-gc",
+         encodeStoreRequest(ping) + encodeStoreRequest(gc));
+    emit(root, "fuzz_store_wire", "session-store-truncated",
+         storeFrame.substr(0, storeFrame.size() - 7));
+    emit(root, "fuzz_store_wire", "session-store-then-garbage",
+         storeFrame + std::string("\x7fGARBAGE\x00\x01\x02", 11));
+}
+
 } // namespace
 
 int
@@ -260,6 +340,7 @@ main(int argc, char **argv)
     wireSeeds(root);
     treeSeeds(root);
     artifactSeeds(root);
+    storeSeeds(root);
     std::cout << "corpus_gen: wrote " << written
               << " seed inputs under " << root << "\n";
     return 0;

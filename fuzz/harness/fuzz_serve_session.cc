@@ -26,6 +26,7 @@
 
 #include "mtree/model_tree.hh"
 #include "mtree/serialize.hh"
+#include "serve/server.hh"
 #include "serve/socket.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"

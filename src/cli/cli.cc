@@ -14,11 +14,14 @@
 #include "data/artifact_store.hh"
 #include "data/binary_io.hh"
 #include "data/csv.hh"
+#include "data/remote_store.hh"
+#include "data/store_wire.hh"
 #include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 #include "pipeline/plans.hh"
 #include "serve/server.hh"
 #include "serve/socket.hh"
+#include "serve/store_service.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 #include "util/version.hh"
@@ -53,6 +56,9 @@ const CommandSpec kCollectSpec{
         {"shards", FlagType::Uint, false, "N"},
         {"cache-dir", FlagType::String, false, "DIR"},
         {"no-cache", FlagType::Bool, false, ""},
+        {"store-url", FlagType::String, false, "URL"},
+        {"store-cache-dir", FlagType::String, false, "DIR"},
+        {"store-cache-bytes", FlagType::Uint, false, "N"},
     },
     {},
     0,
@@ -148,6 +154,9 @@ const CommandSpec kRunSpec{
     "run",
     {
         {"cache-dir", FlagType::String, false, "DIR"},
+        {"store-url", FlagType::String, false, "URL"},
+        {"store-cache-dir", FlagType::String, false, "DIR"},
+        {"store-cache-bytes", FlagType::Uint, false, "N"},
         {"intervals", FlagType::Uint, false, "N"},
         {"interval-length", FlagType::Uint, false, "L"},
         {"warmup", FlagType::Uint, false, "W"},
@@ -160,7 +169,11 @@ const CommandSpec kCacheSpec{
     "cache",
     {
         {"cache-dir", FlagType::String, true, "DIR"},
+        {"store-url", FlagType::String, false, "URL"},
+        {"store-cache-dir", FlagType::String, false, "DIR"},
+        {"store-cache-bytes", FlagType::Uint, false, "N"},
         {"plan", FlagType::String, false, "PLAN"},
+        {"grace", FlagType::Uint, false, "SECONDS"},
         {"intervals", FlagType::Uint, false, "N"},
         {"interval-length", FlagType::Uint, false, "L"},
         {"warmup", FlagType::Uint, false, "W"},
@@ -168,6 +181,25 @@ const CommandSpec kCacheSpec{
     {"ls|rm|gc", "[ID]"},
     1,
     2};
+
+const CommandSpec kStoreSpec{
+    "store",
+    {
+        {"dir", FlagType::String, false, "DIR"},
+        {"unix", FlagType::String, false, "SOCK"},
+        {"port", FlagType::Uint, false, "N"},
+        {"max-connections", FlagType::Uint, false, "N"},
+        {"no-remote-shutdown", FlagType::Bool, false, ""},
+        {"store-url", FlagType::String, false, "URL"},
+        {"grace", FlagType::Uint, false, "SECONDS"},
+        {"plan", FlagType::String, false, "PLAN"},
+        {"intervals", FlagType::Uint, false, "N"},
+        {"interval-length", FlagType::Uint, false, "L"},
+        {"warmup", FlagType::Uint, false, "W"},
+    },
+    {"serve|ping|ls|gc|shutdown"},
+    1,
+    1};
 
 const CommandSpec kServeSpec{
     "serve",
@@ -214,8 +246,8 @@ const CommandSpec kVersionSpec{"version", {}, {}, 0, 0};
 const CommandSpec *const kCommands[] = {
     &kSuitesSpec, &kCollectSpec, &kTrainSpec,   &kShowSpec,
     &kPredictSpec, &kTransferSpec, &kProfileSpec, &kSubsetSpec,
-    &kPhasesSpec, &kRunSpec,     &kCacheSpec,   &kServeSpec,
-    &kQuerySpec,  &kVersionSpec,
+    &kPhasesSpec, &kRunSpec,     &kCacheSpec,   &kStoreSpec,
+    &kServeSpec,  &kQuerySpec,   &kVersionSpec,
 };
 
 /**
@@ -291,6 +323,57 @@ protocolFromOptions(const ParsedOptions &options)
     return protocol;
 }
 
+/**
+ * The artifact store a pipeline command operates on: the plain local
+ * store at --cache-dir, or — when --store-url is given — the remote
+ * daemon fronted by a read-through cache at --store-cache-dir
+ * (default: --cache-dir, else a per-user temp directory), size-bounded
+ * by --store-cache-bytes.
+ */
+ArtifactStore
+storeFromOptions(const ParsedOptions &options)
+{
+    const std::string url = options.get("store-url");
+    if (url.empty())
+        return ArtifactStore(options.get("cache-dir"));
+    RemoteStoreConfig config;
+    config.url = url;
+    config.cacheDir =
+        options.get("store-cache-dir", options.get("cache-dir"));
+    if (config.cacheDir.empty())
+        config.cacheDir = (std::filesystem::temp_directory_path() /
+                           "wct-store-cache")
+                              .string();
+    config.cacheBytes = options.getUint("store-cache-bytes", 0);
+    return makeRemoteStore(config);
+}
+
+/**
+ * Live set for a gc sweep: everything the selected plan (default:
+ * every standard plan) would touch under the given protocol. The
+ * store is only read (mtree content keys hide inside train
+ * artifacts); nothing is executed.
+ */
+std::vector<ArtifactId>
+livePlanArtifacts(const ParsedOptions &options,
+                  const ArtifactStore &store)
+{
+    const pipeline::PlanProtocol protocol =
+        protocolFromOptions(options);
+    std::vector<std::string> plans;
+    if (options.has("plan"))
+        plans.push_back(options.get("plan"));
+    else
+        plans = pipeline::planNames();
+
+    std::vector<ArtifactId> live;
+    for (const std::string &plan : plans)
+        for (ArtifactId &id :
+             pipeline::planArtifacts(plan, protocol, store))
+            live.push_back(std::move(id));
+    return live;
+}
+
 /** Human-readable name of a data path: the last meaningful stem. */
 std::string
 nameFromPath(const std::string &path)
@@ -340,14 +423,16 @@ cmdCollect(const ParsedOptions &options, std::ostream &err)
                   "'");
 
     SuiteData data;
-    const std::string cache_dir = options.get("cache-dir");
-    if (!cache_dir.empty() && !options.has("no-cache")) {
+    const bool caching = (!options.get("cache-dir").empty() ||
+                          options.has("store-url")) &&
+                         !options.has("no-cache");
+    if (caching) {
         // The collect stage over the artifact store: a hit is a
         // byte-identical reload of a previous collection, a corrupt
         // artifact warns and recomputes.
-        pipeline::Pipeline pipe{ArtifactStore(cache_dir)};
+        pipeline::Pipeline pipe{storeFromOptions(options)};
         data = pipeline::collectStage(pipe, suite, config);
-        if (pipe.runs().back().cached)
+        if (pipe.allCached())
             err << "loaded " << data.benchmarks.size()
                 << " benchmarks from cache\n";
         else
@@ -540,7 +625,7 @@ cmdRun(const ParsedOptions &options, std::ostream &out,
 
     // Plan results go to stdout; the stage report (which carries
     // timings) to stderr, so repeated runs stay byte-comparable.
-    pipeline::Pipeline pipe{ArtifactStore(options.get("cache-dir"))};
+    pipeline::Pipeline pipe{storeFromOptions(options)};
     pipeline::runPlan(pipe, plan, protocol, out);
     err << pipe.renderReport();
     return 0;
@@ -564,7 +649,7 @@ int
 cmdCache(const ParsedOptions &options, std::ostream &out)
 {
     const std::string &action = options.positional()[0];
-    const ArtifactStore store(options.get("cache-dir"));
+    const ArtifactStore store = storeFromOptions(options);
 
     if (action == "ls") {
         std::uintmax_t total = 0;
@@ -590,28 +675,154 @@ cmdCache(const ParsedOptions &options, std::ostream &out)
         return 0;
     }
     if (action == "gc") {
-        // Live = everything the selected plan (default: every
-        // standard plan) would touch under the given protocol.
-        const pipeline::PlanProtocol protocol =
-            protocolFromOptions(options);
-        std::vector<std::string> plans;
-        if (options.has("plan"))
-            plans.push_back(options.get("plan"));
-        else
-            plans = pipeline::planNames();
-
-        std::vector<ArtifactId> live;
-        for (const std::string &plan : plans)
-            for (ArtifactId &id :
-                 pipeline::planArtifacts(plan, protocol, store))
-                live.push_back(std::move(id));
-        const auto removed = store.gc(live);
+        const std::vector<ArtifactId> live =
+            livePlanArtifacts(options, store);
+        const auto removed =
+            store.gc(live, options.getUint("grace", 0));
         for (const ArtifactId &id : removed)
             out << "removed " << id.fileName() << "\n";
         out << removed.size() << " artifacts removed\n";
         return 0;
     }
     wct_fatal("unknown cache action '", action, "' (ls|rm|gc)");
+}
+
+/** The daemon endpoint of a `wct store` client action. */
+std::string
+storeUrlFromOptions(const ParsedOptions &options,
+                    const std::string &action)
+{
+    if (options.has("store-url"))
+        return options.get("store-url");
+    if (options.has("unix"))
+        return "unix:" + options.get("unix");
+    if (options.has("port"))
+        return "tcp:" + std::to_string(options.getUint("port", 0));
+    wct_fatal("store ", action,
+              " needs --store-url URL (or --unix SOCKET / --port N)");
+}
+
+int
+cmdStore(const ParsedOptions &options, std::ostream &out,
+         std::ostream &err)
+{
+    const std::string &action = options.positional()[0];
+
+    if (action == "serve") {
+        const std::string dir = options.get("dir");
+        if (dir.empty())
+            wct_fatal("store serve needs --dir DIR (the artifact "
+                      "directory)");
+        serve::StoreServiceConfig service_config;
+        service_config.allowRemoteShutdown =
+            !options.has("no-remote-shutdown");
+        service_config.gcGraceSeconds = options.getUint("grace", 0);
+        serve::StoreService service(ArtifactStore(dir),
+                                    service_config);
+
+        serve::SocketConfig socket_config;
+        socket_config.unixPath = options.get("unix");
+        socket_config.tcpPort =
+            static_cast<int>(options.getUint("port", 0));
+        if (socket_config.unixPath.empty() && !options.has("port"))
+            wct_fatal("store serve needs --unix SOCKET or --port N");
+        socket_config.maxConnections =
+            options.getUint("max-connections", 32);
+        socket_config.frameMagic = std::string(kStoreWireMagic, 8);
+        socket_config.frameVersion = kStoreWireFormatVersion;
+        socket_config.maxFramePayload = kMaxStoreFramePayload;
+
+        serve::SocketServer transport(service, socket_config);
+        std::string sock_err;
+        if (!transport.start(&sock_err))
+            wct_fatal(sock_err);
+        if (!socket_config.unixPath.empty())
+            err << "store serving " << dir << " on "
+                << socket_config.unixPath << "\n";
+        else
+            err << "store serving " << dir << " on 127.0.0.1:"
+                << transport.boundPort() << "\n";
+
+        // Block until a client sends a Shutdown frame (unless
+        // --no-remote-shutdown, in which case only a signal ends us).
+        transport.waitForShutdown();
+        err << "store daemon drained, exiting\n";
+        return 0;
+    }
+
+    const std::string url = storeUrlFromOptions(options, action);
+
+    if (action == "gc") {
+        // The liveness expansion reads train artifacts through the
+        // daemon itself, so the sweep is exact without any local
+        // state; the throwaway read-through cache lands in tmp.
+        RemoteStoreConfig config;
+        config.url = url;
+        config.cacheDir = (std::filesystem::temp_directory_path() /
+                           "wct-store-gc-cache")
+                              .string();
+        const ArtifactStore store = makeRemoteStore(config);
+        const std::vector<ArtifactId> live =
+            livePlanArtifacts(options, store);
+        const auto removed =
+            store.gc(live, options.getUint("grace", 0));
+        for (const ArtifactId &id : removed)
+            out << "removed " << id.fileName() << "\n";
+        out << removed.size() << " artifacts removed\n";
+        return 0;
+    }
+
+    StoreRequest request;
+    request.id = 1;
+    if (action == "ping")
+        request.op = StoreOp::Ping;
+    else if (action == "ls")
+        request.op = StoreOp::List;
+    else if (action == "shutdown")
+        request.op = StoreOp::Shutdown;
+    else
+        wct_fatal("unknown store action '", action,
+                  "' (serve|ping|ls|gc|shutdown)");
+
+    std::string conn_err;
+    const auto endpoint = parseStoreUrl(url, &conn_err);
+    if (!endpoint)
+        wct_fatal(conn_err);
+    auto client = StoreClient::connect(*endpoint, &conn_err);
+    if (!client)
+        wct_fatal(conn_err);
+    const auto response = client->call(request, &conn_err);
+    if (!response)
+        wct_fatal(conn_err);
+    if (response->status != StoreStatus::Ok) {
+        out << "status " << storeStatusName(response->status) << ": "
+            << response->error << "\n";
+        return 1;
+    }
+
+    switch (response->op) {
+      case StoreOp::Ping:
+        out << "ok: " << url << " (" << kStoreWireMagic << " v"
+            << kStoreWireFormatVersion << ")\n";
+        break;
+      case StoreOp::List: {
+        std::uintmax_t total = 0;
+        for (const ArtifactInfo &info : response->artifacts) {
+            out << info.id.fileName() << "  " << info.fileBytes
+                << " bytes\n";
+            total += info.fileBytes;
+        }
+        out << response->artifacts.size() << " artifacts, " << total
+            << " bytes\n";
+        break;
+      }
+      case StoreOp::Shutdown:
+        out << "store daemon shutting down\n";
+        break;
+      default:
+        break;
+    }
+    return 0;
 }
 
 int
@@ -626,7 +837,9 @@ cmdVersion(std::ostream &out)
         << "artifact format: " << kArtifactMagic << " v"
         << kArtifactFormatVersion << "\n"
         << "serve wire format: " << serve::kWireMagic << " v"
-        << serve::kWireFormatVersion << "\n";
+        << serve::kWireFormatVersion << "\n"
+        << "store wire format: " << kStoreWireMagic << " v"
+        << kStoreWireFormatVersion << "\n";
     return 0;
 }
 
@@ -876,6 +1089,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdRun(options, out, err);
     if (command == "cache")
         return cmdCache(options, out);
+    if (command == "store")
+        return cmdStore(options, out, err);
     if (command == "serve")
         return cmdServe(options, out, err);
     if (command == "query")

@@ -55,13 +55,6 @@ benchmarkStreamSalt(const std::string &name)
 namespace
 {
 
-/** Contiguous run of intervals one shard collects. */
-struct ShardSpec
-{
-    std::size_t firstInterval = 0;
-    std::size_t intervals = 0;
-};
-
 /** Intervals a benchmark contributes (weight-proportional, >= 1). */
 std::size_t
 benchmarkIntervals(const BenchmarkProfile &bench,
@@ -73,11 +66,18 @@ benchmarkIntervals(const BenchmarkProfile &bench,
     return std::max<std::size_t>(intervals, 1);
 }
 
-/**
- * Split a benchmark's intervals into balanced contiguous shards.
- * Shard count is clamped so every shard collects at least one
- * interval; the plan depends only on the config, never on threads.
- */
+/** Stitch a benchmark's shard datasets back together in shard order. */
+Dataset
+concatenateShards(std::vector<Dataset> &parts)
+{
+    Dataset samples = std::move(parts.front());
+    for (std::size_t s = 1; s < parts.size(); ++s)
+        samples.append(parts[s]);
+    return samples;
+}
+
+} // namespace
+
 std::vector<ShardSpec>
 shardPlan(const BenchmarkProfile &bench, const CollectionConfig &config)
 {
@@ -96,14 +96,9 @@ shardPlan(const BenchmarkProfile &bench, const CollectionConfig &config)
     return plan;
 }
 
-/**
- * Collect one shard: a fresh machine and an independently seeded
- * stream. Shard 0 uses the benchmark's base stream seed, so a
- * one-shard plan reproduces the historical sequential stream bit
- * for bit; later shards fork from that seed by shard index. The
- * multiplexing rotation starts at the shard's first global interval
- * so the schedule advances exactly as it would sequentially.
- */
+// The multiplexing rotation starts at the shard's first global
+// interval so the schedule advances exactly as it would
+// sequentially.
 Dataset
 collectShard(const BenchmarkProfile &bench,
              const CollectionConfig &config, std::size_t shard,
@@ -132,18 +127,6 @@ collectShard(const BenchmarkProfile &bench,
 
     return collector.collect(source, spec.intervals);
 }
-
-/** Stitch a benchmark's shard datasets back together in shard order. */
-Dataset
-concatenateShards(std::vector<Dataset> &parts)
-{
-    Dataset samples = std::move(parts.front());
-    for (std::size_t s = 1; s < parts.size(); ++s)
-        samples.append(parts[s]);
-    return samples;
-}
-
-} // namespace
 
 BenchmarkData
 collectBenchmark(const BenchmarkProfile &bench,

@@ -91,6 +91,37 @@ struct SuiteData
  */
 std::uint64_t benchmarkStreamSalt(const std::string &name);
 
+/** Contiguous run of intervals one shard collects. */
+struct ShardSpec
+{
+    std::size_t firstInterval = 0;
+    std::size_t intervals = 0;
+};
+
+/**
+ * Split a benchmark's intervals (round(base * weight), >= 1) into
+ * balanced contiguous shards. Shard count is clamped so every shard
+ * collects at least one interval; the plan depends only on the
+ * benchmark profile and the config, never on threads. Exposed so the
+ * staged pipeline can address every (benchmark, shard) task as its
+ * own store artifact (pipeline/stages.hh collectShardKey) and
+ * `wct cache gc` can enumerate the same ids without collecting.
+ */
+std::vector<ShardSpec> shardPlan(const BenchmarkProfile &bench,
+                                 const CollectionConfig &config);
+
+/**
+ * Collect one shard: a fresh machine and an independently seeded
+ * stream. Shard 0 uses the benchmark's base stream seed, so a
+ * one-shard plan reproduces the historical sequential stream bit for
+ * bit; later shards fork from that seed by shard index. A shard is a
+ * pure function of (benchmark profile, config, shard, spec) — the
+ * unit of cross-worker deduplication in the shared artifact store.
+ */
+Dataset collectShard(const BenchmarkProfile &bench,
+                     const CollectionConfig &config,
+                     std::size_t shard, const ShardSpec &spec);
+
 /**
  * Collect a suite: per benchmark, `config.shards` fresh machines are
  * warmed up and sampled for that shard's share of

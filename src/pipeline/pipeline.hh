@@ -73,6 +73,14 @@ class Pipeline
     std::string renderReport() const;
 
     /**
+     * Append an externally-executed stage record. The shard-granular
+     * collect stage drives its own load/compute/store loop (hits
+     * decode serially, misses fan out over the pool) and records one
+     * StageRun per shard in deterministic task order through here.
+     */
+    void record(StageRun run) { runs_.push_back(std::move(run)); }
+
+    /**
      * Execute one stage. `encode` serializes a computed value into an
      * artifact payload; `decode` must reject any byte sequence it did
      * not produce (returning nullopt falls back to recompute, with a

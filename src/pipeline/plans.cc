@@ -138,10 +138,16 @@ transferIds(const SuiteKeys &cpu, const SuiteKeys &omp)
 }
 
 void
-appendSuiteIds(std::vector<ArtifactId> &ids, const SuiteKeys &keys,
+appendSuiteIds(std::vector<ArtifactId> &ids, const SuiteProfile &suite,
+               const PlanProtocol &protocol, const SuiteKeys &keys,
                bool full)
 {
-    ids.push_back({"collect", keys.collect});
+    // Collection artifacts are per-shard: the shard plan is a pure
+    // function of the protocol, so the expansion enumerates without
+    // collecting and `wct cache gc` liveness stays exact.
+    for (ArtifactId &id :
+         collectShardArtifacts(suite, protocol.collection))
+        ids.push_back(std::move(id));
     ids.push_back({"train", keys.train});
     if (full) {
         ids.push_back({"profile", keys.profile});
@@ -245,17 +251,17 @@ planArtifacts(const std::string &name, const PlanProtocol &protocol,
     std::vector<std::uint64_t> train_keys;
     if (name == "cpu2006" || name == "omp2001") {
         const SuiteKeys &keys = name == "cpu2006" ? cpu : omp;
-        appendSuiteIds(ids, keys, true);
+        appendSuiteIds(ids, suiteByName(name), protocol, keys, true);
         train_keys = {keys.train};
     } else if (name == "transfer") {
-        appendSuiteIds(ids, cpu, false);
-        appendSuiteIds(ids, omp, false);
+        appendSuiteIds(ids, specCpu2006(), protocol, cpu, false);
+        appendSuiteIds(ids, specOmp2001(), protocol, omp, false);
         for (ArtifactId &id : transferIds(cpu, omp))
             ids.push_back(std::move(id));
         train_keys = {cpu.train, omp.train};
     } else if (name == "full") {
-        appendSuiteIds(ids, cpu, true);
-        appendSuiteIds(ids, omp, true);
+        appendSuiteIds(ids, specCpu2006(), protocol, cpu, true);
+        appendSuiteIds(ids, specOmp2001(), protocol, omp, true);
         for (ArtifactId &id : transferIds(cpu, omp))
             ids.push_back(std::move(id));
         train_keys = {cpu.train, omp.train};

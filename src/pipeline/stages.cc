@@ -1,9 +1,11 @@
 #include "pipeline/stages.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "core/suite_io.hh"
 #include "mtree/serialize.hh"
+#include "util/thread_pool.hh"
 
 namespace wct::pipeline
 {
@@ -168,16 +170,21 @@ void
 appendSuiteProfile(KeyBuilder &key, const SuiteProfile &suite)
 {
     key.str(suite.name).u64(suite.benchmarks.size());
-    for (const BenchmarkProfile &bench : suite.benchmarks) {
-        key.str(bench.name)
-            .str(bench.language)
-            .u8(bench.integer ? 1 : 0)
-            .f64(bench.instructionWeight)
-            .u64(bench.phaseRunLength)
-            .u64(bench.phases.size());
-        for (const PhaseProfile &phase : bench.phases)
-            appendPhaseProfile(key, phase);
-    }
+    for (const BenchmarkProfile &bench : suite.benchmarks)
+        appendBenchmarkProfile(key, bench);
+}
+
+void
+appendBenchmarkProfile(KeyBuilder &key, const BenchmarkProfile &bench)
+{
+    key.str(bench.name)
+        .str(bench.language)
+        .u8(bench.integer ? 1 : 0)
+        .f64(bench.instructionWeight)
+        .u64(bench.phaseRunLength)
+        .u64(bench.phases.size());
+    for (const PhaseProfile &phase : bench.phases)
+        appendPhaseProfile(key, phase);
 }
 
 void
@@ -235,6 +242,36 @@ collectStageKey(const SuiteProfile &suite,
     appendSuiteProfile(key, suite);
     appendCollectionConfig(key, config);
     return key.key();
+}
+
+std::uint64_t
+collectShardKey(const BenchmarkProfile &bench,
+                const CollectionConfig &config, std::size_t shard,
+                const ShardSpec &spec)
+{
+    KeyBuilder key;
+    key.str("collect-shard")
+        .u32(kCollectShardPayloadVersion)
+        .u32(kDatasetFormatVersion);
+    appendBenchmarkProfile(key, bench);
+    appendCollectionConfig(key, config);
+    key.u64(shard).u64(spec.firstInterval).u64(spec.intervals);
+    return key.key();
+}
+
+std::vector<ArtifactId>
+collectShardArtifacts(const SuiteProfile &suite,
+                      const CollectionConfig &config)
+{
+    std::vector<ArtifactId> ids;
+    for (const BenchmarkProfile &bench : suite.benchmarks) {
+        const std::vector<ShardSpec> plan = shardPlan(bench, config);
+        for (std::size_t s = 0; s < plan.size(); ++s)
+            ids.push_back(
+                {"collect-shard",
+                 collectShardKey(bench, config, s, plan[s])});
+    }
+    return ids;
 }
 
 std::uint64_t
@@ -299,6 +336,24 @@ decodeSuiteData(std::string_view payload)
 {
     std::istringstream in{std::string(payload)};
     return readSuiteData(in);
+}
+
+std::string
+encodeShardSamples(const Dataset &samples)
+{
+    ByteSink sink;
+    appendDataset(sink, samples);
+    return sink.bytes();
+}
+
+std::optional<Dataset>
+decodeShardSamples(std::string_view payload)
+{
+    ByteParser parser(payload);
+    auto samples = parseDataset(parser);
+    if (!samples || !parser.atEnd())
+        return std::nullopt;
+    return samples;
 }
 
 std::string
@@ -518,10 +573,99 @@ SuiteData
 collectStage(Pipeline &pipe, const SuiteProfile &suite,
              const CollectionConfig &config)
 {
-    const ArtifactId id{"collect", collectStageKey(suite, config)};
-    return pipe.run<SuiteData>(
-        "collect:" + suite.name, id, encodeSuiteData, decodeSuiteData,
-        [&] { return collectSuite(suite, config); });
+    struct ShardTask
+    {
+        std::size_t bench = 0;
+        std::size_t shard = 0;
+        ShardSpec spec;
+        StageRun run;
+    };
+    const auto msSince =
+        [](std::chrono::steady_clock::time_point start) {
+            return std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        };
+
+    const std::size_t n = suite.benchmarks.size();
+    std::vector<ShardTask> tasks;
+    std::vector<std::vector<Dataset>> parts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<ShardSpec> plan =
+            shardPlan(suite.benchmarks[i], config);
+        parts[i].resize(plan.size());
+        for (std::size_t s = 0; s < plan.size(); ++s) {
+            ShardTask task;
+            task.bench = i;
+            task.shard = s;
+            task.spec = plan[s];
+            task.run.label = "collect-shard:" +
+                             suite.benchmarks[i].name + "/" +
+                             std::to_string(s);
+            task.run.id = ArtifactId{
+                "collect-shard",
+                collectShardKey(suite.benchmarks[i], config, s,
+                                plan[s])};
+            tasks.push_back(std::move(task));
+        }
+    }
+
+    // Serial store pass first: hits decode in deterministic order
+    // (no concurrent remote fetches racing on one connection), and
+    // only the true misses fan out below.
+    std::vector<std::size_t> misses;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+        ShardTask &task = tasks[t];
+        const auto start = std::chrono::steady_clock::now();
+        if (auto payload = pipe.store().load(task.run.id)) {
+            if (auto samples = decodeShardSamples(*payload)) {
+                task.run.cached = true;
+                task.run.payloadBytes = payload->size();
+                parts[task.bench][task.shard] = std::move(*samples);
+            } else {
+                wct_warn("artifact '", task.run.id.fileName(),
+                         "' failed to decode; recomputing shard");
+            }
+        }
+        task.run.ms = msSince(start);
+        if (!task.run.cached)
+            misses.push_back(t);
+    }
+
+    // Misses compute and publish over the pool into pre-assigned
+    // slots. Both store backends are thread-safe writers (atomic
+    // rename locally, a mutex-serialized connection remotely).
+    parallelFor(misses.size(), [&](std::size_t m) {
+        ShardTask &task = tasks[misses[m]];
+        const auto start = std::chrono::steady_clock::now();
+        Dataset samples = collectShard(suite.benchmarks[task.bench],
+                                       config, task.shard, task.spec);
+        const std::string payload = encodeShardSamples(samples);
+        task.run.payloadBytes = payload.size();
+        pipe.store().store(task.run.id, payload);
+        parts[task.bench][task.shard] = std::move(samples);
+        task.run.ms += msSince(start);
+    });
+
+    for (ShardTask &task : tasks)
+        pipe.record(std::move(task.run));
+
+    // Fixed-order stitch: byte-identical for any thread count and
+    // any warm/cold mix.
+    SuiteData out;
+    out.suiteName = suite.name;
+    out.benchmarks.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        BenchmarkData &bench = out.benchmarks[i];
+        bench.name = suite.benchmarks[i].name;
+        bench.instructionWeight =
+            suite.benchmarks[i].instructionWeight;
+        Dataset samples = std::move(parts[i].front());
+        for (std::size_t s = 1; s < parts[i].size(); ++s)
+            samples.append(parts[i][s]);
+        bench.samples = std::move(samples);
+    }
+    return out;
 }
 
 SuiteModel

@@ -46,6 +46,7 @@ namespace wct::pipeline
 
 // ---- Payload format versions (bump on codec layout changes; each
 // one is hashed into its stage key, so old artifacts simply miss). --
+constexpr std::uint32_t kCollectShardPayloadVersion = 1;
 constexpr std::uint32_t kTrainPayloadVersion = 1;
 constexpr std::uint32_t kProfilePayloadVersion = 1;
 constexpr std::uint32_t kSimilarityPayloadVersion = 1;
@@ -54,6 +55,8 @@ constexpr std::uint32_t kTransferPayloadVersion = 1;
 // ---- Canonical input encoders (exact bit patterns; shared by every
 // key derivation — exposed for the key-coverage tests). ----
 void appendSuiteProfile(KeyBuilder &key, const SuiteProfile &suite);
+void appendBenchmarkProfile(KeyBuilder &key,
+                            const BenchmarkProfile &bench);
 void appendCollectionConfig(KeyBuilder &key,
                             const CollectionConfig &config);
 void appendSuiteModelConfig(KeyBuilder &key,
@@ -63,10 +66,39 @@ void appendTransferabilityConfig(KeyBuilder &key,
 
 // ---- Stage keys. ----
 
-/** Key of a collected suite (covers every input the samples depend
- * on, including the SuiteData payload format version). */
+/**
+ * Logical key of a collected suite (covers every input the samples
+ * depend on, including the SuiteData payload format version). No
+ * artifact is stored under this key anymore — collection artifacts
+ * are per-shard (below) — but it remains the chaining key every
+ * downstream stage hashes, so shard granularity never perturbs
+ * train/profile/similarity/transfer keys.
+ */
 std::uint64_t collectStageKey(const SuiteProfile &suite,
                               const CollectionConfig &config);
+
+/**
+ * Key of one (benchmark, shard) collection task. Deliberately
+ * benchmark-scoped — the suite name and the other benchmarks are
+ * excluded — so workers dedupe shards across suites and plans, and a
+ * single-benchmark profile change invalidates only that benchmark's
+ * shard artifacts.
+ */
+std::uint64_t collectShardKey(const BenchmarkProfile &bench,
+                              const CollectionConfig &config,
+                              std::size_t shard,
+                              const ShardSpec &spec);
+
+/**
+ * Every ("collect-shard", key) artifact a suite collection reads or
+ * writes, in deterministic task order. `wct cache gc` liveness and
+ * the plan expansion (pipeline/plans.cc) enumerate through this —
+ * the shard plan is a pure function of the config, so no collection
+ * is executed.
+ */
+std::vector<ArtifactId>
+collectShardArtifacts(const SuiteProfile &suite,
+                      const CollectionConfig &config);
 
 /** Key of a trained suite model. `builder` is deliberately excluded
  * from the model-config encoding: all builders produce byte-identical
@@ -97,6 +129,9 @@ std::uint64_t transferStageKey(std::uint64_t modelTrainKey,
 std::string encodeSuiteData(const SuiteData &data);
 std::optional<SuiteData> decodeSuiteData(std::string_view payload);
 
+std::string encodeShardSamples(const Dataset &samples);
+std::optional<Dataset> decodeShardSamples(std::string_view payload);
+
 std::string encodeSuiteModel(const SuiteModel &model);
 std::optional<SuiteModel> decodeSuiteModel(std::string_view payload);
 
@@ -116,7 +151,16 @@ decodeTransferReport(std::string_view payload);
 // plan run therefore reports a hit for every stage) and appends one
 // StageRun to the pipeline. ----
 
-/** Collect a suite, cached under ("collect", collectStageKey). */
+/**
+ * Collect a suite at shard granularity: every (benchmark, shard)
+ * task is its own ("collect-shard", collectShardKey) artifact. Hits
+ * load and decode in a serial deterministic pass; misses compute and
+ * publish over the work-stealing pool into pre-assigned slots; the
+ * stitch is a fixed-order concatenation of the shard datasets — so
+ * the suite is byte-identical for any WCT_THREADS and any warm/cold
+ * mix, and a fleet of workers sharing one store dedupes at shard
+ * granularity. Records one StageRun per shard.
+ */
 SuiteData collectStage(Pipeline &pipe, const SuiteProfile &suite,
                        const CollectionConfig &config);
 

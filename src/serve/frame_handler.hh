@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The contract between a socket transport and a frame-oriented
+ * service: one stripped envelope payload in, one complete encoded
+ * response frame out.
+ *
+ * SocketServer (serve/socket.hh) is transport only — it owns
+ * accepting, per-connection framing, and shutdown choreography, and
+ * pumps every decoded payload through this interface. The model
+ * server (serve/server.hh, WCTSERV frames) and the artifact store
+ * daemon (serve/store_service.hh, WCTSTOR frames) are the two
+ * implementations; both must uphold the shared failure policy:
+ * nothing a client sends may terminate the process, and every
+ * request — malformed ones included — earns exactly one response.
+ */
+
+#ifndef WCT_SERVE_FRAME_HANDLER_HH
+#define WCT_SERVE_FRAME_HANDLER_HH
+
+#include <string>
+#include <string_view>
+
+namespace wct::serve
+{
+
+/** A frame-oriented service behind a SocketServer. Implementations
+ * must be safe to call from many transport threads concurrently. */
+class FrameHandler
+{
+  public:
+    virtual ~FrameHandler() = default;
+
+    /** One request payload (envelope already stripped) in, one
+     * complete encoded response frame out. */
+    virtual std::string handlePayload(std::string_view payload) = 0;
+
+    /** Encoded response for a frame the transport could not even
+     * de-envelope (bad magic, truncation, checksum, oversize). */
+    virtual std::string
+    malformedResponse(const std::string &reason) = 0;
+
+    /** True once the service is draining: the transport stops
+     * accepting and lets in-flight responses finish. */
+    virtual bool shuttingDown() const = 0;
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_FRAME_HANDLER_HH

@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "serve/engine.hh"
+#include "serve/frame_handler.hh"
 #include "serve/metrics.hh"
 #include "serve/queue.hh"
 #include "serve/registry.hh"
@@ -58,7 +59,7 @@ struct ServerConfig
 };
 
 /** One serving instance; see file comment. */
-class Server
+class Server : public FrameHandler
 {
   public:
     explicit Server(ServerConfig config = {});
@@ -91,10 +92,10 @@ class Server
      * Same, for a payload whose envelope a transport already
      * stripped (the socket layer reads envelopes off the stream).
      */
-    std::string handlePayload(std::string_view payload);
+    std::string handlePayload(std::string_view payload) override;
 
     /** Encoded MalformedFrame response (transport framing errors). */
-    std::string malformedResponse(const std::string &reason);
+    std::string malformedResponse(const std::string &reason) override;
 
     /** Decoded-level entry (the tests' shortcut past the codec). */
     Response handleRequest(Request &&request);
@@ -104,7 +105,7 @@ class Server
 
     /** True once a shutdown was requested. */
     bool
-    shuttingDown() const
+    shuttingDown() const override
     {
         return shuttingDown_.load(std::memory_order_acquire);
     }

@@ -1,178 +1,20 @@
 #include "serve/socket.hh"
 
-#include <cerrno>
-#include <cstring>
 #include <istream>
 #include <new>
 #include <ostream>
-#include <streambuf>
 
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
 
-#include "util/logging.hh"
+#include "data/binary_io.hh"
+#include "util/socket_io.hh"
 
 namespace wct::serve
 {
 
-namespace
-{
-
-/**
- * Minimal buffered std::streambuf over a socket descriptor, so the
- * envelope readers/writers of wire.hh work on a connection exactly
- * as they do on a file. Reads block; shutdown is delivered by
- * ::shutdown on the fd, which turns the parked read into EOF.
- */
-class FdStreambuf : public std::streambuf
-{
-  public:
-    explicit FdStreambuf(int fd) : fd_(fd)
-    {
-        setg(inBuf_, inBuf_, inBuf_);
-        setp(outBuf_, outBuf_ + sizeof outBuf_);
-    }
-
-  protected:
-    int_type
-    underflow() override
-    {
-        if (gptr() < egptr())
-            return traits_type::to_int_type(*gptr());
-        ssize_t n;
-        do {
-            n = ::read(fd_, inBuf_, sizeof inBuf_);
-        } while (n < 0 && errno == EINTR);
-        if (n <= 0)
-            return traits_type::eof();
-        setg(inBuf_, inBuf_, inBuf_ + n);
-        return traits_type::to_int_type(*gptr());
-    }
-
-    int_type
-    overflow(int_type ch) override
-    {
-        if (flushOut() != 0)
-            return traits_type::eof();
-        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-            *pptr() = traits_type::to_char_type(ch);
-            pbump(1);
-        }
-        return traits_type::not_eof(ch);
-    }
-
-    int
-    sync() override
-    {
-        return flushOut();
-    }
-
-  private:
-    int
-    flushOut()
-    {
-        const char *data = pbase();
-        std::size_t left = static_cast<std::size_t>(pptr() - pbase());
-        while (left > 0) {
-            ssize_t n;
-            do {
-                // MSG_NOSIGNAL: a peer that already closed must
-                // surface as an EPIPE error here, not as a
-                // process-wide SIGPIPE.
-                n = ::send(fd_, data, left, MSG_NOSIGNAL);
-            } while (n < 0 && errno == EINTR);
-            if (n <= 0)
-                return -1;
-            data += n;
-            left -= static_cast<std::size_t>(n);
-        }
-        setp(outBuf_, outBuf_ + sizeof outBuf_);
-        return 0;
-    }
-
-    int fd_;
-    char inBuf_[8192];
-    char outBuf_[8192];
-};
-
-void
-closeFd(int fd)
-{
-    if (fd >= 0)
-        ::close(fd);
-}
-
-int
-listenUnix(const std::string &path, int backlog, std::string *err)
-{
-    sockaddr_un addr = {};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof addr.sun_path) {
-        if (err != nullptr)
-            *err = "unix socket path too long: " + path;
-        return -1;
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        if (err != nullptr)
-            *err = std::string("socket: ") + std::strerror(errno);
-        return -1;
-    }
-    ::unlink(path.c_str()); // stale socket from a previous run
-    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(fd, backlog) != 0) {
-        if (err != nullptr)
-            *err = "cannot listen on '" + path +
-                   "': " + std::strerror(errno);
-        closeFd(fd);
-        return -1;
-    }
-    return fd;
-}
-
-int
-listenTcp(int port, int backlog, int *bound_port, std::string *err)
-{
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        if (err != nullptr)
-            *err = std::string("socket: ") + std::strerror(errno);
-        return -1;
-    }
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(fd, backlog) != 0) {
-        if (err != nullptr)
-            *err = "cannot listen on 127.0.0.1:" +
-                   std::to_string(port) + ": " +
-                   std::strerror(errno);
-        closeFd(fd);
-        return -1;
-    }
-    sockaddr_in actual = {};
-    socklen_t len = sizeof actual;
-    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&actual),
-                      &len) == 0)
-        *bound_port = ntohs(actual.sin_port);
-    return fd;
-}
-
-} // namespace
-
-SocketServer::SocketServer(Server &server, SocketConfig config)
-    : server_(server), config_(std::move(config))
+SocketServer::SocketServer(FrameHandler &handler, SocketConfig config)
+    : handler_(handler), config_(std::move(config))
 {
 }
 
@@ -200,7 +42,7 @@ void
 SocketServer::acceptLoop()
 {
     while (!stopping_.load(std::memory_order_acquire) &&
-           !server_.shuttingDown()) {
+           !handler_.shuttingDown()) {
         reapFinished();
         pollfd pfd = {listenFd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
@@ -210,7 +52,7 @@ SocketServer::acceptLoop()
         if (fd < 0)
             continue;
         std::lock_guard lock(connectionsMutex_);
-        if (server_.shuttingDown() ||
+        if (handler_.shuttingDown() ||
             connections_.size() >= config_.maxConnections) {
             closeFd(fd); // client sees EOF: connection-level backpressure
             continue;
@@ -232,28 +74,31 @@ SocketServer::connectionLoop(std::list<Connection>::iterator conn)
     std::ostream out(&buf);
     try {
         while (true) {
-            const auto payload = readFrame(in);
+            const auto payload =
+                readEnvelope(in, config_.frameMagic,
+                             config_.frameVersion,
+                             config_.maxFramePayload);
             if (!payload) {
                 // A clean EOF between frames is a normal disconnect;
                 // any other framing failure earns one diagnostic
                 // response (framing cannot resync, so the connection
                 // closes).
                 if (!in.eof() || in.gcount() != 0)
-                    writeFrame(out, server_.malformedResponse(
+                    writeFrame(out, handler_.malformedResponse(
                                         "bad frame envelope (magic, "
                                         "version, size, or "
                                         "checksum)"));
                 break;
             }
-            writeFrame(out, server_.handlePayload(*payload));
-            if (server_.shuttingDown())
+            writeFrame(out, handler_.handlePayload(*payload));
+            if (handler_.shuttingDown())
                 break; // response (e.g. the shutdown ack) was sent
         }
     } catch (const std::bad_alloc &) {
         // Even capped frames can fail to allocate under memory
         // pressure; one client's frame must drop the connection, not
         // the server.
-        writeFrame(out, server_.malformedResponse(
+        writeFrame(out, handler_.malformedResponse(
                             "out of memory handling frame"));
     }
     // Park the thread handle for the accept loop (or stop()) to
@@ -318,7 +163,7 @@ SocketServer::stop()
 void
 SocketServer::waitForShutdown()
 {
-    // The accept thread exits once the Server starts draining (it
+    // The accept thread exits once the handler starts draining (it
     // re-checks every poll timeout); connections finish their last
     // response on their own. stop() then closes any idle ones.
     if (acceptThread_.joinable())
@@ -351,45 +196,18 @@ ServeClient::operator=(ServeClient &&other) noexcept
 std::optional<ServeClient>
 ServeClient::connectUnix(const std::string &path, std::string *err)
 {
-    sockaddr_un addr = {};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof addr.sun_path) {
-        if (err != nullptr)
-            *err = "unix socket path too long: " + path;
+    const int fd = wct::connectUnix(path, err);
+    if (fd < 0)
         return std::nullopt;
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 ||
-        ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        if (err != nullptr)
-            *err = "cannot connect to '" + path +
-                   "': " + std::strerror(errno);
-        closeFd(fd);
-        return std::nullopt;
-    }
     return ServeClient(fd);
 }
 
 std::optional<ServeClient>
 ServeClient::connectTcp(int port, std::string *err)
 {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (fd < 0 ||
-        ::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        if (err != nullptr)
-            *err = "cannot connect to 127.0.0.1:" +
-                   std::to_string(port) + ": " +
-                   std::strerror(errno);
-        closeFd(fd);
+    const int fd = wct::connectTcp(port, err);
+    if (fd < 0)
         return std::nullopt;
-    }
     return ServeClient(fd);
 }
 

@@ -1,7 +1,10 @@
 /**
  * @file
- * Socket transport for the serving subsystem: a Unix-domain or
- * loopback-TCP acceptor in front of Server::handlePayload.
+ * Socket transport for frame-oriented services: a Unix-domain or
+ * loopback-TCP acceptor in front of a FrameHandler — the model
+ * server (WCTSERV frames) and the artifact store daemon (WCTSTOR
+ * frames) share this transport; only the envelope magic/version/cap
+ * in SocketConfig differs.
  *
  * The accept/worker model is deliberately simple and explicit: one
  * accept thread (poll with a short timeout, so shutdown is noticed
@@ -13,7 +16,7 @@
  * envelope gets one MalformedFrame response and the connection is
  * dropped (framing cannot resync inside a byte stream).
  *
- * Shutdown: once the Server enters draining (a shutdown frame or
+ * Shutdown: once the handler enters draining (a shutdown frame or
  * stop()), the acceptor stops accepting and every parked connection
  * read is forced out with ::shutdown(SHUT_RD) on its descriptor —
  * read-only, so a response still in flight drains to its client
@@ -35,7 +38,7 @@
 #include <string>
 #include <thread>
 
-#include "serve/server.hh"
+#include "serve/frame_handler.hh"
 #include "serve/wire.hh"
 
 namespace wct::serve
@@ -56,13 +59,20 @@ struct SocketConfig
 
     /** Concurrent connection cap; excess connections see EOF. */
     std::size_t maxConnections = 32;
+
+    /** Envelope framing of this listener. Defaults are the serving
+     * wire; the store daemon swaps in the WCTSTOR values
+     * (data/store_wire.hh). */
+    std::string frameMagic = std::string(kWireMagic, 8);
+    std::uint32_t frameVersion = kWireFormatVersion;
+    std::uint64_t maxFramePayload = kMaxFramePayload;
 };
 
-/** Accepts connections and pumps frames into a Server. */
+/** Accepts connections and pumps frames into a FrameHandler. */
 class SocketServer
 {
   public:
-    SocketServer(Server &server, SocketConfig config);
+    SocketServer(FrameHandler &handler, SocketConfig config);
 
     SocketServer(const SocketServer &) = delete;
     SocketServer &operator=(const SocketServer &) = delete;
@@ -78,7 +88,7 @@ class SocketServer
     void stop();
 
     /**
-     * Block until the Server enters shutdown (e.g. a client sent a
+     * Block until the handler enters shutdown (e.g. a client sent a
      * shutdown frame) and every connection finished, then stop().
      */
     void waitForShutdown();
@@ -102,7 +112,7 @@ class SocketServer
     void reapFinished();
     void shutdownReads();
 
-    Server &server_;
+    FrameHandler &handler_;
     SocketConfig config_;
     int listenFd_ = -1;
     int boundPort_ = 0;

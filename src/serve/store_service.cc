@@ -1,0 +1,124 @@
+#include "serve/store_service.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace wct::serve
+{
+
+StoreService::StoreService(ArtifactStore store,
+                           StoreServiceConfig config)
+    : store_(std::move(store)), config_(config)
+{
+}
+
+std::string
+StoreService::handlePayload(std::string_view payload)
+{
+    std::string err;
+    const auto request = decodeStoreRequest(payload, &err);
+    if (!request)
+        return malformedResponse(err);
+    return encodeStoreResponse(handleRequest(*request));
+}
+
+std::string
+StoreService::malformedResponse(const std::string &reason)
+{
+    StoreResponse response;
+    response.status = StoreStatus::MalformedFrame;
+    response.error = reason;
+    return encodeStoreResponse(response);
+}
+
+void
+StoreService::beginShutdown()
+{
+    shuttingDown_.store(true, std::memory_order_release);
+}
+
+StoreResponse
+StoreService::handleRequest(const StoreRequest &request)
+{
+    StoreResponse response;
+    response.op = request.op;
+    response.id = request.id;
+
+    if (shuttingDown() && request.op != StoreOp::Ping) {
+        response.status = StoreStatus::ShuttingDown;
+        response.error = "store daemon is draining";
+        return response;
+    }
+
+    switch (request.op) {
+    case StoreOp::Ping:
+        break;
+
+    case StoreOp::Load:
+        if (auto payload = store_.load(request.artifact)) {
+            response.payload = std::move(*payload);
+        } else {
+            // A corrupt file and a missing file answer identically:
+            // the client recomputes either way, and the next Store
+            // overwrites the bad entry.
+            response.status = StoreStatus::NotFound;
+            response.error = "no artifact " +
+                             request.artifact.fileName();
+        }
+        break;
+
+    case StoreOp::Store:
+        if (!store_.store(request.artifact, request.payload)) {
+            response.status = StoreStatus::Error;
+            response.error = "cannot store " +
+                             request.artifact.fileName();
+        }
+        break;
+
+    case StoreOp::Stat:
+        if (store_.contains(request.artifact)) {
+            std::error_code ec;
+            const auto bytes = std::filesystem::file_size(
+                store_.path(request.artifact), ec);
+            response.fileBytes = ec ? 0 : bytes;
+        } else {
+            response.status = StoreStatus::NotFound;
+            response.error = "no artifact " +
+                             request.artifact.fileName();
+        }
+        break;
+
+    case StoreOp::Remove:
+        if (!store_.remove(request.artifact)) {
+            response.status = StoreStatus::NotFound;
+            response.error = "no artifact " +
+                             request.artifact.fileName();
+        }
+        break;
+
+    case StoreOp::List:
+        response.artifacts = store_.list();
+        break;
+
+    case StoreOp::Gc:
+        response.removed = store_.gc(
+            request.live,
+            std::max(request.graceSeconds, config_.gcGraceSeconds));
+        break;
+
+    case StoreOp::Shutdown:
+        if (!config_.allowRemoteShutdown) {
+            response.status = StoreStatus::Error;
+            response.error = "remote shutdown is disabled";
+            break;
+        }
+        wct_inform("store daemon: shutdown requested");
+        beginShutdown();
+        break;
+    }
+    return response;
+}
+
+} // namespace wct::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The artifact store daemon's request handler: WCTSTOR frames in,
+ * operations on one local ArtifactStore out (`wct store serve`).
+ *
+ * This is the fleet's shared cache (docs/store.md): workers running
+ * `wct run --store-url ...` read through it and publish into it, so
+ * one machine's collection warms every other machine's run. The
+ * daemon is a dumb byte store on purpose — artifacts are already
+ * self-identifying checksummed envelopes, clients re-hash
+ * content-addressed kinds on fetch, so the daemon holds no format
+ * knowledge beyond the (kind, key) address.
+ *
+ * Failure policy matches the model server: nothing a client sends
+ * can terminate the daemon. Malformed frames get a MalformedFrame
+ * response, oversized claimed payloads are refused before
+ * allocation (store_wire framing), hostile artifact kinds are
+ * rejected at decode, and I/O failures map to Error responses.
+ */
+
+#ifndef WCT_SERVE_STORE_SERVICE_HH
+#define WCT_SERVE_STORE_SERVICE_HH
+
+#include <atomic>
+
+#include "data/artifact_store.hh"
+#include "data/store_wire.hh"
+#include "serve/frame_handler.hh"
+
+namespace wct::serve
+{
+
+/** Store daemon policy knobs. */
+struct StoreServiceConfig
+{
+    /** Permit Shutdown frames (off for untrusted clients; the fuzz
+     * harness also turns this off so a mutated shutdown cannot end
+     * its fixture daemon). */
+    bool allowRemoteShutdown = true;
+
+    /** Grace floor applied to every gc sweep, on top of whatever the
+     * client requested: max(client, this). */
+    std::uint64_t gcGraceSeconds = 0;
+};
+
+/** One store daemon instance; see file comment. */
+class StoreService : public FrameHandler
+{
+  public:
+    explicit StoreService(ArtifactStore store,
+                          StoreServiceConfig config = {});
+
+    StoreService(const StoreService &) = delete;
+    StoreService &operator=(const StoreService &) = delete;
+
+    std::string handlePayload(std::string_view payload) override;
+    std::string malformedResponse(const std::string &reason) override;
+
+    bool
+    shuttingDown() const override
+    {
+        return shuttingDown_.load(std::memory_order_acquire);
+    }
+
+    /** Local shutdown entry (signal handlers, tests). */
+    void beginShutdown();
+
+    /** Decoded-level entry (the tests' shortcut past the codec). */
+    StoreResponse handleRequest(const StoreRequest &request);
+
+    const ArtifactStore &store() const { return store_; }
+
+  private:
+    ArtifactStore store_;
+    StoreServiceConfig config_;
+    std::atomic<bool> shuttingDown_{false};
+};
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_STORE_SERVICE_HH

@@ -360,8 +360,9 @@ TEST(CliTest, RunPlanColdThenWarmIsByteIdenticalAndAllHits)
     std::string warm_out, warm_err;
     EXPECT_EQ(run(args, &warm_out, &warm_err), 0);
     EXPECT_EQ(warm_out, cold_out); // results identical cold vs warm
-    // Every stage served from the store on the warm run.
-    EXPECT_NE(warm_err.find("cache hits: 4/4"), std::string::npos)
+    // Every stage served from the store on the warm run: the 11
+    // omp2001 per-shard collect stages plus train/profile/similarity.
+    EXPECT_NE(warm_err.find("cache hits: 14/14"), std::string::npos)
         << warm_err;
 }
 
@@ -371,12 +372,13 @@ TEST(CliTest, CacheLsRmGcManageThePlanArtifacts)
     const std::string cache_dir = dir.file("cache");
     EXPECT_EQ(run(runPlanArgs(cache_dir)), 0);
 
-    // ls: the four stage artifacts plus the published model tree.
+    // ls: the 11 per-shard collect artifacts, the three downstream
+    // stage artifacts, and the published model tree.
     std::string ls_out;
     EXPECT_EQ(run({"cache", "ls", "--cache-dir", cache_dir},
                   &ls_out),
               0);
-    EXPECT_NE(ls_out.find("5 artifacts"), std::string::npos)
+    EXPECT_NE(ls_out.find("15 artifacts"), std::string::npos)
         << ls_out;
     EXPECT_NE(ls_out.find("collect-"), std::string::npos);
     EXPECT_NE(ls_out.find("train-"), std::string::npos);
@@ -393,7 +395,7 @@ TEST(CliTest, CacheLsRmGcManageThePlanArtifacts)
         << gc_out;
 
     // rm: drop the similarity artifact by its listed name; the next
-    // run recomputes just that stage (3/4 hits).
+    // run recomputes just that stage (13/14 hits).
     const std::size_t pos = ls_out.find("similarity-");
     ASSERT_NE(pos, std::string::npos) << ls_out;
     const std::string name = ls_out.substr(pos, 11 + 16);
@@ -404,7 +406,8 @@ TEST(CliTest, CacheLsRmGcManageThePlanArtifacts)
     EXPECT_NE(rm_out.find("removed " + name), std::string::npos);
     std::string err;
     EXPECT_EQ(run(runPlanArgs(cache_dir), nullptr, &err), 0);
-    EXPECT_NE(err.find("cache hits: 3/4"), std::string::npos) << err;
+    EXPECT_NE(err.find("cache hits: 13/14"), std::string::npos)
+        << err;
 
     // gc at the *standard* protocol: the scaled artifacts are dead.
     EXPECT_EQ(run({"cache", "gc", "--cache-dir", cache_dir},

@@ -322,5 +322,60 @@ TEST(ArtifactStoreTest, GcNeverDeletesLiveArtifacts)
     EXPECT_TRUE(store.gc(live).empty());
 }
 
+TEST(ArtifactStoreTest, GcGraceProtectsFreshlyPublishedArtifacts)
+{
+    // Regression for the fleet race: liveness is computed before the
+    // sweep, so an artifact published in between (another worker
+    // mid-run) looks dead. With a grace window, anything younger
+    // than the window survives even when it is not in the live set.
+    const TempDir dir("grace");
+    const ArtifactStore store(dir.path.string());
+    ASSERT_TRUE(store.store({"collect-shard", 1}, "just published"));
+    ASSERT_TRUE(store.store({"train", 2}, "also fresh"));
+    // A fresh temp file from an in-flight writer is protected too.
+    writeFileBytes(
+        (dir.path / "train-0000000000000002.wctart.9.9.tmp").string(),
+        "half-written");
+
+    // Everything is seconds old: a one-hour grace removes nothing,
+    // even with an empty live set.
+    EXPECT_TRUE(store.gc({}, 3600).empty());
+    EXPECT_TRUE(store.contains({"collect-shard", 1}));
+    EXPECT_TRUE(store.contains({"train", 2}));
+    bool tmp_left = false;
+    for (const auto &entry : fs::directory_iterator(dir.path))
+        if (entry.path().extension() == ".tmp")
+            tmp_left = true;
+    EXPECT_TRUE(tmp_left);
+
+    // Grace zero still sweeps files written before the call began.
+    const auto removed = store.gc({}, 0);
+    EXPECT_EQ(removed.size(), 2u);
+    EXPECT_FALSE(store.contains({"collect-shard", 1}));
+    tmp_left = false;
+    for (const auto &entry : fs::directory_iterator(dir.path))
+        if (entry.path().extension() == ".tmp")
+            tmp_left = true;
+    EXPECT_FALSE(tmp_left);
+}
+
+TEST(ArtifactStoreTest, HostileKindsNeverBecomeFileNames)
+{
+    // Kinds become path components: the store refuses anything that
+    // could escape its directory, on write and on the helpers alike.
+    const TempDir dir("kinds");
+    const ArtifactStore store(dir.path.string());
+    EXPECT_TRUE(validArtifactKind("collect-shard"));
+    EXPECT_TRUE(validArtifactKind("mtree_v2"));
+    EXPECT_FALSE(validArtifactKind(""));
+    EXPECT_FALSE(validArtifactKind("../../etc/passwd"));
+    EXPECT_FALSE(validArtifactKind("a/b"));
+    EXPECT_FALSE(validArtifactKind(std::string(65, 'k')));
+    EXPECT_FALSE(validArtifactKind(std::string("nul\0byte", 8)));
+
+    EXPECT_FALSE(store.store({"../escape", 1}, "payload"));
+    EXPECT_TRUE(fs::is_empty(dir.path));
+}
+
 } // namespace
 } // namespace wct

@@ -266,12 +266,13 @@ TEST(StageRunTest, WarmStagesHitAndMatchColdBytes)
         const SuiteData data = collectStage(pipe, suite, config);
         const SuiteModel model =
             trainStage(pipe, data, collect_key, model_config);
+        // One run per collect shard (3 benchmarks x 1 shard) + train.
         EXPECT_TRUE(pipe.allCached());
-        EXPECT_EQ(pipe.cachedCount(), 2u);
+        EXPECT_EQ(pipe.cachedCount(), 4u);
         EXPECT_EQ(encodeSuiteData(data) + encodeSuiteModel(model),
                   cold_bytes);
         const std::string report = pipe.renderReport();
-        EXPECT_NE(report.find("cache hits: 2/2"), std::string::npos)
+        EXPECT_NE(report.find("cache hits: 4/4"), std::string::npos)
             << report;
     }
 }
@@ -282,7 +283,7 @@ TEST(StageRunTest, CorruptArtifactRecomputesAndRepairs)
     const SuiteProfile suite = miniSuite();
     const CollectionConfig config = miniConfig();
     const ArtifactStore store(dir.path.string());
-    const ArtifactId id{"collect", collectStageKey(suite, config)};
+    const ArtifactId id = collectShardArtifacts(suite, config)[0];
 
     std::string first_payload;
     {
@@ -307,11 +308,14 @@ TEST(StageRunTest, CorruptArtifactRecomputesAndRepairs)
     }
     EXPECT_FALSE(store.load(id).has_value());
 
-    // The stage re-collects (a miss), repairs the file, and still
-    // returns the right data.
+    // The stage re-collects exactly that shard (a miss; the other
+    // shards stay hits), repairs the file, and still returns the
+    // right data. Shard runs are recorded in deterministic task
+    // order, so the corrupted shard is the first run.
     pipeline::Pipeline pipe{store};
     collectStage(pipe, suite, config);
-    EXPECT_FALSE(pipe.runs().back().cached);
+    EXPECT_FALSE(pipe.runs().front().cached);
+    EXPECT_EQ(pipe.cachedCount(), pipe.runs().size() - 1);
     const auto repaired = store.load(id);
     ASSERT_TRUE(repaired.has_value());
     EXPECT_EQ(*repaired, first_payload);
