@@ -197,6 +197,20 @@ wireSeeds(const fs::path &root)
          encodeRequest(load) + encodeRequest(shutdown));
     emit(root, "fuzz_serve_session", "predict-truncated",
          predictFrame.substr(0, predictFrame.size() - 9));
+
+    // Reassembly seeds for the interleaved multi-connection session:
+    // half-frames butted against whole frames, so the round-robin
+    // chunking deals mid-frame splits across connections.
+    const std::string statsFrame = encodeRequest(stats);
+    emit(root, "fuzz_serve_session", "half-predict-then-stats",
+         predictFrame.substr(0, predictFrame.size() / 2) +
+             statsFrame);
+    emit(root, "fuzz_serve_session", "stats-then-half-classify",
+         statsFrame + encodeRequest(classify).substr(
+                          0, encodeRequest(classify).size() / 2));
+    emit(root, "fuzz_serve_session", "two-half-frames",
+         predictFrame.substr(0, predictFrame.size() / 2) +
+             statsFrame.substr(0, statsFrame.size() / 2));
 }
 
 void
@@ -324,6 +338,14 @@ storeSeeds(const fs::path &root)
          storeFrame.substr(0, storeFrame.size() - 7));
     emit(root, "fuzz_store_wire", "session-store-then-garbage",
          storeFrame + std::string("\x7fGARBAGE\x00\x01\x02", 11));
+
+    // Reassembly seeds for the interleaved multi-connection session.
+    const std::string pingFrame = encodeStoreRequest(ping);
+    emit(root, "fuzz_store_wire", "session-half-store-then-ping",
+         storeFrame.substr(0, storeFrame.size() / 2) + pingFrame);
+    emit(root, "fuzz_store_wire", "session-two-half-frames",
+         storeFrame.substr(0, storeFrame.size() / 2) +
+             pingFrame.substr(0, pingFrame.size() / 2));
 }
 
 } // namespace

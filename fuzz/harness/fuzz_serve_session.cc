@@ -16,6 +16,7 @@
 
 #include "fuzz/driver/driver.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -139,6 +140,71 @@ rawSession(const std::string &path, const std::uint8_t *data,
     ::close(fd);
 }
 
+/**
+ * Interleaved partial-frame coverage for the reactor's reassembly
+ * buffers: the input is dealt out round-robin in small chunks across
+ * three simultaneous connections, so each connection receives its own
+ * (usually mid-frame) subsequence while the event loop holds several
+ * half-built frames at once. One connection aborts hard — close with
+ * no half-close and no drain — mid-stream, exercising teardown of a
+ * connection whose buffer still holds a partial frame.
+ */
+void
+interleavedSession(const std::string &path, const std::uint8_t *data,
+                   std::size_t size)
+{
+    constexpr std::size_t kConns = 3;
+    int fds[kConns];
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    WCT_FUZZ_ASSERT(path.size() < sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const timeval timeout = {2, 0};
+    for (std::size_t c = 0; c < kConns; ++c) {
+        fds[c] = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        WCT_FUZZ_ASSERT(fds[c] >= 0);
+        if (::connect(fds[c],
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            ::close(fds[c]);
+            fds[c] = -1; // transient (cap churn); keep going
+            continue;
+        }
+        ::setsockopt(fds[c], SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+    }
+
+    std::size_t off = 0, turn = 0;
+    while (off < size) {
+        // Chunk length comes from the input itself so the mutator
+        // controls where frames split across writes.
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + data[off] % 37, size - off);
+        const std::size_t c = turn++ % kConns;
+        if (fds[c] >= 0 &&
+            ::send(fds[c], data + off, chunk, MSG_NOSIGNAL) <= 0) {
+            ::close(fds[c]); // server dropped it mid-write: fine
+            fds[c] = -1;
+        }
+        off += chunk;
+        // The abort connection hangs up as soon as it has bytes
+        // buffered server-side, likely mid-frame.
+        if (turn == kConns + 1 && fds[kConns - 1] >= 0) {
+            ::close(fds[kConns - 1]);
+            fds[kConns - 1] = -1;
+        }
+    }
+    for (std::size_t c = 0; c < kConns; ++c) {
+        if (fds[c] < 0)
+            continue;
+        ::shutdown(fds[c], SHUT_WR);
+        char sink[4096];
+        while (::read(fds[c], sink, sizeof sink) > 0) {
+        }
+        ::close(fds[c]);
+    }
+}
+
 /** The availability probe: a well-formed client must still be served. */
 void
 probeStillServing(const std::string &path)
@@ -162,6 +228,7 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     [[maybe_unused]] static const bool quiet = setLogQuiet(true);
     LiveService &live = service();
     rawSession(live.path, data, size);
+    interleavedSession(live.path, data, size);
     probeStillServing(live.path);
     return 0;
 }

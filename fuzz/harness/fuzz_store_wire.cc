@@ -24,6 +24,7 @@
 
 #include "fuzz/driver/driver.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -186,6 +187,70 @@ rawSession(const std::string &path, const std::uint8_t *data,
 }
 
 /**
+ * Interleaved partial-frame coverage for the reactor's reassembly
+ * buffers (same shape as fuzz_serve_session): the input is dealt out
+ * round-robin in small chunks across three simultaneous connections,
+ * so the event loop holds several half-built WCTSTOR frames at once;
+ * one connection aborts hard mid-stream with a partial frame still
+ * buffered server-side.
+ */
+void
+interleavedSession(const std::string &path, const std::uint8_t *data,
+                   std::size_t size)
+{
+    constexpr std::size_t kConns = 3;
+    int fds[kConns];
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    WCT_FUZZ_ASSERT(path.size() < sizeof addr.sun_path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const timeval timeout = {2, 0};
+    for (std::size_t c = 0; c < kConns; ++c) {
+        fds[c] = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        WCT_FUZZ_ASSERT(fds[c] >= 0);
+        if (::connect(fds[c],
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            ::close(fds[c]);
+            fds[c] = -1; // transient (cap churn); keep going
+            continue;
+        }
+        ::setsockopt(fds[c], SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+    }
+
+    std::size_t off = 0, turn = 0;
+    while (off < size) {
+        // Chunk length comes from the input itself so the mutator
+        // controls where frames split across writes.
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + data[off] % 37, size - off);
+        const std::size_t c = turn++ % kConns;
+        if (fds[c] >= 0 &&
+            ::send(fds[c], data + off, chunk, MSG_NOSIGNAL) <= 0) {
+            ::close(fds[c]); // daemon dropped it mid-write: fine
+            fds[c] = -1;
+        }
+        off += chunk;
+        // The abort connection hangs up as soon as it has bytes
+        // buffered daemon-side, likely mid-frame.
+        if (turn == kConns + 1 && fds[kConns - 1] >= 0) {
+            ::close(fds[kConns - 1]);
+            fds[kConns - 1] = -1;
+        }
+    }
+    for (std::size_t c = 0; c < kConns; ++c) {
+        if (fds[c] < 0)
+            continue;
+        ::shutdown(fds[c], SHUT_WR);
+        char sink[4096];
+        while (::read(fds[c], sink, sizeof sink) > 0) {
+        }
+        ::close(fds[c]);
+    }
+}
+
+/**
  * The availability probe: ping, publish a fresh artifact, read it
  * back. The key is counter-derived so no earlier mutated Store can
  * have planted bytes at this address.
@@ -241,6 +306,7 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
     LiveStoreDaemon &live = daemon();
     codecInvariants(data, size);
     rawSession(live.path, data, size);
+    interleavedSession(live.path, data, size);
     probeStillServing(live.path);
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <ostream>
+#include <sstream>
 
 #include "cli/options.hh"
 #include "core/collect.hh"
@@ -19,6 +20,7 @@
 #include "mtree/compiled_tree.hh"
 #include "mtree/serialize.hh"
 #include "pipeline/plans.hh"
+#include "serve/loadgen.hh"
 #include "serve/server.hh"
 #include "serve/socket.hh"
 #include "serve/store_service.hh"
@@ -192,6 +194,7 @@ const CommandSpec kStoreSpec{
         {"no-remote-shutdown", FlagType::Bool, false, ""},
         {"store-url", FlagType::String, false, "URL"},
         {"grace", FlagType::Uint, false, "SECONDS"},
+        {"gc-interval", FlagType::Uint, false, "SECONDS"},
         {"plan", FlagType::String, false, "PLAN"},
         {"intervals", FlagType::Uint, false, "N"},
         {"interval-length", FlagType::Uint, false, "L"},
@@ -214,6 +217,12 @@ const CommandSpec kServeSpec{
         {"max-batch", FlagType::Uint, false, "N"},
         {"batchers", FlagType::Uint, false, "N"},
         {"max-connections", FlagType::Uint, false, "N"},
+        {"dispatch-threads", FlagType::Uint, false, "N"},
+        {"default-deadline", FlagType::Uint, false, "MS"},
+        {"max-deadline", FlagType::Uint, false, "MS"},
+        {"slo-predict-p99", FlagType::Uint, false, "US"},
+        {"slo-classify-p99", FlagType::Uint, false, "US"},
+        {"slo-min-samples", FlagType::Uint, false, "N"},
         {"no-remote-load", FlagType::Bool, false, ""},
         {"no-remote-shutdown", FlagType::Bool, false, ""},
         {"interpreted", FlagType::Bool, false, ""},
@@ -236,6 +245,29 @@ const CommandSpec kQuerySpec{
         {"path", FlagType::String, false, "MODEL"},
         {"alias", FlagType::String, false, "NAME"},
         {"id", FlagType::Uint, false, "N"},
+        {"timeout", FlagType::Uint, false, "MS"},
+    },
+    {},
+    0,
+    0};
+
+const CommandSpec kLoadgenSpec{
+    "loadgen",
+    {
+        {"unix", FlagType::String, false, "SOCK"},
+        {"port", FlagType::Uint, false, "N"},
+        {"data", FlagType::String, false, "CSV|DIR"},
+        {"model-key", FlagType::String, false, "K"},
+        {"rate", FlagType::Double, false, "REQ/S"},
+        {"duration", FlagType::Double, false, "SECONDS"},
+        {"connections", FlagType::Uint, false, "N"},
+        {"rows", FlagType::Uint, false, "N"},
+        {"mix", FlagType::String, false, "P:C:L:S"},
+        {"budget", FlagType::Uint, false, "MS"},
+        {"timeout", FlagType::Uint, false, "MS"},
+        {"load-path", FlagType::String, false, "MODEL"},
+        {"load-alias", FlagType::String, false, "NAME"},
+        {"seed", FlagType::Uint, false, "S"},
     },
     {},
     0,
@@ -247,7 +279,7 @@ const CommandSpec *const kCommands[] = {
     &kSuitesSpec, &kCollectSpec, &kTrainSpec,   &kShowSpec,
     &kPredictSpec, &kTransferSpec, &kProfileSpec, &kSubsetSpec,
     &kPhasesSpec, &kRunSpec,     &kCacheSpec,   &kStoreSpec,
-    &kServeSpec,  &kQuerySpec,   &kVersionSpec,
+    &kServeSpec,  &kQuerySpec,   &kLoadgenSpec, &kVersionSpec,
 };
 
 /**
@@ -717,6 +749,21 @@ cmdStore(const ParsedOptions &options, std::ostream &out,
         service_config.allowRemoteShutdown =
             !options.has("no-remote-shutdown");
         service_config.gcGraceSeconds = options.getUint("grace", 0);
+        service_config.gcIntervalSeconds =
+            options.getUint("gc-interval", 0);
+        if (service_config.gcIntervalSeconds > 0) {
+            if (service_config.gcGraceSeconds == 0)
+                wct_fatal("--gc-interval needs --grace SECONDS > 0 "
+                          "(a timed sweep with no grace window "
+                          "would reap in-flight uploads)");
+            // Timed sweeps pin whatever the selected plan (default:
+            // every standard plan) references, plus the grace
+            // window for everything else.
+            service_config.gcLiveSet = [&options, dir] {
+                return livePlanArtifacts(options,
+                                         ArtifactStore(dir));
+            };
+        }
         serve::StoreService service(ArtifactStore(dir),
                                     service_config);
 
@@ -853,6 +900,13 @@ cmdServe(const ParsedOptions &options, std::ostream &out,
     config.batchers = options.getUint("batchers", 1);
     config.allowRemoteLoad = !options.has("no-remote-load");
     config.allowRemoteShutdown = !options.has("no-remote-shutdown");
+    config.defaultDeadlineMs =
+        options.getUint("default-deadline", 0);
+    config.maxDeadlineMs = options.getUint("max-deadline", 0);
+    config.sloPredictP99Us = options.getUint("slo-predict-p99", 0);
+    config.sloClassifyP99Us =
+        options.getUint("slo-classify-p99", 0);
+    config.sloMinSamples = options.getUint("slo-min-samples", 32);
     // Escape hatch for diagnosing a suspected compiled-evaluation
     // divergence in the field: serve from the interpreted per-row
     // walk instead (responses are byte-identical by contract).
@@ -894,6 +948,8 @@ cmdServe(const ParsedOptions &options, std::ostream &out,
         wct_fatal("serve needs --unix SOCKET or --port N");
     socket_config.maxConnections =
         options.getUint("max-connections", 32);
+    socket_config.dispatchThreads =
+        options.getUint("dispatch-threads", 4);
 
     serve::SocketServer transport(server, socket_config);
     std::string sock_err;
@@ -969,15 +1025,33 @@ cmdQuery(const ParsedOptions &options, std::ostream &out)
                   "' (predict|classify|load|stats|shutdown)");
     }
 
+    // --timeout MS arms both ends of the deadline: the request's
+    // budgetMs header (the server abandons the request when the
+    // budget expires) and a client socket deadline (a stalled server
+    // cannot park the CLI forever). Either expiry exits 124, the
+    // conventional timeout status (cf. timeout(1)).
+    const std::uint64_t timeout_ms = options.getUint("timeout", 0);
+    request.budgetMs = static_cast<std::uint32_t>(timeout_ms);
+
     serve::ServeClient client = queryConnect(options);
+    if (timeout_ms > 0)
+        client.setTimeoutMs(timeout_ms);
     std::string call_err;
     const auto response = client.call(request, &call_err);
-    if (!response)
+    if (!response) {
+        if (client.lastCallTimedOut()) {
+            out << "status timeout: no response within "
+                << timeout_ms << " ms\n";
+            return 124;
+        }
         wct_fatal(call_err);
+    }
     if (response->status != serve::Status::Ok) {
         out << "status " << serve::statusName(response->status)
             << ": " << response->error << "\n";
-        return 1;
+        return response->status == serve::Status::DeadlineExceeded
+                   ? 124
+                   : 1;
     }
 
     switch (response->op) {
@@ -1030,6 +1104,77 @@ cmdQuery(const ParsedOptions &options, std::ostream &out)
       case serve::Opcode::Shutdown:
         out << "server shutting down\n";
         break;
+    }
+    return 0;
+}
+
+int
+cmdLoadgen(const ParsedOptions &options, std::ostream &out)
+{
+    serve::LoadgenConfig config;
+    config.unixPath = options.get("unix");
+    config.tcpPort = static_cast<int>(options.getUint("port", 0));
+    if (config.unixPath.empty() && !options.has("port"))
+        wct_fatal("loadgen needs --unix SOCKET or --port N");
+    config.ratePerSec = options.getDouble("rate", 200.0);
+    config.durationSec = options.getDouble("duration", 2.0);
+    config.connections = options.getUint("connections", 4);
+    config.rowsPerRequest = options.getUint("rows", 32);
+    config.budgetMs =
+        static_cast<std::uint32_t>(options.getUint("budget", 0));
+    config.timeoutMs = options.getUint("timeout", 0);
+    config.modelKey = options.get("model-key");
+    config.loadPath = options.get("load-path");
+    config.loadAlias = options.get("load-alias");
+    config.seed = options.getUint("seed", 1);
+
+    // --mix P:C:L:S: relative weights of predict, classify,
+    // loadModel, and stats in the request stream.
+    const std::string mix = options.get("mix", "6:2:0:1");
+    std::uint32_t *weights[] = {
+        &config.predictWeight, &config.classifyWeight,
+        &config.loadWeight, &config.statsWeight};
+    std::istringstream mix_in(mix);
+    std::string part;
+    std::size_t w = 0;
+    while (w < 4 && std::getline(mix_in, part, ':')) {
+        try {
+            *weights[w++] = static_cast<std::uint32_t>(
+                std::stoul(part));
+        } catch (const std::exception &) {
+            wct_fatal("bad --mix '", mix, "' (want P:C:L:S)");
+        }
+    }
+    if (w != 4)
+        wct_fatal("bad --mix '", mix, "' (want P:C:L:S)");
+
+    if (config.predictWeight > 0 || config.classifyWeight > 0) {
+        if (!options.has("data"))
+            wct_fatal("loadgen with an inference mix needs --data "
+                      "CSV|DIR (rows to send)");
+        const Dataset data = loadModelingData(options.get("data"));
+        config.schema = data.columnNames();
+        config.pool.reserve(data.numRows() * data.numColumns());
+        for (std::size_t r = 0; r < data.numRows(); ++r) {
+            const auto row = data.row(r);
+            config.pool.insert(config.pool.end(), row.begin(),
+                               row.end());
+        }
+    }
+
+    std::string run_err;
+    const auto report = serve::runLoadgen(config, &run_err);
+    if (!report)
+        wct_fatal(run_err);
+    out << report->renderText();
+    if (report->completed == 0) {
+        out << "loadgen FAILED: no request completed\n";
+        return 1;
+    }
+    if (report->malformed() > 0) {
+        out << "loadgen FAILED: " << report->malformed()
+            << " malformed responses\n";
+        return 1;
     }
     return 0;
 }
@@ -1095,6 +1240,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         return cmdServe(options, out, err);
     if (command == "query")
         return cmdQuery(options, out);
+    if (command == "loadgen")
+        return cmdLoadgen(options, out);
     return cmdVersion(out);
 }
 

@@ -54,16 +54,45 @@ BatchEngine::batcherLoop()
 void
 BatchEngine::runBatch(std::vector<Job> &batch)
 {
+    // Deadline check at dequeue: a job whose budget expired while it
+    // sat in the queue is answered immediately and never evaluated —
+    // under overload the engine spends its time on requests whose
+    // clients are still waiting. Expired jobs are excluded from the
+    // batch accounting and (below) from the latency histograms, so
+    // requestLatencyUs.total() keeps counting exactly the Ok
+    // inference responses. tree == nullptr marks a job as expired
+    // for the rest of this function (live jobs always carry the
+    // model snapshot resolved at admission).
+    const auto dequeued = std::chrono::steady_clock::now();
     std::size_t total_rows = 0;
-    for (const Job &job : batch)
+    std::size_t live_jobs = 0;
+    for (Job &job : batch) {
+        if (job.deadline && *job.deadline <= dequeued) {
+            Response &response = job.response;
+            response.op = job.request.op;
+            response.id = job.request.id;
+            response.status = Status::DeadlineExceeded;
+            response.error = "deadline expired in queue";
+            metrics_.countDeadlineExpired(
+                static_cast<std::uint8_t>(job.request.op));
+            job.tree.reset();
+            job.result.set_value(std::move(response));
+            continue;
+        }
         total_rows += job.request.numRows();
-    metrics_.countBatch(batch.size(), total_rows);
+        ++live_jobs;
+    }
+    if (live_jobs == 0)
+        return;
+    metrics_.countBatch(live_jobs, total_rows);
 
     // Group jobs that resolved to the same model snapshot so one
     // parallelFor covers all their rows (stable order: first
     // appearance; the grouping never reorders rows inside a job).
     std::vector<std::vector<Job *>> groups;
     for (Job &job : batch) {
+        if (!job.tree)
+            continue; // expired at dequeue, already answered
         bool placed = false;
         for (auto &group : groups) {
             if (group.front()->tree == job.tree) {
@@ -169,13 +198,19 @@ BatchEngine::runBatch(std::vector<Job> &batch)
     }
 
     // Complete promises only after the whole group finished; record
-    // admission-to-completion latency per request.
+    // admission-to-completion latency per request, feeding both the
+    // aggregate histogram and the per-class SLO window.
     const auto now = std::chrono::steady_clock::now();
     for (Job &job : batch) {
-        metrics_.recordRequestLatencyUs(
-            std::chrono::duration<double, std::micro>(
-                now - job.admitted)
-                .count());
+        if (!job.tree)
+            continue; // expired at dequeue, already answered
+        const double us =
+            std::chrono::duration<double, std::micro>(now -
+                                                      job.admitted)
+                .count();
+        metrics_.recordRequestLatencyUs(us);
+        metrics_.recordClassLatencyUs(
+            static_cast<std::uint8_t>(job.request.op), us);
         job.result.set_value(std::move(job.response));
     }
 }

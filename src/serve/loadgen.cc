@@ -1,0 +1,276 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "serve/socket.hh"
+
+namespace wct::serve
+{
+
+namespace
+{
+
+/** SplitMix64: a stateless position-indexed generator, so request
+ * i's op choice is a pure function of (seed, i) — the mix sequence
+ * is identical no matter how requests land on connections. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::optional<ServeClient>
+connectClient(const LoadgenConfig &config, std::string *err)
+{
+    if (!config.unixPath.empty())
+        return ServeClient::connectUnix(config.unixPath, err);
+    return ServeClient::connectTcp(config.tcpPort, err);
+}
+
+double
+quantileUs(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const double rank = q * static_cast<double>(sorted.size());
+    std::size_t index =
+        static_cast<std::size_t>(std::ceil(rank));
+    index = index == 0 ? 0 : index - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/** Per-connection tallies, merged after the join. */
+struct ThreadTally
+{
+    std::uint64_t completed = 0;
+    std::uint64_t transportErrors = 0;
+    std::uint64_t timeouts = 0;
+    std::array<std::uint64_t, kNumOpcodes> sentByOp{};
+    std::array<std::uint64_t, kNumStatuses> byStatus{};
+    std::vector<double> latencyUs;
+};
+
+} // namespace
+
+std::string
+LoadgenReport::renderText() const
+{
+    std::ostringstream out;
+    out << "loadgen: offered " << offered << " requests, completed "
+        << completed << " in " << elapsedSec << " s ("
+        << achievedRps << " req/s)\n";
+    out << "  sent:";
+    for (std::size_t op = 0; op < kNumOpcodes; ++op)
+        if (sentByOp[op] > 0)
+            out << " "
+                << opcodeName(static_cast<Opcode>(op + 1)) << "="
+                << sentByOp[op];
+    out << "\n  status:";
+    for (std::size_t s = 0; s < kNumStatuses; ++s)
+        if (byStatus[s] > 0)
+            out << " " << statusName(static_cast<Status>(s)) << "="
+                << byStatus[s];
+    out << "\n  transport errors: " << transportErrors
+        << " (timeouts: " << timeouts << ")\n";
+    out << "  latency: p50=" << p50Us << "us p95=" << p95Us
+        << "us p99=" << p99Us << "us\n";
+    return out.str();
+}
+
+std::optional<LoadgenReport>
+runLoadgen(const LoadgenConfig &config, std::string *err)
+{
+    if (config.ratePerSec <= 0 || config.durationSec <= 0) {
+        if (err != nullptr)
+            *err = "loadgen needs a positive rate and duration";
+        return std::nullopt;
+    }
+    LoadgenConfig cfg = config;
+    if (cfg.loadPath.empty())
+        cfg.loadWeight = 0; // nothing to load
+    const std::uint64_t weight_sum =
+        cfg.predictWeight + cfg.classifyWeight + cfg.loadWeight +
+        cfg.statsWeight;
+    if (weight_sum == 0) {
+        if (err != nullptr)
+            *err = "loadgen op mix has zero total weight";
+        return std::nullopt;
+    }
+    const bool inference =
+        cfg.predictWeight > 0 || cfg.classifyWeight > 0;
+    if (inference &&
+        (cfg.schema.empty() || cfg.rowsPerRequest == 0 ||
+         cfg.pool.size() < cfg.schema.size() ||
+         cfg.pool.size() % cfg.schema.size() != 0)) {
+        if (err != nullptr)
+            *err = "loadgen inference mix needs a schema and a row "
+                   "pool (a row-count multiple of the schema arity)";
+        return std::nullopt;
+    }
+    const std::size_t connections =
+        std::max<std::size_t>(1, cfg.connections);
+
+    // One probing connection up front: a wrong endpoint should fail
+    // the run, not count as N thousand transport errors.
+    {
+        std::string conn_err;
+        auto probe = connectClient(cfg, &conn_err);
+        if (!probe) {
+            if (err != nullptr)
+                *err = conn_err;
+            return std::nullopt;
+        }
+    }
+
+    const std::uint64_t total = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(cfg.ratePerSec * cfg.durationSec)));
+    const std::size_t pool_rows =
+        inference ? cfg.pool.size() / cfg.schema.size() : 0;
+
+    // The op of request i: a weighted draw at sequence position i.
+    const auto opAt = [&cfg, weight_sum](std::uint64_t i) {
+        std::uint64_t draw =
+            mix64(cfg.seed * 0x100000001b3ull + i) % weight_sum;
+        if (draw < cfg.predictWeight)
+            return Opcode::Predict;
+        draw -= cfg.predictWeight;
+        if (draw < cfg.classifyWeight)
+            return Opcode::Classify;
+        draw -= cfg.classifyWeight;
+        if (draw < cfg.loadWeight)
+            return Opcode::LoadModel;
+        return Opcode::Stats;
+    };
+
+    std::vector<ThreadTally> tallies(connections);
+    const auto start = std::chrono::steady_clock::now();
+    const double period_sec = 1.0 / cfg.ratePerSec;
+
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            ThreadTally &tally = tallies[c];
+            std::string conn_err;
+            auto client = connectClient(cfg, &conn_err);
+            for (std::uint64_t i = c; i < total;
+                 i += connections) {
+                const auto due =
+                    start + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    period_sec *
+                                    static_cast<double>(i)));
+                std::this_thread::sleep_until(due);
+
+                if (!client) {
+                    client = connectClient(cfg, &conn_err);
+                    if (!client) {
+                        ++tally.transportErrors;
+                        continue;
+                    }
+                }
+                if (cfg.timeoutMs > 0)
+                    client->setTimeoutMs(cfg.timeoutMs);
+
+                Request request;
+                request.op = opAt(i);
+                request.id = i + 1;
+                switch (request.op) {
+                  case Opcode::Predict:
+                  case Opcode::Classify: {
+                    request.budgetMs = cfg.budgetMs;
+                    request.modelKey = cfg.modelKey;
+                    request.schema = cfg.schema;
+                    const std::size_t ncols = cfg.schema.size();
+                    request.rows.reserve(cfg.rowsPerRequest * ncols);
+                    for (std::size_t r = 0; r < cfg.rowsPerRequest;
+                         ++r) {
+                        const std::size_t src =
+                            (i + r) % pool_rows;
+                        const double *row =
+                            cfg.pool.data() + src * ncols;
+                        request.rows.insert(request.rows.end(), row,
+                                            row + ncols);
+                    }
+                    break;
+                  }
+                  case Opcode::LoadModel:
+                    request.path = cfg.loadPath;
+                    request.alias = cfg.loadAlias;
+                    break;
+                  default:
+                    request.op = Opcode::Stats;
+                    break;
+                }
+                ++tally.sentByOp[static_cast<std::size_t>(
+                                     request.op) -
+                                 1];
+
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto response =
+                    client->call(request, nullptr);
+                const auto t1 = std::chrono::steady_clock::now();
+                if (!response) {
+                    ++tally.transportErrors;
+                    if (client->lastCallTimedOut())
+                        ++tally.timeouts;
+                    // The server drops a connection after any
+                    // malformed/transport hiccup; start fresh.
+                    client.reset();
+                    continue;
+                }
+                ++tally.completed;
+                const auto status =
+                    static_cast<std::size_t>(response->status);
+                if (status < kNumStatuses)
+                    ++tally.byStatus[status];
+                tally.latencyUs.push_back(
+                    std::chrono::duration<double, std::micro>(t1 -
+                                                              t0)
+                        .count());
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const auto finish = std::chrono::steady_clock::now();
+
+    LoadgenReport report;
+    report.offered = total;
+    std::vector<double> latencies;
+    for (const ThreadTally &tally : tallies) {
+        report.completed += tally.completed;
+        report.transportErrors += tally.transportErrors;
+        report.timeouts += tally.timeouts;
+        for (std::size_t op = 0; op < kNumOpcodes; ++op)
+            report.sentByOp[op] += tally.sentByOp[op];
+        for (std::size_t s = 0; s < kNumStatuses; ++s)
+            report.byStatus[s] += tally.byStatus[s];
+        latencies.insert(latencies.end(), tally.latencyUs.begin(),
+                         tally.latencyUs.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    report.elapsedSec =
+        std::chrono::duration<double>(finish - start).count();
+    report.achievedRps =
+        report.elapsedSec > 0
+            ? static_cast<double>(report.completed) /
+                  report.elapsedSec
+            : 0;
+    report.p50Us = quantileUs(latencies, 0.50);
+    report.p95Us = quantileUs(latencies, 0.95);
+    report.p99Us = quantileUs(latencies, 0.99);
+    return report;
+}
+
+} // namespace wct::serve

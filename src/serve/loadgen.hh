@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Open-loop load generator for the model server (`wct loadgen`, the
+ * serving perf gate, and the CI smoke job).
+ *
+ * Open-loop means arrival times are fixed up front: request i is due
+ * at start + i/rate regardless of how fast earlier responses came
+ * back, so a slow server accumulates lateness instead of silently
+ * throttling the offered load (the coordinated-omission trap of
+ * closed-loop generators). Each of `connections` client connections
+ * sends its residue class of the request sequence (connection c owns
+ * requests i with i % connections == c) and blocks for the response,
+ * so the generator is open-loop up to the connection count.
+ *
+ * The op mix is a deterministic weighted sequence derived from the
+ * seed — two runs with the same config send byte-identical request
+ * streams, which keeps the perf gate comparable across runs.
+ */
+
+#ifndef WCT_SERVE_LOADGEN_HH
+#define WCT_SERVE_LOADGEN_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hh"
+#include "serve/wire.hh"
+
+namespace wct::serve
+{
+
+/** One loadgen run; exactly one of unixPath / tcpPort. */
+struct LoadgenConfig
+{
+    /** Unix-domain server socket; non-empty wins over tcpPort. */
+    std::string unixPath;
+
+    /** Loopback TCP port of the server (when unixPath is empty). */
+    int tcpPort = 0;
+
+    /** Offered request rate, requests/second, across the whole run. */
+    double ratePerSec = 200.0;
+
+    /** Run length in seconds; offered = ratePerSec * durationSec. */
+    double durationSec = 2.0;
+
+    /** Client connections (the open-loop concurrency bound). */
+    std::size_t connections = 4;
+
+    /** Rows per predict/classify request. */
+    std::size_t rowsPerRequest = 32;
+
+    /** Op mix weights; an op with weight 0 is never sent. loadWeight
+     * requires loadPath (forced to 0 otherwise). */
+    std::uint32_t predictWeight = 6;
+    std::uint32_t classifyWeight = 2;
+    std::uint32_t loadWeight = 0;
+    std::uint32_t statsWeight = 1;
+
+    /** Request budget header on predict/classify (0 = none). */
+    std::uint32_t budgetMs = 0;
+
+    /** Client socket deadline per call (0 = wait forever). */
+    std::uint64_t timeoutMs = 0;
+
+    /** Model to target on inference requests ("" = default). */
+    std::string modelKey;
+
+    /** Inference request schema (must match the served model). */
+    std::vector<std::string> schema;
+
+    /** Row pool for inference bodies: flat row-major doubles,
+     * pool.size() a multiple of schema.size(). Requests window into
+     * it, rotating so payloads vary across the run. */
+    std::vector<double> pool;
+
+    /** Model file sent by LoadModel requests (loadWeight > 0). */
+    std::string loadPath;
+    std::string loadAlias;
+
+    /** Seed of the deterministic op-mix sequence. */
+    std::uint64_t seed = 1;
+};
+
+/** What a run observed, as reported by `wct loadgen`. */
+struct LoadgenReport
+{
+    std::uint64_t offered = 0;   ///< requests the schedule contained
+    std::uint64_t completed = 0; ///< responses decoded, any status
+    std::uint64_t transportErrors = 0; ///< send/recv/decode failures
+    std::uint64_t timeouts = 0;        ///< client deadline expiries
+
+    std::array<std::uint64_t, kNumOpcodes> sentByOp{};
+    std::array<std::uint64_t, kNumStatuses> byStatus{};
+
+    double elapsedSec = 0;   ///< wall time of the sending window
+    double achievedRps = 0;  ///< completed / elapsedSec
+
+    /** Client-observed call latency (send to decoded response). */
+    double p50Us = 0;
+    double p95Us = 0;
+    double p99Us = 0;
+
+    /** Responses carrying Status::MalformedFrame — the smoke gate's
+     * "zero malformed" assertion reads this. */
+    std::uint64_t
+    malformed() const
+    {
+        return byStatus[static_cast<std::size_t>(
+            Status::MalformedFrame)];
+    }
+
+    /** Human-readable summary (the `wct loadgen` output). */
+    std::string renderText() const;
+};
+
+/**
+ * Run one open-loop load generation pass against a live server.
+ * Returns std::nullopt (with the reason in `err`) only for setup
+ * failures — a bad config or no connection at all; per-request
+ * transport errors are counted in the report instead.
+ */
+std::optional<LoadgenReport> runLoadgen(const LoadgenConfig &config,
+                                        std::string *err);
+
+} // namespace wct::serve
+
+#endif // WCT_SERVE_LOADGEN_HH

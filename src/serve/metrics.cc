@@ -1,6 +1,7 @@
 #include "serve/metrics.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <sstream>
 
@@ -93,8 +94,14 @@ appendSnapshot(ByteSink &sink, const MetricsSnapshot &snapshot)
     sink.putU64(snapshot.modelLoadFailures);
     sink.putU64(snapshot.queueDepth);
     sink.putU64(snapshot.queueDepthPeak);
+    for (std::uint64_t v : snapshot.shedByOp)
+        sink.putU64(v);
+    for (std::uint64_t v : snapshot.deadlineExpiredByOp)
+        sink.putU64(v);
     appendHistogram(sink, snapshot.requestLatencyUs);
     appendHistogram(sink, snapshot.batchSize);
+    for (const HistogramSnapshot &h : snapshot.classLatencyUs)
+        appendHistogram(sink, h);
 }
 
 bool
@@ -116,14 +123,29 @@ parseSnapshot(ByteParser &parser, MetricsSnapshot &snapshot)
         !parser.getU64(snapshot.queueDepthPeak)) {
         return false;
     }
-    return parseHistogram(parser,
-                          {kLatencyBoundsUs.data(),
-                           kLatencyBoundsUs.size()},
-                          snapshot.requestLatencyUs) &&
-           parseHistogram(parser,
-                          {kBatchSizeBounds.data(),
-                           kBatchSizeBounds.size()},
-                          snapshot.batchSize);
+    for (auto &v : snapshot.shedByOp)
+        if (!parser.getU64(v))
+            return false;
+    for (auto &v : snapshot.deadlineExpiredByOp)
+        if (!parser.getU64(v))
+            return false;
+    if (!parseHistogram(parser,
+                        {kLatencyBoundsUs.data(),
+                         kLatencyBoundsUs.size()},
+                        snapshot.requestLatencyUs) ||
+        !parseHistogram(parser,
+                        {kBatchSizeBounds.data(),
+                         kBatchSizeBounds.size()},
+                        snapshot.batchSize)) {
+        return false;
+    }
+    for (HistogramSnapshot &h : snapshot.classLatencyUs)
+        if (!parseHistogram(parser,
+                            {kLatencyBoundsUs.data(),
+                             kLatencyBoundsUs.size()},
+                            h))
+            return false;
+    return true;
 }
 
 std::string
@@ -152,6 +174,17 @@ MetricsSnapshot::renderText() const
     }
     os << ")\n";
     os << "  rejected (overload): " << rejectedOverload << "\n";
+    os << "  shed (slo):";
+    for (std::size_t op = 0; op < kNumOpcodes; ++op) {
+        os << " " << opcodeName(static_cast<Opcode>(op + 1)) << "="
+           << shedByOp[op];
+    }
+    os << "\n  deadline expired:";
+    for (std::size_t op = 0; op < kNumOpcodes; ++op) {
+        os << " " << opcodeName(static_cast<Opcode>(op + 1)) << "="
+           << deadlineExpiredByOp[op];
+    }
+    os << "\n";
     os << "  malformed frames: " << malformedFrames << "\n";
     os << "  model loads: " << modelLoads << " ok, "
        << modelLoadFailures << " failed\n";
@@ -159,6 +192,11 @@ MetricsSnapshot::renderText() const
        << queueDepthPeak << " peak\n";
     os << "  request latency: "
        << renderHistogramLine(requestLatencyUs, "us") << "\n";
+    for (std::size_t i = 0; i < kNumInferenceOps; ++i) {
+        os << "  " << opcodeName(static_cast<Opcode>(i + 1))
+           << " latency: "
+           << renderHistogramLine(classLatencyUs[i], "us") << "\n";
+    }
     os << "  batch size: " << renderHistogramLine(batchSize, "")
        << "\n";
     return os.str();
@@ -224,6 +262,87 @@ ServingMetrics::recordRequestLatencyUs(double us)
     requestLatencyUs_.record(us);
 }
 
+void
+ServingMetrics::countShed(std::uint8_t opcode)
+{
+    if (opcode >= 1 && opcode <= kNumOpcodes)
+        shedByOp_[opcode - 1].fetch_add(1,
+                                        std::memory_order_relaxed);
+}
+
+void
+ServingMetrics::countDeadlineExpired(std::uint8_t opcode)
+{
+    if (opcode >= 1 && opcode <= kNumOpcodes)
+        deadlineExpiredByOp_[opcode - 1].fetch_add(
+            1, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** steady-clock seconds / kSloWindowSeconds: which window half we
+ * are in. Steady (not wall) time so suspends cannot run it
+ * backwards. */
+std::int64_t
+sloEpochNow()
+{
+    using namespace std::chrono;
+    return duration_cast<seconds>(
+               steady_clock::now().time_since_epoch())
+               .count() /
+           static_cast<std::int64_t>(kSloWindowSeconds);
+}
+
+} // namespace
+
+void
+ServingMetrics::maybeRotate(SloWindow &window)
+{
+    const std::int64_t now = sloEpochNow();
+    if (window.epoch.load(std::memory_order_acquire) == now)
+        return;
+    std::lock_guard lock(window.rotate);
+    const std::int64_t seen =
+        window.epoch.load(std::memory_order_relaxed);
+    if (seen == now)
+        return; // another thread rotated while we waited
+    if (now == seen + 1)
+        window.prev.copyFrom(window.cur);
+    else
+        window.prev.clear(); // idle gap: the old half is stale
+    window.cur.clear();
+    window.epoch.store(now, std::memory_order_release);
+}
+
+void
+ServingMetrics::recordClassLatencyUs(std::uint8_t opcode, double us)
+{
+    if (opcode < 1 || opcode > kNumInferenceOps)
+        return;
+    classLatencyUs_[opcode - 1].record(us);
+    SloWindow &window = sloWindow_[opcode - 1];
+    maybeRotate(window);
+    window.cur.record(us);
+}
+
+double
+ServingMetrics::classWindowP99Us(std::uint8_t opcode,
+                                 std::uint64_t *samples)
+{
+    if (samples != nullptr)
+        *samples = 0;
+    if (opcode < 1 || opcode > kNumInferenceOps)
+        return 0.0;
+    SloWindow &window = sloWindow_[opcode - 1];
+    maybeRotate(window);
+    HistogramSnapshot merged = window.cur.snapshot();
+    window.prev.accumulateInto(merged);
+    if (samples != nullptr)
+        *samples = merged.total();
+    return merged.quantile(0.99);
+}
+
 MetricsSnapshot
 ServingMetrics::snapshot(std::size_t queue_depth_now) const
 {
@@ -247,8 +366,16 @@ ServingMetrics::snapshot(std::size_t queue_depth_now) const
     snap.queueDepth = queue_depth_now;
     snap.queueDepthPeak =
         queueDepthPeak_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        snap.shedByOp[i] =
+            shedByOp_[i].load(std::memory_order_relaxed);
+        snap.deadlineExpiredByOp[i] =
+            deadlineExpiredByOp_[i].load(std::memory_order_relaxed);
+    }
     snap.requestLatencyUs = requestLatencyUs_.snapshot();
     snap.batchSize = batchSize_.snapshot();
+    for (std::size_t i = 0; i < kNumInferenceOps; ++i)
+        snap.classLatencyUs[i] = classLatencyUs_[i].snapshot();
     return snap;
 }
 

@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,16 @@ namespace wct::serve
 constexpr std::size_t kNumOpcodes = 5;
 
 /** Number of distinct response statuses. */
-constexpr std::size_t kNumStatuses = 5;
+constexpr std::size_t kNumStatuses = 7;
+
+/** Inference op classes with their own latency tracking and SLO:
+ * Predict and Classify, indexed opcode-1. */
+constexpr std::size_t kNumInferenceOps = 2;
+
+/** Width (seconds) of one half of the sliding SLO window. Admission
+ * reads its p99 over the current + previous half, so a drifted class
+ * recovers within ~2 windows once latency comes back down. */
+constexpr std::uint64_t kSloWindowSeconds = 5;
 
 /** Upper bounds (µs) of the latency buckets; overflow bucket after. */
 constexpr std::array<double, 15> kLatencyBoundsUs = {
@@ -89,8 +99,20 @@ struct MetricsSnapshot
     std::uint64_t queueDepth = 0;     ///< depth when snapshotted
     std::uint64_t queueDepthPeak = 0; ///< high-water mark
 
+    /** Requests shed by SLO admission, indexed opcode-1. */
+    std::array<std::uint64_t, kNumOpcodes> shedByOp = {};
+
+    /** Requests whose deadline budget expired (in queue or before
+     * the response write), indexed opcode-1. */
+    std::array<std::uint64_t, kNumOpcodes> deadlineExpiredByOp = {};
+
     HistogramSnapshot requestLatencyUs; ///< admission -> response
     HistogramSnapshot batchSize;
+
+    /** Cumulative completion latency per inference class (predict,
+     * classify) — the long-horizon view of what the SLO window
+     * watches. */
+    std::array<HistogramSnapshot, kNumInferenceOps> classLatencyUs;
 
     /** Multi-line human-readable rendering (--stats-text). */
     std::string renderText() const;
@@ -133,6 +155,33 @@ class AtomicHistogram
         return snap;
     }
 
+    /** Accumulate another snapshot's counts into `snap` (bounds must
+     * match; used to merge the two SLO window halves). */
+    void
+    accumulateInto(HistogramSnapshot &snap) const
+    {
+        for (std::size_t b = 0; b <= N; ++b)
+            snap.counts[b] +=
+                counts_[b].load(std::memory_order_relaxed);
+    }
+
+    void
+    clear()
+    {
+        for (auto &c : counts_)
+            c.store(0, std::memory_order_relaxed);
+    }
+
+    /** Overwrite with another histogram's counts (window rotation). */
+    void
+    copyFrom(const AtomicHistogram &other)
+    {
+        for (std::size_t b = 0; b <= N; ++b)
+            counts_[b].store(
+                other.counts_[b].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    }
+
   private:
     std::array<double, N> bounds_;
     std::array<std::atomic<std::uint64_t>, N + 1> counts_ = {};
@@ -144,8 +193,16 @@ class ServingMetrics
   public:
     ServingMetrics()
         : requestLatencyUs_(kLatencyBoundsUs),
-          batchSize_(kBatchSizeBounds)
+          batchSize_(kBatchSizeBounds),
+          classLatencyUs_{
+              AtomicHistogram<kLatencyBoundsUs.size()>(
+                  kLatencyBoundsUs),
+              AtomicHistogram<kLatencyBoundsUs.size()>(
+                  kLatencyBoundsUs)}
     {
+        static_assert(kNumInferenceOps == 2,
+                      "classLatencyUs_ init lists one histogram per "
+                      "inference op");
     }
 
     void countRequest(std::uint8_t opcode);
@@ -157,9 +214,47 @@ class ServingMetrics
     void recordQueueDepth(std::size_t depth);
     void recordRequestLatencyUs(double us);
 
+    /** A request of `opcode` was shed by SLO admission. */
+    void countShed(std::uint8_t opcode);
+
+    /** A request of `opcode` ran out of deadline budget. */
+    void countDeadlineExpired(std::uint8_t opcode);
+
+    /**
+     * Record one completed inference latency for its op class: feeds
+     * both the cumulative per-class histogram and the sliding SLO
+     * window. No-op for non-inference opcodes.
+     */
+    void recordClassLatencyUs(std::uint8_t opcode, double us);
+
+    /**
+     * p99 (µs, conservative bucket bound) over the sliding SLO
+     * window of an inference opcode, with the window's sample count
+     * in `*samples`. 0 for non-inference opcodes or an empty window.
+     * Rotates the window as a side effect, so stale traffic ages out
+     * even when nothing is being recorded.
+     */
+    double classWindowP99Us(std::uint8_t opcode,
+                            std::uint64_t *samples);
+
     MetricsSnapshot snapshot(std::size_t queue_depth_now) const;
 
   private:
+    /** Two-half sliding window over the latency buckets: `cur` takes
+     * writes, `prev` is the last full half, and the pair rotates when
+     * the wall-clock epoch (steady seconds / kSloWindowSeconds)
+     * advances. Reads merge both halves, so the admission p99 always
+     * covers between one and two window widths of traffic. */
+    struct SloWindow
+    {
+        AtomicHistogram<kLatencyBoundsUs.size()> cur{kLatencyBoundsUs};
+        AtomicHistogram<kLatencyBoundsUs.size()> prev{
+            kLatencyBoundsUs};
+        std::atomic<std::int64_t> epoch{0};
+        std::mutex rotate;
+    };
+
+    void maybeRotate(SloWindow &window);
     std::array<std::atomic<std::uint64_t>, kNumOpcodes> requestsByOp_ =
         {};
     std::array<std::atomic<std::uint64_t>, kNumStatuses>
@@ -171,8 +266,16 @@ class ServingMetrics
     std::atomic<std::uint64_t> modelLoads_{0};
     std::atomic<std::uint64_t> modelLoadFailures_{0};
     std::atomic<std::uint64_t> queueDepthPeak_{0};
+    std::array<std::atomic<std::uint64_t>, kNumOpcodes> shedByOp_ =
+        {};
+    std::array<std::atomic<std::uint64_t>, kNumOpcodes>
+        deadlineExpiredByOp_ = {};
     AtomicHistogram<kLatencyBoundsUs.size()> requestLatencyUs_;
     AtomicHistogram<kBatchSizeBounds.size()> batchSize_;
+    std::array<AtomicHistogram<kLatencyBoundsUs.size()>,
+               kNumInferenceOps>
+        classLatencyUs_;
+    std::array<SloWindow, kNumInferenceOps> sloWindow_;
 };
 
 } // namespace wct::serve

@@ -26,6 +26,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "mtree/model_tree.hh"
@@ -40,6 +41,12 @@ struct Job
     Request request;
     std::shared_ptr<const ModelTree> tree; ///< resolved at admission
     std::chrono::steady_clock::time_point admitted;
+
+    /** Completion deadline (admission time + budget); unset = no
+     * deadline. The engine refuses to evaluate a job it dequeues
+     * past this point (Status::DeadlineExceeded instead). */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
     Response response; ///< engine scratch, moved into `result`
     std::promise<Response> result;
 };

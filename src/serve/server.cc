@@ -30,6 +30,15 @@ Server::Server(ServerConfig config)
               EngineConfig{config.batchers, config.maxBatch,
                            config.compiledEval})
 {
+    if (config_.startEngine)
+        startEngine();
+}
+
+void
+Server::startEngine()
+{
+    if (engineStarted_.exchange(true, std::memory_order_acq_rel))
+        return;
     engine_.start();
 }
 
@@ -149,12 +158,47 @@ Server::handleRequest(Request &&request)
     return response;
 }
 
+std::uint64_t
+Server::sloForOp(Opcode op) const
+{
+    switch (op) {
+      case Opcode::Predict:
+        return config_.sloPredictP99Us;
+      case Opcode::Classify:
+        return config_.sloClassifyP99Us;
+      default:
+        return 0;
+    }
+}
+
 Response
 Server::admitInference(Request &&request)
 {
     if (shuttingDown())
         return errorResponse(request, Status::ShuttingDown,
                              "server is draining");
+
+    // Latency-aware admission: when this op class's sliding-window
+    // p99 has drifted past its SLO, new requests of the class are
+    // shed up front — the classes that are still inside their SLO
+    // keep queueing normally, and the shed class recovers as soon as
+    // its window p99 comes back under the target.
+    const std::uint64_t slo = sloForOp(request.op);
+    if (slo > 0) {
+        std::uint64_t samples = 0;
+        const double p99 = metrics_.classWindowP99Us(
+            static_cast<std::uint8_t>(request.op), &samples);
+        if (samples >= config_.sloMinSamples &&
+            p99 > static_cast<double>(slo)) {
+            metrics_.countShed(
+                static_cast<std::uint8_t>(request.op));
+            return errorResponse(
+                request, Status::Shed,
+                std::string(opcodeName(request.op)) +
+                    " p99 is over its latency SLO; shedding, retry "
+                    "later");
+        }
+    }
 
     auto tree = registry_.find(request.modelKey);
     if (tree == nullptr)
@@ -175,9 +219,22 @@ Server::admitInference(Request &&request)
     job.request = std::move(request);
     job.tree = std::move(tree);
     job.admitted = std::chrono::steady_clock::now();
+
+    // Budget resolution: the client's ask, clamped by the server's
+    // cap, falling back to the server's default. 0 = no deadline.
+    std::uint64_t budget_ms = job.request.budgetMs;
+    if (config_.maxDeadlineMs > 0 && budget_ms > config_.maxDeadlineMs)
+        budget_ms = config_.maxDeadlineMs;
+    if (budget_ms == 0)
+        budget_ms = config_.defaultDeadlineMs;
+    if (budget_ms > 0)
+        job.deadline =
+            job.admitted + std::chrono::milliseconds(budget_ms);
+
     std::future<Response> future = job.result.get_future();
     const Opcode op = job.request.op;
     const std::uint64_t id = job.request.id;
+    const auto deadline = job.deadline;
 
     const PushResult pushed = queue_.push(std::move(job));
     if (pushed == PushResult::Overloaded) {
@@ -196,7 +253,23 @@ Server::admitInference(Request &&request)
                              "server is draining");
     }
     metrics_.recordQueueDepth(queue_.depth());
-    return future.get();
+    Response response = future.get();
+
+    // Deadline check before the response write: a result that became
+    // ready only after the budget ran out is discarded — the client
+    // asked for an answer by the deadline, and an expired request
+    // never returns a stale result.
+    if (deadline && response.status == Status::Ok &&
+        std::chrono::steady_clock::now() > *deadline) {
+        metrics_.countDeadlineExpired(static_cast<std::uint8_t>(op));
+        Request stub;
+        stub.op = op;
+        stub.id = id;
+        return errorResponse(stub, Status::DeadlineExceeded,
+                             "deadline expired before the response "
+                             "was written");
+    }
+    return response;
 }
 
 void

@@ -56,6 +56,31 @@ struct ServerConfig
 
     /** Permit shutdown frames. */
     bool allowRemoteShutdown = true;
+
+    /** Deadline budget (ms) applied to requests that carry none
+     * (Request::budgetMs == 0); 0 = no default deadline. */
+    std::uint32_t defaultDeadlineMs = 0;
+
+    /** Cap on any client-supplied budget (ms); 0 = uncapped. A
+     * client asking for more gets silently clamped — the server owns
+     * how long it is willing to hold a request. */
+    std::uint32_t maxDeadlineMs = 0;
+
+    /** Latency SLO (µs) on the sliding-window p99 of predict /
+     * classify traffic; 0 disables shedding for that class. When the
+     * window p99 drifts past the SLO, new requests of that class are
+     * answered Status::Shed instead of queueing. */
+    std::uint64_t sloPredictP99Us = 0;
+    std::uint64_t sloClassifyP99Us = 0;
+
+    /** Window samples required before the SLO is enforced, so a cold
+     * server never sheds on one slow warm-up request. */
+    std::uint64_t sloMinSamples = 32;
+
+    /** Start the batch engine in the constructor. Tests turn this
+     * off and call Server::startEngine() themselves to make
+     * in-queue deadline expiry deterministic. */
+    bool startEngine = true;
 };
 
 /** One serving instance; see file comment. */
@@ -100,6 +125,10 @@ class Server : public FrameHandler
     /** Decoded-level entry (the tests' shortcut past the codec). */
     Response handleRequest(Request &&request);
 
+    /** Start the batch engine when ServerConfig::startEngine was
+     * off; no-op after the engine is running. */
+    void startEngine();
+
     /** Stop admitting inference work; already-admitted jobs finish. */
     void beginShutdown();
 
@@ -122,11 +151,15 @@ class Server : public FrameHandler
   private:
     Response admitInference(Request &&request);
 
+    /** SLO (µs) configured for an inference opcode; 0 = none. */
+    std::uint64_t sloForOp(Opcode op) const;
+
     ServerConfig config_;
     ModelRegistry registry_;
     ServingMetrics metrics_;
     RequestQueue queue_;
     BatchEngine engine_;
+    std::atomic<bool> engineStarted_{false};
     std::atomic<bool> shuttingDown_{false};
 };
 

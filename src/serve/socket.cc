@@ -1,17 +1,55 @@
 #include "serve/socket.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <istream>
 #include <new>
 #include <ostream>
+#include <string_view>
 
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include "data/binary_io.hh"
 #include "util/socket_io.hh"
 
 namespace wct::serve
 {
+
+namespace
+{
+
+/** epoll user-data tags of the two non-connection descriptors;
+ * connection ids start at 2 and are never reused. */
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+/** Envelope header: magic(8) + version(u32) + size(u64). */
+constexpr std::size_t kHeaderBytes = 20;
+
+/** Trailing FNV-1a checksum. */
+constexpr std::size_t kChecksumBytes = 8;
+
+std::uint32_t
+readLe32(const std::string &bytes, std::size_t at)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, bytes.data() + at, sizeof v);
+    return v; // envelopes are little-endian, as is every target ABI
+}
+
+std::uint64_t
+readLe64(const std::string &bytes, std::size_t at)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + at, sizeof v);
+    return v;
+}
+
+} // namespace
 
 SocketServer::SocketServer(FrameHandler &handler, SocketConfig config)
     : handler_(handler), config_(std::move(config))
@@ -34,105 +72,421 @@ SocketServer::start(std::string *err)
                               &boundPort_, err);
     if (listenFd_ < 0)
         return false;
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+
+    epollFd_ = ::epoll_create1(0);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (epollFd_ < 0 || wakeFd_ < 0 ||
+        !setNonBlocking(listenFd_)) {
+        if (err != nullptr)
+            *err = std::string("cannot set up event loop: ") +
+                   std::strerror(errno);
+        closeFd(epollFd_);
+        closeFd(wakeFd_);
+        closeFd(listenFd_);
+        epollFd_ = wakeFd_ = listenFd_ = -1;
+        return false;
+    }
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    const std::size_t workers =
+        std::max<std::size_t>(1, config_.dispatchThreads);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    reactorThread_ = std::thread([this] { reactorLoop(); });
     return true;
 }
 
 void
-SocketServer::acceptLoop()
+SocketServer::wakeReactor()
 {
-    while (!stopping_.load(std::memory_order_acquire) &&
-           !handler_.shuttingDown()) {
-        reapFinished();
-        pollfd pfd = {listenFd_, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-        if (ready <= 0)
-            continue; // timeout (re-check flags) or EINTR
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFd_, &one, sizeof one);
+}
+
+void
+SocketServer::workerLoop()
+{
+    for (;;) {
+        Work work;
+        {
+            std::unique_lock lock(workMutex_);
+            workCv_.wait(lock, [this] {
+                return workClosed_ || !work_.empty();
+            });
+            if (work_.empty())
+                return; // closed and drained
+            work = std::move(work_.front());
+            work_.pop_front();
+        }
+        std::string frame;
+        try {
+            frame = handler_.handlePayload(work.payload);
+        } catch (const std::bad_alloc &) {
+            // Even capped frames can fail to allocate under memory
+            // pressure; one client's frame must drop its
+            // connection, not the server.
+            frame = handler_.malformedResponse(
+                "out of memory handling frame");
+        }
+        {
+            std::lock_guard lock(completionMutex_);
+            completions_.push_back({work.conn, std::move(frame)});
+        }
+        wakeReactor();
+    }
+}
+
+void
+SocketServer::handleAccept(bool draining)
+{
+    for (;;) {
         const int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
-            continue;
-        std::lock_guard lock(connectionsMutex_);
-        if (handler_.shuttingDown() ||
-            connections_.size() >= config_.maxConnections) {
-            closeFd(fd); // client sees EOF: connection-level backpressure
+            return; // EAGAIN: the backlog is drained
+        // Registration is synchronous with accept, so a client whose
+        // previous call completed is guaranteed to occupy its slot
+        // before the next connection is considered against the cap.
+        if (draining || conns_.size() >= config_.maxConnections ||
+            !setNonBlocking(fd)) {
+            closeFd(fd); // client sees EOF: connection backpressure
             continue;
         }
-        connections_.emplace_back();
-        const auto conn = std::prev(connections_.end());
-        conn->fd = fd;
-        conn->thread =
-            std::thread([this, conn] { connectionLoop(conn); });
+        const std::uint64_t id = nextConnId_++;
+        Conn &conn = conns_[id];
+        conn.fd = fd;
+        updateInterest(id, conn);
     }
 }
 
 void
-SocketServer::connectionLoop(std::list<Connection>::iterator conn)
+SocketServer::markMalformed(Conn &conn, const char *reason)
 {
-    const int fd = conn->fd;
-    FdStreambuf buf(fd);
-    std::istream in(&buf);
-    std::ostream out(&buf);
+    // One diagnostic response, then drop: framing cannot resync
+    // inside a byte stream. Whatever was buffered is garbage now.
     try {
-        while (true) {
-            const auto payload =
-                readEnvelope(in, config_.frameMagic,
-                             config_.frameVersion,
-                             config_.maxFramePayload);
-            if (!payload) {
-                // A clean EOF between frames is a normal disconnect;
-                // any other framing failure earns one diagnostic
-                // response (framing cannot resync, so the connection
-                // closes).
-                if (!in.eof() || in.gcount() != 0)
-                    writeFrame(out, handler_.malformedResponse(
-                                        "bad frame envelope (magic, "
-                                        "version, size, or "
-                                        "checksum)"));
-                break;
-            }
-            writeFrame(out, handler_.handlePayload(*payload));
-            if (handler_.shuttingDown())
-                break; // response (e.g. the shutdown ack) was sent
-        }
+        conn.out += handler_.malformedResponse(reason);
     } catch (const std::bad_alloc &) {
-        // Even capped frames can fail to allocate under memory
-        // pressure; one client's frame must drop the connection, not
-        // the server.
-        writeFrame(out, handler_.malformedResponse(
-                            "out of memory handling frame"));
+        // Can't even build the response; just close after what is
+        // already queued.
     }
-    // Park the thread handle for the accept loop (or stop()) to
-    // join — a thread cannot join itself. The fd is closed only
-    // after the node leaves connections_, so shutdownReads can never
-    // touch a closed (possibly recycled) descriptor.
-    {
-        std::lock_guard lock(connectionsMutex_);
-        finished_.splice(finished_.end(), connections_, conn);
-        connectionsCv_.notify_all();
-    }
-    closeFd(fd);
+    conn.in.clear();
+    conn.readClosed = true;
+    conn.closeAfterFlush = true;
 }
 
 void
-SocketServer::reapFinished()
+SocketServer::parseFrames(std::uint64_t id, Conn &conn)
 {
-    // Splice out under the lock, join outside it: the joined threads
-    // have already done their exit bookkeeping (the splice above).
-    std::list<Connection> done;
-    {
-        std::lock_guard lock(connectionsMutex_);
-        done.splice(done.end(), finished_);
+    // Incremental reassembly: validate each envelope field as soon
+    // as its bytes are in, so hostile prefixes fail fast and a
+    // claimed size above the cap is refused before buffering a
+    // "frame" that would never end.
+    while (!conn.busy && !conn.closeAfterFlush) {
+        const std::size_t have = conn.in.size();
+        if (have == 0)
+            break;
+        const std::size_t prefix = std::min<std::size_t>(have, 8);
+        if (std::memcmp(conn.in.data(), config_.frameMagic.data(),
+                        prefix) != 0) {
+            markMalformed(conn, "bad frame envelope (magic, "
+                                "version, size, or checksum)");
+            break;
+        }
+        if (have < 12)
+            break;
+        if (readLe32(conn.in, 8) != config_.frameVersion) {
+            markMalformed(conn, "bad frame envelope (magic, "
+                                "version, size, or checksum)");
+            break;
+        }
+        if (have < kHeaderBytes)
+            break;
+        const std::uint64_t size = readLe64(conn.in, 12);
+        if (size > config_.maxFramePayload) {
+            markMalformed(conn, "bad frame envelope (magic, "
+                                "version, size, or checksum)");
+            break;
+        }
+        const std::size_t total =
+            kHeaderBytes + static_cast<std::size_t>(size) +
+            kChecksumBytes;
+        if (have < total)
+            break; // incomplete: wait for more bytes
+        const std::string_view payload(
+            conn.in.data() + kHeaderBytes,
+            static_cast<std::size_t>(size));
+        if (fnv1a64(payload) !=
+            readLe64(conn.in, kHeaderBytes +
+                                  static_cast<std::size_t>(size))) {
+            markMalformed(conn, "bad frame envelope (magic, "
+                                "version, size, or checksum)");
+            break;
+        }
+        Work work;
+        work.conn = id;
+        work.payload.assign(payload);
+        conn.in.erase(0, total);
+        conn.busy = true; // flow control: no reads until completion
+        {
+            std::lock_guard lock(workMutex_);
+            work_.push_back(std::move(work));
+        }
+        workCv_.notify_one();
     }
-    for (Connection &conn : done)
-        conn.thread.join();
+}
+
+bool
+SocketServer::flushConn(Conn &conn)
+{
+    while (conn.outOff < conn.out.size()) {
+        const ssize_t n =
+            ::send(conn.fd, conn.out.data() + conn.outOff,
+                   conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outOff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // kernel buffer full: EPOLLOUT will resume
+        return false; // peer is gone; drop the connection
+    }
+    conn.out.clear();
+    conn.outOff = 0;
+    return true;
 }
 
 void
-SocketServer::shutdownReads()
+SocketServer::handleReadable(std::uint64_t id, Conn &conn)
 {
-    std::lock_guard lock(connectionsMutex_);
-    for (Connection &conn : connections_)
-        ::shutdown(conn.fd, SHUT_RD);
+    char buffer[65536];
+    while (!conn.busy && !conn.readClosed && !conn.closeAfterFlush) {
+        const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+        if (n > 0) {
+            try {
+                conn.in.append(buffer,
+                               static_cast<std::size_t>(n));
+            } catch (const std::bad_alloc &) {
+                markMalformed(conn,
+                              "out of memory handling frame");
+                return;
+            }
+            // Parsing as bytes arrive engages per-connection flow
+            // control the moment a complete frame is dispatched.
+            parseFrames(id, conn);
+            continue;
+        }
+        if (n == 0) {
+            conn.readClosed = true;
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        conn.readClosed = true; // hard error: treat as EOF
+        return;
+    }
+}
+
+void
+SocketServer::pump(std::uint64_t id, Conn &conn)
+{
+    if (!conn.busy && !conn.closeAfterFlush) {
+        parseFrames(id, conn);
+        // A clean EOF between frames is a normal disconnect; EOF
+        // with a partial frame buffered earns the one diagnostic
+        // response (the stream was truncated mid-frame).
+        if (!conn.busy && !conn.closeAfterFlush && conn.readClosed) {
+            if (!conn.in.empty())
+                markMalformed(conn,
+                              "bad frame envelope (magic, version, "
+                              "size, or checksum)");
+            else
+                conn.closeAfterFlush = true;
+        }
+    }
+    if (!flushConn(conn)) {
+        closeConn(id);
+        return;
+    }
+    if (conn.closeAfterFlush && !conn.busy &&
+        conn.outOff >= conn.out.size()) {
+        closeConn(id);
+        return;
+    }
+    updateInterest(id, conn);
+}
+
+void
+SocketServer::updateInterest(std::uint64_t id, Conn &conn)
+{
+    std::uint32_t want = 0;
+    if (!conn.busy && !conn.readClosed && !conn.closeAfterFlush)
+        want |= EPOLLIN;
+    if (conn.outOff < conn.out.size())
+        want |= EPOLLOUT;
+
+    epoll_event ev = {};
+    ev.events = want;
+    ev.data.u64 = id;
+    if (!conn.registered) {
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, conn.fd, &ev) == 0) {
+            conn.registered = true;
+            conn.interest = want;
+        }
+        return;
+    }
+    if (want == 0 && conn.readClosed) {
+        // Nothing to read or write and the peer can only HUP us
+        // (delivered even on an empty mask): drop the fd from the
+        // set so a busy connection with a vanished peer does not
+        // spin the loop until its completion arrives.
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+        conn.registered = false;
+        conn.interest = 0;
+        return;
+    }
+    if (want != conn.interest &&
+        ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0)
+        conn.interest = want;
+}
+
+void
+SocketServer::closeConn(std::uint64_t id)
+{
+    const auto it = conns_.find(id);
+    if (it == conns_.end())
+        return;
+    if (it->second.registered)
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    closeFd(it->second.fd);
+    conns_.erase(it);
+}
+
+void
+SocketServer::drainCompletions()
+{
+    std::deque<Completion> done;
+    {
+        std::lock_guard lock(completionMutex_);
+        done.swap(completions_);
+    }
+    for (Completion &completion : done) {
+        const auto it = conns_.find(completion.conn);
+        if (it == conns_.end())
+            continue; // connection died while the handler ran
+        Conn &conn = it->second;
+        conn.busy = false;
+        try {
+            conn.out += completion.frame;
+        } catch (const std::bad_alloc &) {
+            closeConn(completion.conn);
+            continue;
+        }
+        if (stopping_.load(std::memory_order_acquire) ||
+            handler_.shuttingDown()) {
+            // The response just queued (e.g. the shutdown ack) still
+            // flushes to its client before the close.
+            conn.readClosed = true;
+            conn.in.clear();
+            conn.closeAfterFlush = true;
+        }
+        pump(completion.conn, conn);
+    }
+}
+
+void
+SocketServer::beginDrainPass()
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto &[id, conn] : conns_)
+        ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        Conn &conn = it->second;
+        if (conn.busy)
+            continue; // its completion will close it
+        conn.readClosed = true;
+        pump(id, conn);
+    }
+}
+
+void
+SocketServer::reactorLoop()
+{
+    bool accepting = true;
+    std::vector<epoll_event> events(64);
+    for (;;) {
+        const bool draining =
+            stopping_.load(std::memory_order_acquire) ||
+            handler_.shuttingDown();
+        if (draining && accepting) {
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+            accepting = false;
+        }
+        if (draining) {
+            beginDrainPass();
+            if (conns_.empty())
+                break;
+        }
+        const int ready =
+            ::epoll_wait(epollFd_, events.data(),
+                         static_cast<int>(events.size()),
+                         /*timeout_ms=*/100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < ready; ++i) {
+            const std::uint64_t id = events[i].data.u64;
+            const std::uint32_t got = events[i].events;
+            if (id == kListenTag) {
+                handleAccept(draining);
+                continue;
+            }
+            if (id == kWakeTag) {
+                std::uint64_t drained = 0;
+                [[maybe_unused]] const ssize_t n = ::read(
+                    wakeFd_, &drained, sizeof drained);
+                continue;
+            }
+            const auto it = conns_.find(id);
+            if (it == conns_.end())
+                continue; // closed earlier in this same batch
+            Conn &conn = it->second;
+            if (got & EPOLLERR) {
+                closeConn(id);
+                continue;
+            }
+            if (got & (EPOLLIN | EPOLLHUP))
+                handleReadable(id, conn);
+            pump(id, conn);
+        }
+        drainCompletions();
+    }
+    for (auto &[id, conn] : conns_) {
+        if (conn.registered)
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+        closeFd(conn.fd);
+    }
+    conns_.clear();
+    {
+        std::lock_guard lock(finishedMutex_);
+        finished_ = true;
+    }
+    finishedCv_.notify_all();
 }
 
 void
@@ -141,19 +495,21 @@ SocketServer::stop()
     if (listenFd_ < 0)
         return;
     stopping_.store(true, std::memory_order_release);
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    // SHUT_RD — not RDWR — wakes connections parked in read (they
-    // see EOF) while an in-flight response can still drain to its
-    // client; each worker then finishes its current request, writes
-    // the response, and parks itself on the finished list.
-    shutdownReads();
+    wakeReactor();
+    if (reactorThread_.joinable())
+        reactorThread_.join();
     {
-        std::unique_lock lock(connectionsMutex_);
-        connectionsCv_.wait(
-            lock, [this] { return connections_.empty(); });
+        std::lock_guard lock(workMutex_);
+        workClosed_ = true;
     }
-    reapFinished();
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    closeFd(epollFd_);
+    epollFd_ = -1;
+    closeFd(wakeFd_);
+    wakeFd_ = -1;
     closeFd(listenFd_);
     listenFd_ = -1;
     if (!config_.unixPath.empty())
@@ -163,11 +519,14 @@ SocketServer::stop()
 void
 SocketServer::waitForShutdown()
 {
-    // The accept thread exits once the handler starts draining (it
-    // re-checks every poll timeout); connections finish their last
-    // response on their own. stop() then closes any idle ones.
-    if (acceptThread_.joinable())
-        acceptThread_.join();
+    if (listenFd_ < 0)
+        return;
+    // The reactor exits on its own once the handler starts draining
+    // and the last connection flushed its final response.
+    {
+        std::unique_lock lock(finishedMutex_);
+        finishedCv_.wait(lock, [this] { return finished_; });
+    }
     stop();
 }
 
@@ -177,7 +536,7 @@ ServeClient::~ServeClient()
 }
 
 ServeClient::ServeClient(ServeClient &&other) noexcept
-    : fd_(other.fd_)
+    : fd_(other.fd_), timedOut_(other.timedOut_)
 {
     other.fd_ = -1;
 }
@@ -188,6 +547,7 @@ ServeClient::operator=(ServeClient &&other) noexcept
     if (this != &other) {
         closeFd(fd_);
         fd_ = other.fd_;
+        timedOut_ = other.timedOut_;
         other.fd_ = -1;
     }
     return *this;
@@ -211,9 +571,16 @@ ServeClient::connectTcp(int port, std::string *err)
     return ServeClient(fd);
 }
 
+void
+ServeClient::setTimeoutMs(std::uint64_t ms)
+{
+    setSocketTimeoutMs(fd_, ms);
+}
+
 std::optional<Response>
 ServeClient::call(const Request &request, std::string *err)
 {
+    timedOut_ = false;
     FdStreambuf buf(fd_);
     std::ostream out(&buf);
     std::istream in(&buf);
@@ -223,11 +590,17 @@ ServeClient::call(const Request &request, std::string *err)
             *err = "write failed (server closed the connection?)";
         return std::nullopt;
     }
+    errno = 0;
     const auto payload = readFrame(in);
     if (!payload) {
+        // A socket deadline armed by setTimeoutMs surfaces as EAGAIN
+        // on the read underneath the failed frame.
+        timedOut_ = errno == EAGAIN || errno == EWOULDBLOCK;
         if (err != nullptr)
-            *err = "no response (connection closed or corrupt "
-                   "frame)";
+            *err = timedOut_
+                       ? "timed out waiting for the response"
+                       : "no response (connection closed or corrupt "
+                         "frame)";
         return std::nullopt;
     }
     std::string decode_err;

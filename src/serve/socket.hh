@@ -6,24 +6,33 @@
  * frames) share this transport; only the envelope magic/version/cap
  * in SocketConfig differs.
  *
- * The accept/worker model is deliberately simple and explicit: one
- * accept thread (poll with a short timeout, so shutdown is noticed
- * promptly) and one worker thread per connection, capped by
- * maxConnections — beyond the cap a connection is accepted and
- * immediately closed, which a client observes as EOF and treats like
- * overload. Per-connection framing reuses the binary_io envelope
- * through a std::streambuf over the file descriptor; a corrupt
- * envelope gets one MalformedFrame response and the connection is
- * dropped (framing cannot resync inside a byte stream).
+ * The transport is an event loop, not thread-per-connection: one
+ * reactor thread owns the epoll set — accept, nonblocking reads,
+ * incremental frame reassembly per connection, and response writes —
+ * and a small fixed worker pool runs FrameHandler::handlePayload for
+ * complete frames. Concurrency is bounded by dispatchThreads (work),
+ * not by connection count (threads); maxConnections remains the
+ * connection-level backpressure: beyond the cap a connection is
+ * accepted and immediately closed, which a client observes as EOF
+ * and treats like overload.
+ *
+ * Frame reassembly is incremental over the binary_io envelope
+ * layout: the magic is checked as soon as 8 bytes arrived, the
+ * version at 12, the claimed payload size against the cap at 20 (so
+ * a hostile header can never drive a giant buffer), and the FNV-1a
+ * checksum once the full frame is in. Any failure earns one
+ * MalformedFrame response and the connection is dropped (framing
+ * cannot resync inside a byte stream). Each connection has at most
+ * one frame in flight — while the handler runs, the reactor stops
+ * reading that connection (TCP flow control is the buffer bound) —
+ * so responses keep the strict request order of the old
+ * one-thread-per-connection loop.
  *
  * Shutdown: once the handler enters draining (a shutdown frame or
- * stop()), the acceptor stops accepting and every parked connection
- * read is forced out with ::shutdown(SHUT_RD) on its descriptor —
- * read-only, so a response still in flight drains to its client
- * before the worker exits and is joined. Worker threads that finish
- * earlier park their handles on a finished list that the accept loop
- * joins every poll tick, so a long-running server does not
- * accumulate exited-thread stacks.
+ * stop()), the reactor stops accepting, lets busy connections finish
+ * their in-flight response (the shutdown ack drains to its client
+ * before the close), flushes and closes everything, and exits; the
+ * worker pool is joined after its queue closes.
  */
 
 #ifndef WCT_SERVE_SOCKET_HH
@@ -31,12 +40,14 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <list>
-#include <memory>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "serve/frame_handler.hh"
 #include "serve/wire.hh"
@@ -60,6 +71,11 @@ struct SocketConfig
     /** Concurrent connection cap; excess connections see EOF. */
     std::size_t maxConnections = 32;
 
+    /** Dispatch worker threads running the FrameHandler. These may
+     * block (inference admission waits on the job's future), so they
+     * are dedicated threads, not borrowed from the compute pool. */
+    std::size_t dispatchThreads = 4;
+
     /** Envelope framing of this listener. Defaults are the serving
      * wire; the store daemon swaps in the WCTSTOR values
      * (data/store_wire.hh). */
@@ -80,16 +96,16 @@ class SocketServer
     /** Stops if still running. */
     ~SocketServer();
 
-    /** Bind + listen + start the accept thread; false + err on
-     * failure (address in use, bad path, ...). */
+    /** Bind + listen + start the reactor and worker pool; false +
+     * err on failure (address in use, bad path, ...). */
     bool start(std::string *err);
 
-    /** Stop accepting, force-close connections, join everything. */
+    /** Stop accepting, drain in-flight responses, join everything. */
     void stop();
 
     /**
      * Block until the handler enters shutdown (e.g. a client sent a
-     * shutdown frame) and every connection finished, then stop().
+     * shutdown frame) and every connection drained, then stop().
      */
     void waitForShutdown();
 
@@ -97,31 +113,77 @@ class SocketServer
     int boundPort() const { return boundPort_; }
 
   private:
-    /** One worker thread bound to one accepted descriptor. The node
-     * lives in connections_ while the thread runs; on exit the
-     * thread splices its own node onto finished_, where the accept
-     * loop (or stop()) joins it — so handles never accumulate. */
-    struct Connection
+    /** Per-connection reactor state. Owned (touched) exclusively by
+     * the reactor thread; workers reference connections only by id
+     * through the completion queue, and ids are never reused, so a
+     * completion for a closed connection is simply dropped. */
+    struct Conn
     {
         int fd = -1;
-        std::thread thread;
+        std::string in;         ///< received, not yet framed
+        std::string out;        ///< encoded responses to write
+        std::size_t outOff = 0; ///< flushed prefix of `out`
+        bool busy = false;      ///< one frame is in the handler
+        bool readClosed = false;
+        bool closeAfterFlush = false;
+        bool registered = false;     ///< fd is in the epoll set
+        std::uint32_t interest = 0;  ///< current epoll event mask
     };
 
-    void acceptLoop();
-    void connectionLoop(std::list<Connection>::iterator conn);
-    void reapFinished();
-    void shutdownReads();
+    /** A complete frame headed for the worker pool. */
+    struct Work
+    {
+        std::uint64_t conn = 0;
+        std::string payload;
+    };
+
+    /** A handler result headed back to the reactor. */
+    struct Completion
+    {
+        std::uint64_t conn = 0;
+        std::string frame;
+    };
+
+    void reactorLoop();
+    void workerLoop();
+    void wakeReactor();
+
+    void handleAccept(bool draining);
+    void handleReadable(std::uint64_t id, Conn &conn);
+    void parseFrames(std::uint64_t id, Conn &conn);
+    void markMalformed(Conn &conn, const char *reason);
+    bool flushConn(Conn &conn); ///< false = close the connection now
+    void pump(std::uint64_t id, Conn &conn);
+    void updateInterest(std::uint64_t id, Conn &conn);
+    void closeConn(std::uint64_t id);
+    void drainCompletions();
+    void beginDrainPass();
 
     FrameHandler &handler_;
     SocketConfig config_;
     int listenFd_ = -1;
     int boundPort_ = 0;
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
     std::atomic<bool> stopping_{false};
-    std::thread acceptThread_;
-    std::mutex connectionsMutex_;
-    std::condition_variable connectionsCv_;
-    std::list<Connection> connections_; ///< live worker threads
-    std::list<Connection> finished_;    ///< exited, awaiting join
+
+    std::thread reactorThread_;
+    std::vector<std::thread> workers_;
+
+    std::unordered_map<std::uint64_t, Conn> conns_;
+    std::uint64_t nextConnId_ = 2; ///< 0 = listen fd, 1 = wake fd
+
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    std::deque<Work> work_;
+    bool workClosed_ = false;
+
+    std::mutex completionMutex_;
+    std::deque<Completion> completions_;
+
+    std::mutex finishedMutex_;
+    std::condition_variable finishedCv_;
+    bool finished_ = false; ///< reactor loop exited
 };
 
 /**
@@ -143,14 +205,27 @@ class ServeClient
     static std::optional<ServeClient> connectTcp(int port,
                                                  std::string *err);
 
+    /**
+     * Arm a socket-level deadline: a call that waits longer than
+     * `ms` milliseconds for its response fails instead of parking
+     * forever, and lastCallTimedOut() reports it (`wct query
+     * --timeout`). 0 disarms.
+     */
+    void setTimeoutMs(std::uint64_t ms);
+
     /** Send one request and wait for its response. */
     std::optional<Response> call(const Request &request,
                                  std::string *err);
+
+    /** True when the most recent call() failed on the socket
+     * deadline armed by setTimeoutMs (EAGAIN on the read). */
+    bool lastCallTimedOut() const { return timedOut_; }
 
   private:
     explicit ServeClient(int fd) : fd_(fd) {}
 
     int fd_ = -1;
+    bool timedOut_ = false;
 };
 
 } // namespace wct::serve

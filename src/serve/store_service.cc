@@ -1,6 +1,7 @@
 #include "serve/store_service.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "util/logging.hh"
@@ -10,8 +11,51 @@ namespace wct::serve
 
 StoreService::StoreService(ArtifactStore store,
                            StoreServiceConfig config)
-    : store_(std::move(store)), config_(config)
+    : store_(std::move(store)), config_(std::move(config))
 {
+    if (config_.gcIntervalSeconds > 0)
+        gcThread_ = std::thread([this] { gcTimerLoop(); });
+}
+
+StoreService::~StoreService()
+{
+    {
+        std::lock_guard lock(gcMutex_);
+        gcStop_ = true;
+    }
+    gcCv_.notify_all();
+    if (gcThread_.joinable())
+        gcThread_.join();
+}
+
+std::size_t
+StoreService::gcSweepNow()
+{
+    std::vector<ArtifactId> live;
+    if (config_.gcLiveSet)
+        live = config_.gcLiveSet();
+    const auto removed = store_.gc(live, config_.gcGraceSeconds);
+    gcSweeps_.fetch_add(1, std::memory_order_acq_rel);
+    return removed.size();
+}
+
+void
+StoreService::gcTimerLoop()
+{
+    const auto interval =
+        std::chrono::seconds(config_.gcIntervalSeconds);
+    std::unique_lock lock(gcMutex_);
+    for (;;) {
+        if (gcCv_.wait_for(lock, interval,
+                           [this] { return gcStop_; }))
+            return;
+        lock.unlock();
+        const std::size_t removed = gcSweepNow();
+        if (removed > 0)
+            wct_inform("store daemon: timed gc removed " +
+                       std::to_string(removed) + " artifact(s)");
+        lock.lock();
+    }
 }
 
 std::string

@@ -22,6 +22,11 @@
 #define WCT_SERVE_STORE_SERVICE_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "data/artifact_store.hh"
 #include "data/store_wire.hh"
@@ -41,6 +46,18 @@ struct StoreServiceConfig
     /** Grace floor applied to every gc sweep, on top of whatever the
      * client requested: max(client, this). */
     std::uint64_t gcGraceSeconds = 0;
+
+    /** Timed gc: sweep every this-many seconds (`wct store serve
+     * --gc-interval`). 0 disables the timer; sweeps then happen only
+     * on client Gc frames. Timed sweeps use gcGraceSeconds as their
+     * grace window, so a just-published artifact survives the sweep
+     * that races its upload. */
+    std::uint64_t gcIntervalSeconds = 0;
+
+    /** Live set supplied to timed sweeps (e.g. every artifact a
+     * current plan references). An unset function pins nothing:
+     * only the grace window protects artifacts. */
+    std::function<std::vector<ArtifactId>()> gcLiveSet;
 };
 
 /** One store daemon instance; see file comment. */
@@ -49,6 +66,9 @@ class StoreService : public FrameHandler
   public:
     explicit StoreService(ArtifactStore store,
                           StoreServiceConfig config = {});
+
+    /** Stops the gc timer, if one is running. */
+    ~StoreService();
 
     StoreService(const StoreService &) = delete;
     StoreService &operator=(const StoreService &) = delete;
@@ -70,10 +90,29 @@ class StoreService : public FrameHandler
 
     const ArtifactStore &store() const { return store_; }
 
+    /** Run one timed-style gc sweep now (gcLiveSet + grace floor);
+     * returns how many artifacts it removed. The timer calls this. */
+    std::size_t gcSweepNow();
+
+    /** Number of timed/gcSweepNow sweeps completed so far. */
+    std::uint64_t
+    gcSweeps() const
+    {
+        return gcSweeps_.load(std::memory_order_acquire);
+    }
+
   private:
+    void gcTimerLoop();
+
     ArtifactStore store_;
     StoreServiceConfig config_;
     std::atomic<bool> shuttingDown_{false};
+    std::atomic<std::uint64_t> gcSweeps_{0};
+
+    std::mutex gcMutex_;
+    std::condition_variable gcCv_;
+    bool gcStop_ = false;
+    std::thread gcThread_;
 };
 
 } // namespace wct::serve

@@ -82,6 +82,10 @@ statusName(Status status)
         return "shuttingDown";
       case Status::MalformedFrame:
         return "malformedFrame";
+      case Status::Shed:
+        return "shed";
+      case Status::DeadlineExceeded:
+        return "deadlineExceeded";
     }
     return "unknown";
 }
@@ -92,6 +96,7 @@ encodeRequest(const Request &request)
     ByteSink sink;
     sink.putU8(static_cast<std::uint8_t>(request.op));
     sink.putU64(request.id);
+    sink.putU32(request.budgetMs);
     switch (request.op) {
       case Opcode::Predict:
       case Opcode::Classify: {
@@ -163,7 +168,8 @@ decodeRequest(std::string_view payload, std::string *err)
     Request request;
     std::uint8_t op = 0;
     if (!parser.getU8(op) || !validOpcode(op) ||
-        !parser.getU64(request.id)) {
+        !parser.getU64(request.id) ||
+        !parser.getU32(request.budgetMs)) {
         fail(err, "request: bad opcode header");
         return std::nullopt;
     }

@@ -10,8 +10,14 @@
  * caller-chosen request id that the response echoes, then an
  * opcode-specific body:
  *
- *   request  := opcode:u8 id:u64 body
+ *   request  := opcode:u8 id:u64 budgetMs:u32 body
  *   response := opcode:u8 id:u64 status:u8 body
+ *
+ * budgetMs (wire v2) is the client's per-request deadline budget in
+ * milliseconds; 0 means "no budget" and leaves any server-side
+ * default in charge. The server caps it (ServerConfig::maxDeadlineMs)
+ * and answers Status::DeadlineExceeded — never a stale result — when
+ * the budget expires before the response is written.
  *
  *   predict/classify body (request):
  *       modelKey:str ncols:u64 colname:str... nrows:u64
@@ -47,8 +53,10 @@ namespace wct::serve
 /** Envelope magic of serving frames (7 chars + NUL = 8 bytes). */
 constexpr char kWireMagic[] = "WCTSERV";
 
-/** Wire format version; a mismatch rejects the whole frame. */
-constexpr std::uint32_t kWireFormatVersion = 1;
+/** Wire format version; a mismatch rejects the whole frame.
+ * v2: request header grew the budgetMs:u32 deadline field and the
+ * response status byte grew Shed / DeadlineExceeded. */
+constexpr std::uint32_t kWireFormatVersion = 2;
 
 /**
  * Hard cap on one frame's payload bytes, both directions. Frames are
@@ -78,6 +86,8 @@ enum class Status : std::uint8_t
     Overloaded = 2,     ///< admission queue full; retry later
     ShuttingDown = 3,   ///< server is draining; no new work
     MalformedFrame = 4, ///< request frame did not decode
+    Shed = 5,           ///< op class over its latency SLO; retry later
+    DeadlineExceeded = 6, ///< request budget expired before the result
 };
 
 /** Human-readable opcode name (for logs and the stats dump). */
@@ -91,6 +101,10 @@ struct Request
 {
     Opcode op = Opcode::Predict;
     std::uint64_t id = 0;
+
+    /** Per-request deadline budget in milliseconds; 0 = none (the
+     * server may still impose its configured default). */
+    std::uint32_t budgetMs = 0;
 
     // Predict / Classify.
     std::string modelKey; ///< registry key or alias; "" = default

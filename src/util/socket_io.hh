@@ -17,6 +17,7 @@
 #define WCT_UTIL_SOCKET_IO_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <streambuf>
 #include <string>
 
@@ -51,6 +52,16 @@ class FdStreambuf : public std::streambuf
 
 /** Close a descriptor if it is valid (>= 0); no-op otherwise. */
 void closeFd(int fd);
+
+/** Put a descriptor in O_NONBLOCK mode; false on failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Arm SO_RCVTIMEO/SO_SNDTIMEO on a (blocking) socket so a stalled
+ * peer surfaces as an EAGAIN read/write failure after `ms`
+ * milliseconds instead of parking the caller forever. 0 disarms.
+ */
+void setSocketTimeoutMs(int fd, std::uint64_t ms);
 
 /**
  * Bind + listen on a Unix-domain socket path (unlinking any stale

@@ -13,7 +13,7 @@ namespace wct
 {
 
 /** Toolkit release: bumped when a PR changes user-visible behavior. */
-constexpr char kWctVersion[] = "0.6.0";
+constexpr char kWctVersion[] = "0.7.0";
 
 } // namespace wct
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * `wct loadgen` open-loop generator against a live in-process server
+ * on the epoll transport: a short mixed run completes cleanly with
+ * zero malformed responses, the offered count follows rate*duration,
+ * the op-mix sequence is deterministic per seed, and setup failures
+ * come back as errors instead of a zeroed report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+#include "serve/socket.hh"
+#include "tests/serve/serve_support.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+using test::TempDir;
+using test::trainedTree;
+using test::trainingData;
+using test::writeTree;
+
+/** A served model behind the epoll transport on a Unix socket. */
+struct Fixture
+{
+    std::unique_ptr<Server> server;
+    std::unique_ptr<SocketServer> transport;
+    std::string socketPath;
+
+    explicit Fixture(const TempDir &dir)
+        : socketPath(dir.file("loadgen.sock"))
+    {
+        server = std::make_unique<Server>(ServerConfig{});
+        const std::string model = dir.file("model.mtree");
+        writeTree(trainedTree(), model);
+        std::string err;
+        if (!server->loadModel(model, "", nullptr, &err))
+            ADD_FAILURE() << err;
+        SocketConfig socket_config;
+        socket_config.unixPath = socketPath;
+        transport =
+            std::make_unique<SocketServer>(*server, socket_config);
+        if (!transport->start(&err))
+            ADD_FAILURE() << err;
+    }
+
+    ~Fixture()
+    {
+        transport->stop();
+        server->beginShutdown();
+        server->drain();
+    }
+};
+
+/** Config for a short mixed run against `fx`. */
+LoadgenConfig
+shortRun(const Fixture &fx)
+{
+    const Dataset probe = trainingData(64, 5);
+    LoadgenConfig config;
+    config.unixPath = fx.socketPath;
+    config.ratePerSec = 200.0;
+    config.durationSec = 0.4;
+    config.connections = 2;
+    config.rowsPerRequest = 4;
+    config.schema = probe.columnNames();
+    for (std::size_t r = 0; r < probe.numRows(); ++r) {
+        const auto row = probe.row(r);
+        config.pool.insert(config.pool.end(), row.begin(),
+                           row.end());
+    }
+    return config;
+}
+
+TEST(LoadgenTest, ShortMixedRunCompletesCleanly)
+{
+    const TempDir dir("wct_loadgen_run");
+    Fixture fx(dir);
+    const LoadgenConfig config = shortRun(fx);
+
+    std::string err;
+    const auto report = runLoadgen(config, &err);
+    ASSERT_TRUE(report.has_value()) << err;
+
+    const auto offered = static_cast<std::uint64_t>(std::llround(
+        config.ratePerSec * config.durationSec));
+    EXPECT_EQ(report->offered, offered);
+    EXPECT_EQ(report->completed, offered); // nothing dropped
+    EXPECT_EQ(report->transportErrors, 0u);
+    EXPECT_EQ(report->malformed(), 0u);
+    EXPECT_EQ(
+        report->byStatus[static_cast<std::size_t>(Status::Ok)],
+        offered);
+    EXPECT_GT(report->achievedRps, 0.0);
+    EXPECT_GT(report->p99Us, 0.0);
+    EXPECT_GE(report->p99Us, report->p50Us);
+
+    // Every scheduled request was sent exactly once, and the default
+    // mix exercises predict, classify, and stats (weights 6:2:0:1).
+    const std::uint64_t sent =
+        std::accumulate(report->sentByOp.begin(),
+                        report->sentByOp.end(), std::uint64_t{0});
+    EXPECT_EQ(sent, offered);
+    EXPECT_GT(report->sentByOp[0], 0u); // predict
+    EXPECT_GT(report->sentByOp[1], 0u); // classify
+    EXPECT_EQ(report->sentByOp[2], 0u); // load (weight 0)
+    EXPECT_GT(report->sentByOp[3], 0u); // stats
+
+    // The summary the CLI prints mentions the headline numbers.
+    const std::string text = report->renderText();
+    EXPECT_NE(text.find("offered"), std::string::npos);
+    EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(LoadgenTest, OpMixIsDeterministicPerSeed)
+{
+    const TempDir dir("wct_loadgen_seed");
+    Fixture fx(dir);
+    LoadgenConfig config = shortRun(fx);
+    config.durationSec = 0.2;
+
+    std::string err;
+    const auto first = runLoadgen(config, &err);
+    ASSERT_TRUE(first.has_value()) << err;
+    const auto second = runLoadgen(config, &err);
+    ASSERT_TRUE(second.has_value()) << err;
+    EXPECT_EQ(first->sentByOp, second->sentByOp);
+
+    config.seed = 99;
+    const auto reseeded = runLoadgen(config, &err);
+    ASSERT_TRUE(reseeded.has_value()) << err;
+    EXPECT_NE(first->sentByOp, reseeded->sentByOp);
+}
+
+TEST(LoadgenTest, SetupFailuresAreErrorsNotEmptyReports)
+{
+    const TempDir dir("wct_loadgen_bad");
+
+    // No server at the endpoint: the probe connection fails the run
+    // up front instead of counting N transport errors.
+    {
+        Fixture fx(dir);
+        LoadgenConfig config = shortRun(fx);
+        config.unixPath = dir.file("nobody-home.sock");
+        std::string err;
+        EXPECT_FALSE(runLoadgen(config, &err).has_value());
+        EXPECT_FALSE(err.empty());
+    }
+
+    // An inference mix with no schema/pool cannot build requests.
+    {
+        Fixture fx(dir);
+        LoadgenConfig config = shortRun(fx);
+        config.schema.clear();
+        config.pool.clear();
+        std::string err;
+        EXPECT_FALSE(runLoadgen(config, &err).has_value());
+        EXPECT_FALSE(err.empty());
+    }
+
+    // All weights zero: there is nothing to send.
+    {
+        Fixture fx(dir);
+        LoadgenConfig config = shortRun(fx);
+        config.predictWeight = 0;
+        config.classifyWeight = 0;
+        config.statsWeight = 0;
+        std::string err;
+        EXPECT_FALSE(runLoadgen(config, &err).has_value());
+        EXPECT_FALSE(err.empty());
+    }
+}
+
+} // namespace
+} // namespace wct::serve

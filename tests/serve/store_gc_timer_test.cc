@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timed gc in the store daemon (`wct store serve --gc-interval`):
+ * the timer runs sweeps on its own thread, sweeps honour the
+ * configured live set, and — the headline guarantee — an artifact a
+ * live plan references survives a timed sweep while unreferenced
+ * artifacts are reaped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "data/artifact_store.hh"
+#include "serve/store_service.hh"
+#include "tests/serve/serve_support.hh"
+
+namespace wct::serve
+{
+namespace
+{
+
+using test::TempDir;
+
+TEST(StoreGcTimerTest, LivePlanArtifactSurvivesTimedSweep)
+{
+    const TempDir dir("wct_gc_timer_live");
+    {
+        const ArtifactStore seed(dir.path.string());
+        ASSERT_TRUE(seed.store({"mtree", 1}, "live plan model"));
+        ASSERT_TRUE(seed.store({"train", 2}, "orphaned stage"));
+    }
+
+    StoreServiceConfig config;
+    config.gcIntervalSeconds = 1;
+    config.gcGraceSeconds = 0; // sweep everything the plan drops
+    config.gcLiveSet = [] {
+        return std::vector<ArtifactId>{{"mtree", 1}};
+    };
+    StoreService service(ArtifactStore(dir.path.string()), config);
+
+    // The first timed sweep fires after ~1s; give it a generous
+    // window so a loaded CI host cannot flake the test.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(10);
+    while (service.gcSweeps() == 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_GE(service.gcSweeps(), 1u) << "timed sweep never fired";
+
+    EXPECT_TRUE(service.store().contains({"mtree", 1}))
+        << "a live plan artifact was reaped by the timed sweep";
+    EXPECT_FALSE(service.store().contains({"train", 2}));
+}
+
+TEST(StoreGcTimerTest, SweepNowHonoursLiveSetAndCounts)
+{
+    const TempDir dir("wct_gc_timer_now");
+    {
+        const ArtifactStore seed(dir.path.string());
+        ASSERT_TRUE(seed.store({"collect", 1}, "pinned"));
+        ASSERT_TRUE(seed.store({"collect", 2}, "dead a"));
+        ASSERT_TRUE(seed.store({"train", 3}, "dead b"));
+    }
+
+    StoreServiceConfig config; // no timer: interval stays 0
+    config.gcLiveSet = [] {
+        return std::vector<ArtifactId>{{"collect", 1}};
+    };
+    StoreService service(ArtifactStore(dir.path.string()), config);
+    EXPECT_EQ(service.gcSweeps(), 0u);
+
+    EXPECT_EQ(service.gcSweepNow(), 2u);
+    EXPECT_EQ(service.gcSweeps(), 1u);
+    EXPECT_TRUE(service.store().contains({"collect", 1}));
+    EXPECT_FALSE(service.store().contains({"collect", 2}));
+    EXPECT_FALSE(service.store().contains({"train", 3}));
+
+    // A second sweep over the already-clean store removes nothing
+    // but still counts (the counter tracks sweeps, not removals).
+    EXPECT_EQ(service.gcSweepNow(), 0u);
+    EXPECT_EQ(service.gcSweeps(), 2u);
+}
+
+TEST(StoreGcTimerTest, GraceFloorProtectsFreshArtifactsFromTimer)
+{
+    // The fleet race the config comment documents: an artifact
+    // published after the live set was computed looks dead; the
+    // grace floor is what keeps the timed sweep from reaping it.
+    const TempDir dir("wct_gc_timer_grace");
+    {
+        const ArtifactStore seed(dir.path.string());
+        ASSERT_TRUE(seed.store({"mtree", 9}, "just published"));
+    }
+
+    StoreServiceConfig config;
+    config.gcGraceSeconds = 3600; // everything here is seconds old
+    StoreService service(ArtifactStore(dir.path.string()), config);
+
+    EXPECT_EQ(service.gcSweepNow(), 0u);
+    EXPECT_TRUE(service.store().contains({"mtree", 9}));
+}
+
+} // namespace
+} // namespace wct::serve

@@ -130,6 +130,14 @@ TEST(WireTest, StatsResponseRoundTrip)
     response.stats.batchSize.counts.assign(
         kBatchSizeBounds.size() + 1, 0);
     response.stats.batchSize.counts[0] = 12;
+    response.stats.shedByOp[0] = 7;
+    response.stats.deadlineExpiredByOp[1] = 3;
+    for (auto &hist : response.stats.classLatencyUs) {
+        hist.bounds.assign(kLatencyBoundsUs.begin(),
+                           kLatencyBoundsUs.end());
+        hist.counts.assign(kLatencyBoundsUs.size() + 1, 0);
+    }
+    response.stats.classLatencyUs[0].counts[3] = 42;
 
     const auto decoded =
         decodeResponse(payloadOf(encodeResponse(response)));
@@ -141,6 +149,9 @@ TEST(WireTest, StatsResponseRoundTrip)
     EXPECT_EQ(decoded->stats.requestLatencyUs.counts[2], 100u);
     EXPECT_DOUBLE_EQ(decoded->stats.requestLatencyUs.quantile(0.5),
                      200.0);
+    EXPECT_EQ(decoded->stats.shedByOp[0], 7u);
+    EXPECT_EQ(decoded->stats.deadlineExpiredByOp[1], 3u);
+    EXPECT_EQ(decoded->stats.classLatencyUs[0].counts[3], 42u);
 }
 
 TEST(WireTest, TruncatedFrameIsRejected)
@@ -234,6 +245,7 @@ TEST(WireTest, HostileRowCountIsRejected)
     ByteSink sink;
     sink.putU8(static_cast<std::uint8_t>(Opcode::Predict));
     sink.putU64(1);
+    sink.putU32(0); // budgetMs (wire v2 header)
     sink.putString("");
     sink.putU64(3);
     for (const char *name : {"a", "b", "c"})
